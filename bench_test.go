@@ -1,0 +1,235 @@
+package correctbench
+
+// One benchmark per table and figure of the paper, plus
+// microbenchmarks of the substrate. The per-experiment benchmarks run
+// the exact code paths that regenerate the published artifacts but on
+// reduced task subsets so that `go test -bench=.` completes in
+// minutes; the cmd/ tools run the full-scale versions (156 tasks,
+// 5 repetitions) and EXPERIMENTS.md records their output.
+
+import (
+	"math/rand"
+	"testing"
+
+	"correctbench/internal/autoeval"
+	"correctbench/internal/dataset"
+	"correctbench/internal/harness"
+	"correctbench/internal/llm"
+	"correctbench/internal/sim"
+	"correctbench/internal/testbench"
+	"correctbench/internal/validator"
+	"correctbench/internal/verilog"
+)
+
+// benchProblems is a fixed CMB/SEQ mix used by the experiment-scale
+// benchmarks.
+func benchProblems(b *testing.B) []*dataset.Problem {
+	b.Helper()
+	names := []string{
+		"mux4_w4", "adder8", "alu4", "prio_enc8", "sevenseg", "parity_even8",
+		"cnt8", "det101", "sipo8", "shift18", "timer8", "lfsr8",
+	}
+	out := make([]*dataset.Problem, 0, len(names))
+	for _, n := range names {
+		p := dataset.ByName(n)
+		if p == nil {
+			b.Fatalf("problem %s missing", n)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// BenchmarkTable1MainResults regenerates Table I (three methods,
+// Eval0/1/2 by group) on the benchmark subset.
+func BenchmarkTable1MainResults(b *testing.B) {
+	probs := benchProblems(b)
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Run(harness.Config{Reps: 1, Seed: int64(i) + 1, Problems: probs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Table1()
+	}
+}
+
+// BenchmarkTable3Attribution regenerates Table III (validator and
+// corrector contributions).
+func BenchmarkTable3Attribution(b *testing.B) {
+	probs := benchProblems(b)
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Run(harness.Config{
+			Reps: 1, Seed: int64(i) + 10, Problems: probs,
+			Methods: []harness.Method{harness.MethodCorrectBench, harness.MethodAutoBench},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Table3()
+	}
+}
+
+// BenchmarkFig4RSMatrix builds and renders an RS matrix for one task
+// (N_R = 20), the artifact of Fig. 4.
+func BenchmarkFig4RSMatrix(b *testing.B) {
+	p := dataset.ByName("cnt8")
+	prof := llm.GPT4o()
+	rng := rand.New(rand.NewSource(4))
+	var acct llm.Accountant
+	group, err := validator.GenerateRTLGroup(p, prof, 20, rng, &acct)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scs, err := testbench.GenerateScenarios(p, rng, testbench.Coverage{Scenarios: 10, Steps: 12, Corners: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb := &testbench.Testbench{Problem: p, Scenarios: scs, CheckerSource: p.Source, CheckerTop: p.Top, CheckerSticky: -1}
+	tb.DriverSource = testbench.EmitDriver(tb)
+	v := &validator.Validator{Criterion: validator.Wrong70}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, ok := v.BuildMatrix(tb, group)
+		if !ok {
+			b.Fatal("matrix build failed")
+		}
+		_ = m.Render()
+	}
+}
+
+// BenchmarkFig6aValidatorAccuracy runs the labeled-corpus criteria
+// study of Fig. 6(a) on the benchmark subset.
+func BenchmarkFig6aValidatorAccuracy(b *testing.B) {
+	probs := benchProblems(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.CriteriaAccuracy(harness.CriteriaAccuracyConfig{
+			PerTask: 3, Seed: int64(i) + 20, Problems: probs,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = harness.RenderFig6a(rows)
+	}
+}
+
+// BenchmarkFig6bCriteriaPipeline runs the whole framework under each
+// validation criterion, the experiment of Fig. 6(b).
+func BenchmarkFig6bCriteriaPipeline(b *testing.B) {
+	probs := benchProblems(b)[:6]
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.CriteriaPipeline(harness.Config{Reps: 1, Seed: int64(i) + 30, Problems: probs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = harness.RenderFig6b(rows)
+	}
+}
+
+// BenchmarkFig7LLMComparison runs the three methods under each LLM
+// profile, the experiment of Fig. 7.
+func BenchmarkFig7LLMComparison(b *testing.B) {
+	probs := benchProblems(b)[:6]
+	for i := 0; i < b.N; i++ {
+		for _, prof := range llm.Profiles() {
+			res, err := harness.Run(harness.Config{
+				Reps: 1, Seed: int64(i) + 40, Problems: probs, Profile: prof,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = harness.RenderFig7(prof.Name, res.Fig7Rows())
+		}
+	}
+}
+
+// ---- substrate microbenchmarks ----
+
+// BenchmarkParse measures the Verilog front end on a mid-size module.
+func BenchmarkParse(b *testing.B) {
+	src := dataset.ByName("shift18").Source
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := verilog.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkElaborate measures flattening and binding.
+func BenchmarkElaborate(b *testing.B) {
+	src := dataset.ByName("fifo2").Source
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.ElaborateSource(src, "fifo2"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimTick measures clocked-simulation throughput.
+func BenchmarkSimTick(b *testing.B) {
+	d, err := sim.ElaborateSource(dataset.ByName("cnt8").Source, "cnt8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := sim.NewInstance(d)
+	if err := in.ZeroInputs(); err != nil {
+		b.Fatal(err)
+	}
+	in.SetInputUint("rst", 1)
+	in.Tick("clk")
+	in.SetInputUint("rst", 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := in.Tick("clk"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTestbenchRun measures a full golden-TB-vs-golden-RTL run.
+func BenchmarkTestbenchRun(b *testing.B) {
+	p := dataset.ByName("det101")
+	tb, err := testbench.Golden(p, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := p.Elaborate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := tb.RunAgainstDesign(d)
+		if err != nil || !res.Pass() {
+			b.Fatalf("run failed: %v", err)
+		}
+	}
+}
+
+// BenchmarkEval2 measures one full AutoEval grading.
+func BenchmarkEval2(b *testing.B) {
+	p := dataset.ByName("alu4")
+	e := autoeval.NewEvaluator(7)
+	tb, err := e.GoldenTestbench(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.Evaluate(tb); err != nil { // warm fixtures
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Evaluate(tb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCorrectBenchTask measures one whole Algorithm 1 task.
+func BenchmarkCorrectBenchTask(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateTestbench("cnt8", Options{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Command correctbench runs the paper's main experiments: Table I
+// (main results), Table II (AutoEval criteria) and Table III
+// (validator/corrector attribution), or a single task end to end.
+//
+// Usage:
+//
+//	correctbench -table1 -reps 5 -seed 42
+//	correctbench -table2
+//	correctbench -table3 -reps 5
+//	correctbench -task shift18 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"correctbench"
+	"correctbench/internal/harness"
+)
+
+func main() {
+	var (
+		table1    = flag.Bool("table1", false, "run the Table I experiment")
+		table2    = flag.Bool("table2", false, "print the Table II criterion definitions")
+		table3    = flag.Bool("table3", false, "run the Table III attribution experiment")
+		task      = flag.String("task", "", "run a single named task through CorrectBench")
+		reps      = flag.Int("reps", 5, "experiment repetitions (paper: 5)")
+		seed      = flag.Int64("seed", 42, "master random seed")
+		llmName   = flag.String("llm", "gpt-4o", "LLM profile: gpt-4o | claude-3.5-sonnet | gpt-4o-mini")
+		criterion = flag.String("criterion", "70%-wrong", "validation criterion")
+		csvPath   = flag.String("csv", "", "also write per-task outcomes as CSV to this path")
+		quiet     = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if *table2 {
+		fmt.Print(harness.Table2())
+	}
+
+	if *task != "" {
+		res, err := correctbench.GenerateTestbench(*task, correctbench.Options{
+			Seed: *seed, LLM: *llmName, Criterion: *criterion,
+		})
+		exitOn(err)
+		grade, err := correctbench.Grade(res.Testbench, *seed)
+		exitOn(err)
+		fmt.Printf("task %s: grade=%s validated=%v corrections=%d reboots=%d tokens=%d/%d scenarios=%d\n",
+			*task, grade, res.Validated, res.Corrections, res.Reboots,
+			res.TokensIn, res.TokensOut, res.Testbench.ScenarioCount())
+	}
+
+	if *table1 || *table3 {
+		var progress = os.Stderr
+		if *quiet {
+			progress = nil
+		}
+		exp, err := correctbench.RunExperiment(correctbench.ExperimentConfig{
+			Seed: *seed, Reps: *reps, LLM: *llmName, Criterion: *criterion,
+			Progress: progress,
+		})
+		exitOn(err)
+		if *table1 {
+			fmt.Println(exp.Table1())
+		}
+		if *table3 {
+			fmt.Println(exp.Table3())
+		}
+		if *csvPath != "" {
+			f, err := os.Create(*csvPath)
+			exitOn(err)
+			exitOn(exp.WriteCSV(f))
+			exitOn(f.Close())
+		}
+	}
+
+	if !*table1 && !*table2 && !*table3 && *task == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "correctbench:", err)
+		os.Exit(1)
+	}
+}

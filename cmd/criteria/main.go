@@ -1,0 +1,59 @@
+// Command criteria runs the validation-criteria studies of Section
+// IV-C: Fig. 6(a), validation accuracy of the 100%/70%/50%-wrong
+// criteria on a labeled testbench corpus, and Fig. 6(b), the whole
+// CorrectBench framework under each criterion with token accounting.
+//
+// Usage:
+//
+//	criteria -fig6a -pertask 10        # 1560-testbench corpus
+//	criteria -fig6b -reps 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"correctbench/internal/harness"
+)
+
+func main() {
+	var (
+		fig6a   = flag.Bool("fig6a", false, "run the validation-accuracy study")
+		fig6b   = flag.Bool("fig6b", false, "run the criterion pipeline study")
+		perTask = flag.Int("pertask", 10, "testbenches per task for fig6a (paper: 10, i.e. 1560 total)")
+		reps    = flag.Int("reps", 1, "repetitions for fig6b")
+		seed    = flag.Int64("seed", 42, "master random seed")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+	progress := os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	if !*fig6a && !*fig6b {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *fig6a {
+		rows, err := harness.CriteriaAccuracy(harness.CriteriaAccuracyConfig{
+			PerTask: *perTask, Seed: *seed, Progress: progress,
+		})
+		exitOn(err)
+		fmt.Println(harness.RenderFig6a(rows))
+	}
+	if *fig6b {
+		rows, err := harness.CriteriaPipeline(harness.Config{
+			Reps: *reps, Seed: *seed, Progress: progress,
+		})
+		exitOn(err)
+		fmt.Println(harness.RenderFig6b(rows))
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "criteria:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,47 @@
+// Command dataset lists and dumps the 156-problem benchmark suite.
+//
+// Usage:
+//
+//	dataset -list
+//	dataset -dump shift18
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"correctbench/internal/dataset"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list all problems")
+		dump = flag.String("dump", "", "print one problem's spec and golden RTL")
+	)
+	flag.Parse()
+	switch {
+	case *list:
+		fmt.Printf("%-16s %-4s %-5s %s\n", "NAME", "KIND", "DIFF", "SPEC")
+		for _, p := range dataset.All() {
+			spec := p.Spec
+			if len(spec) > 72 {
+				spec = spec[:69] + "..."
+			}
+			fmt.Printf("%-16s %-4s %-5d %s\n", p.Name, p.Kind, p.Difficulty, spec)
+		}
+		cmb, seq := dataset.OfKind(dataset.CMB), dataset.OfKind(dataset.SEQ)
+		fmt.Printf("\n%d problems: %d CMB, %d SEQ\n", len(dataset.All()), len(cmb), len(seq))
+	case *dump != "":
+		p := dataset.ByName(*dump)
+		if p == nil {
+			fmt.Fprintf(os.Stderr, "dataset: unknown problem %q\n", *dump)
+			os.Exit(1)
+		}
+		fmt.Printf("name: %s\nkind: %s\ndifficulty: %d\nclock: %q reset: %q\n\nSPEC\n----\n%s\n\nGOLDEN RTL\n----------\n%s",
+			p.Name, p.Kind, p.Difficulty, p.Clock, p.Reset, p.Spec, p.Source)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

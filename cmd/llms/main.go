@@ -1,0 +1,40 @@
+// Command llms reproduces Fig. 7: the three generation methods
+// evaluated under each LLM profile (gpt-4o, claude-3.5-sonnet,
+// gpt-4o-mini), rendered as stacked text bars of exact-grade shares.
+//
+// Usage:
+//
+//	llms -reps 1 -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"correctbench/internal/harness"
+	"correctbench/internal/llm"
+)
+
+func main() {
+	var (
+		reps  = flag.Int("reps", 1, "repetitions per profile (the paper ran Claude once)")
+		seed  = flag.Int64("seed", 42, "master random seed")
+		quiet = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+	progress := os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	for _, prof := range llm.Profiles() {
+		res, err := harness.Run(harness.Config{
+			Profile: prof, Reps: *reps, Seed: *seed, Progress: progress,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "llms:", err)
+			os.Exit(1)
+		}
+		fmt.Println(harness.RenderFig7(prof.Name, res.Fig7Rows()))
+	}
+}

@@ -1,0 +1,92 @@
+// Command rsmatrix reproduces Fig. 4: it builds RTL-Scenario matrices
+// for a task — one for a correct testbench and one with an injected
+// checker fault — and renders them as ASCII art together with each
+// criterion's verdict.
+//
+// Usage:
+//
+//	rsmatrix -task cnt8 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"correctbench/internal/dataset"
+	"correctbench/internal/llm"
+	"correctbench/internal/mutate"
+	"correctbench/internal/testbench"
+	"correctbench/internal/validator"
+	"correctbench/internal/verilog"
+)
+
+func main() {
+	var (
+		taskName = flag.String("task", "cnt8", "dataset task")
+		seed     = flag.Int64("seed", 7, "random seed")
+		nr       = flag.Int("nr", 20, "imperfect RTL group size (paper: 20)")
+	)
+	flag.Parse()
+	p := dataset.ByName(*taskName)
+	if p == nil {
+		fail(fmt.Errorf("unknown task %q", *taskName))
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	prof := llm.GPT4o()
+	var acct llm.Accountant
+	group, err := validator.GenerateRTLGroup(p, prof, *nr, rng, &acct)
+	if err != nil {
+		fail(err)
+	}
+	scs, err := testbench.GenerateScenarios(p, rng, testbench.Coverage{Scenarios: 10, Steps: 10, Corners: true})
+	if err != nil {
+		fail(err)
+	}
+
+	clean := &testbench.Testbench{Problem: p, Scenarios: scs, CheckerSource: p.Source, CheckerTop: p.Top, CheckerSticky: -1}
+	clean.DriverSource = testbench.EmitDriver(clean)
+	show("CORRECT testbench (golden checker)", clean, group)
+
+	golden, err := p.Module()
+	if err != nil {
+		fail(err)
+	}
+	for attempt := int64(0); attempt < 50; attempt++ {
+		plan := mutate.NewPlan(golden, rand.New(rand.NewSource(*seed+attempt)), 1)
+		mod, muts := plan.Build(golden)
+		if len(muts) == 0 {
+			continue
+		}
+		tb := &testbench.Testbench{Problem: p, Scenarios: scs, CheckerSource: verilog.PrintModule(mod), CheckerTop: p.Top, CheckerSticky: -1}
+		tb.DriverSource = testbench.EmitDriver(tb)
+		if res, err := tb.RunAgainstSource(p.Source, p.Top); err != nil || res.Pass() {
+			continue // fault not observable; try another
+		}
+		fmt.Printf("\nWRONG testbench: checker fault %v\n", muts)
+		show("WRONG testbench", tb, group)
+		return
+	}
+	fmt.Fprintln(os.Stderr, "rsmatrix: no observable checker fault found")
+}
+
+func show(title string, tb *testbench.Testbench, group []validator.RTLCandidate) {
+	fmt.Printf("== %s ==\n", title)
+	v := &validator.Validator{Criterion: validator.Wrong70}
+	m, ok := v.BuildMatrix(tb, group)
+	if !ok {
+		fmt.Println("testbench itself is broken")
+		return
+	}
+	fmt.Print(m.Render())
+	for _, c := range validator.Criteria() {
+		rep := (&validator.Validator{Criterion: c}).Judge(m)
+		fmt.Printf("%-12s verdict: correct=%v wrong=%v uncertain=%v\n", c.Name, rep.Correct, rep.Wrong, rep.Uncertain)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "rsmatrix:", err)
+	os.Exit(1)
+}

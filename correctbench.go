@@ -1,0 +1,253 @@
+// Package correctbench is a from-scratch Go reproduction of
+// "CorrectBench: Automatic Testbench Generation with Functional
+// Self-Correction using LLMs for HDL Design" (Qiu et al., DATE 2025).
+//
+// It bundles everything the paper's system needs, implemented on the
+// standard library only:
+//
+//   - a Verilog-2005 subset front end and four-state event-driven
+//     simulator (the Icarus Verilog stand-in),
+//   - the 156-problem CMB/SEQ benchmark dataset,
+//   - a seeded stochastic model of the evaluated LLMs,
+//   - the AutoBench and Baseline testbench generators,
+//   - the RS-matrix self-validator and two-stage self-corrector,
+//   - Algorithm 1's action agent, and
+//   - the AutoEval grading pipeline and experiment harness that
+//     regenerate every table and figure of the paper.
+//
+// This file is the public facade. The simplest entry points:
+//
+//	res, err := correctbench.GenerateTestbench("shift18", correctbench.Options{Seed: 1})
+//	grade, err := correctbench.Grade(res.Testbench, 1)
+//
+// and, for whole experiments,
+//
+//	out, err := correctbench.RunExperiment(correctbench.ExperimentConfig{Reps: 5, Seed: 42})
+//	fmt.Println(out.Table1())
+package correctbench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"correctbench/internal/autoeval"
+	"correctbench/internal/core"
+	"correctbench/internal/dataset"
+	"correctbench/internal/harness"
+	"correctbench/internal/llm"
+	"correctbench/internal/testbench"
+	"correctbench/internal/validator"
+)
+
+// Problem re-exports the dataset task type.
+type Problem = dataset.Problem
+
+// Testbench re-exports the hybrid testbench artifact.
+type Testbench = testbench.Testbench
+
+// Grade re-exports AutoEval's grade.
+type GradeLevel = autoeval.Grade
+
+// Grade levels.
+const (
+	Failed = autoeval.GradeFailed
+	Eval0  = autoeval.GradeEval0
+	Eval1  = autoeval.GradeEval1
+	Eval2  = autoeval.GradeEval2
+)
+
+// Problems returns the 156-task dataset.
+func Problems() []*Problem { return dataset.All() }
+
+// ProblemByName looks a task up by name (nil when absent).
+func ProblemByName(name string) *Problem { return dataset.ByName(name) }
+
+// Options configures a single CorrectBench task run.
+type Options struct {
+	// Seed drives every random choice; equal seeds reproduce runs
+	// exactly.
+	Seed int64
+	// LLM selects the model profile by name ("gpt-4o",
+	// "claude-3.5-sonnet", "gpt-4o-mini"); default gpt-4o.
+	LLM string
+	// Criterion selects the validation criterion ("100%-wrong",
+	// "70%-wrong", "50%-wrong"); default the paper's 70%-wrong.
+	Criterion string
+	// MaxCorrections (I_C^max), MaxReboots (I_R^max) and RTLGroupSize
+	// (N_R) default to the paper's 3 / 10 / 20.
+	MaxCorrections int
+	MaxReboots     int
+	RTLGroupSize   int
+}
+
+func (o Options) resolve() (core.Options, error) {
+	prof := llm.GPT4o()
+	if o.LLM != "" {
+		prof = llm.ByName(o.LLM)
+		if prof == nil {
+			return core.Options{}, fmt.Errorf("correctbench: unknown LLM profile %q", o.LLM)
+		}
+	}
+	opt := core.DefaultOptions(prof)
+	if o.Criterion != "" {
+		c, err := validator.CriterionByName(o.Criterion)
+		if err != nil {
+			return core.Options{}, err
+		}
+		opt.Criterion = c
+	}
+	if o.MaxCorrections > 0 {
+		opt.MaxCorrections = o.MaxCorrections
+	}
+	if o.MaxReboots > 0 {
+		opt.MaxReboots = o.MaxReboots
+	}
+	if o.RTLGroupSize > 0 {
+		opt.NR = o.RTLGroupSize
+	}
+	return opt, nil
+}
+
+// TaskResult is the outcome of one CorrectBench task.
+type TaskResult struct {
+	Testbench *Testbench
+	// Validated reports whether the final testbench was passed because
+	// the self-validator accepted it (as opposed to budget exhaustion).
+	Validated bool
+	// Corrections and Reboots count the agent's actions.
+	Corrections, Reboots int
+	// TokensIn/TokensOut are the simulated LLM token costs.
+	TokensIn, TokensOut int
+}
+
+// GenerateTestbench runs the full CorrectBench workflow (Algorithm 1)
+// on the named dataset problem.
+func GenerateTestbench(problem string, o Options) (*TaskResult, error) {
+	p := dataset.ByName(problem)
+	if p == nil {
+		return nil, fmt.Errorf("correctbench: unknown problem %q", problem)
+	}
+	return GenerateTestbenchFor(p, o)
+}
+
+// GenerateTestbenchFor is GenerateTestbench for an explicit problem
+// (including user-defined ones; see NewProblem).
+func GenerateTestbenchFor(p *Problem, o Options) (*TaskResult, error) {
+	opt, err := o.resolve()
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Run(p, opt, rand.New(rand.NewSource(o.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	return &TaskResult{
+		Testbench:   res.Testbench,
+		Validated:   res.Trace.FinalValidated,
+		Corrections: res.Trace.Corrections,
+		Reboots:     res.Trace.Reboots,
+		TokensIn:    res.Trace.Tokens.In,
+		TokensOut:   res.Trace.Tokens.Out,
+	}, nil
+}
+
+// Grade evaluates a testbench with AutoEval (Table II) and returns its
+// grade. The seed fixes the mutant fixtures.
+func Grade(tb *Testbench, seed int64) (GradeLevel, error) {
+	return autoeval.NewEvaluator(seed).Evaluate(tb)
+}
+
+// NewProblem registers nothing globally; it simply builds a custom
+// problem value usable with GenerateTestbenchFor. kind is "CMB" or
+// "SEQ"; for SEQ problems clock must be "clk" and reset names the
+// synchronous reset input ("" when the design is flushed by a load).
+func NewProblem(name, kind, spec, goldenSource, reset string, difficulty int) (*Problem, error) {
+	k := dataset.CMB
+	switch kind {
+	case "CMB":
+	case "SEQ":
+		k = dataset.SEQ
+	default:
+		return nil, fmt.Errorf("correctbench: kind must be CMB or SEQ, got %q", kind)
+	}
+	p := &Problem{
+		Name: name, Kind: k, Spec: spec, Source: goldenSource, Top: name,
+		Difficulty: difficulty, Reset: reset,
+	}
+	if k == dataset.SEQ {
+		p.Clock = "clk"
+	}
+	if _, err := p.Elaborate(); err != nil {
+		return nil, fmt.Errorf("correctbench: golden source invalid: %w", err)
+	}
+	return p, nil
+}
+
+// ExperimentConfig configures a whole-dataset experiment.
+type ExperimentConfig struct {
+	Seed int64
+	Reps int
+	// LLM and Criterion as in Options.
+	LLM       string
+	Criterion string
+	// Problems restricts the task set (default: all 156).
+	ProblemNames []string
+	// Progress receives one line per finished (method, repetition).
+	Progress io.Writer
+}
+
+// Experiment wraps harness results with the formatting helpers.
+type Experiment struct {
+	*harness.Results
+}
+
+// RunExperiment runs the three methods over the dataset and returns
+// the aggregated results (Table I / Table III / Fig. 7 panel).
+func RunExperiment(cfg ExperimentConfig) (*Experiment, error) {
+	hcfg := harness.Config{Seed: cfg.Seed, Reps: cfg.Reps, Progress: cfg.Progress}
+	if cfg.LLM != "" {
+		prof := llm.ByName(cfg.LLM)
+		if prof == nil {
+			return nil, fmt.Errorf("correctbench: unknown LLM profile %q", cfg.LLM)
+		}
+		hcfg.Profile = prof
+	}
+	if cfg.Criterion != "" {
+		c, err := validator.CriterionByName(cfg.Criterion)
+		if err != nil {
+			return nil, err
+		}
+		hcfg.Criterion = c
+	}
+	for _, n := range cfg.ProblemNames {
+		p := dataset.ByName(n)
+		if p == nil {
+			return nil, fmt.Errorf("correctbench: unknown problem %q", n)
+		}
+		hcfg.Problems = append(hcfg.Problems, p)
+	}
+	res, err := harness.Run(hcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Experiment{Results: res}, nil
+}
+
+// LLMNames lists the available model profiles.
+func LLMNames() []string {
+	var out []string
+	for _, p := range llm.Profiles() {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// CriterionNames lists the available validation criteria.
+func CriterionNames() []string {
+	var out []string
+	for _, c := range validator.Criteria() {
+		out = append(out, c.Name)
+	}
+	return out
+}

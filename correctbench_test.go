@@ -1,0 +1,93 @@
+package correctbench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProblemsAndLookup(t *testing.T) {
+	if len(Problems()) != 156 {
+		t.Fatalf("problems = %d", len(Problems()))
+	}
+	if ProblemByName("shift18") == nil || ProblemByName("bogus") != nil {
+		t.Error("lookup broken")
+	}
+}
+
+func TestGenerateAndGrade(t *testing.T) {
+	res, err := GenerateTestbench("adder4", Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Testbench == nil || res.TokensIn == 0 {
+		t.Fatal("incomplete result")
+	}
+	g, err := Grade(res.Testbench, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g < Eval0 {
+		t.Errorf("grade = %s", g)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := GenerateTestbench("adder4", Options{LLM: "gpt-9"}); err == nil {
+		t.Error("bad LLM accepted")
+	}
+	if _, err := GenerateTestbench("adder4", Options{Criterion: "99%-wrong"}); err == nil {
+		t.Error("bad criterion accepted")
+	}
+	if _, err := GenerateTestbench("nonexistent", Options{}); err == nil {
+		t.Error("bad problem accepted")
+	}
+}
+
+func TestNewProblemAndRun(t *testing.T) {
+	src := `module xor3(
+    input a,
+    input b,
+    input c,
+    output y
+);
+    assign y = a ^ b ^ c;
+endmodule
+`
+	p, err := NewProblem("xor3", "CMB", "A 3-input XOR gate: output y is the XOR of inputs a, b and c.", src, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GenerateTestbenchFor(p, Options{Seed: 2, MaxReboots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Testbench.Problem.Name != "xor3" {
+		t.Error("wrong problem attached")
+	}
+	if _, err := NewProblem("bad", "CMB", "spec", "module bad(", "", 1); err == nil {
+		t.Error("invalid golden source accepted")
+	}
+	if _, err := NewProblem("bad", "XYZ", "spec", src, "", 1); err == nil {
+		t.Error("invalid kind accepted")
+	}
+}
+
+func TestRunExperimentSubset(t *testing.T) {
+	exp, err := RunExperiment(ExperimentConfig{
+		Seed: 4, Reps: 1,
+		ProblemNames: []string{"mux2_w4", "cnt4", "halfadd", "dff"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := exp.Table1()
+	if !strings.Contains(out, "CorrectBench") {
+		t.Error("table missing method")
+	}
+}
+
+func TestNameLists(t *testing.T) {
+	if len(LLMNames()) != 3 || len(CriterionNames()) != 3 {
+		t.Errorf("lists wrong: %v %v", LLMNames(), CriterionNames())
+	}
+}

@@ -1,0 +1,255 @@
+// Package autoeval reproduces AutoEval, the evaluation methodology of
+// AutoBench/CorrectBench (Table II of the paper):
+//
+//	Failed  the testbench has syntax errors
+//	Eval0   the testbench parses (no syntax error)
+//	Eval1   Eval0, and the golden RTL passes the testbench
+//	Eval2   Eval1, and on 10 mutants of the golden RTL the testbench's
+//	        pass/fail verdicts agree with the golden testbench's on at
+//	        least 80% of the mutants
+//
+// The mutant set and the golden testbench are derived deterministically
+// per problem, so every method is graded against identical DUTs.
+package autoeval
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"correctbench/internal/dataset"
+	"correctbench/internal/mutate"
+	"correctbench/internal/sim"
+	"correctbench/internal/testbench"
+	"correctbench/internal/verilog"
+)
+
+// Grade is an AutoEval grade.
+type Grade int
+
+// Grades, ordered from worst to best.
+const (
+	GradeFailed Grade = iota
+	GradeEval0
+	GradeEval1
+	GradeEval2
+)
+
+func (g Grade) String() string {
+	switch g {
+	case GradeFailed:
+		return "Failed"
+	case GradeEval0:
+		return "Eval0"
+	case GradeEval1:
+		return "Eval1"
+	default:
+		return "Eval2"
+	}
+}
+
+// Definitions returns Table II's criterion definitions, keyed by grade.
+func Definitions() map[Grade]string {
+	return map[Grade]string{
+		GradeFailed: "codes have syntax error",
+		GradeEval0:  "codes have no syntax error",
+		GradeEval1:  "codes passed Eval0; report passed with the golden RTL code as DUT",
+		GradeEval2:  "codes passed Eval1; use mutants of golden RTL as DUTs; have the same report as the golden testbench (passed or failed)",
+	}
+}
+
+// Evaluator grades testbenches. It caches per-problem fixtures (golden
+// testbench, mutant designs, golden verdicts), so one Evaluator should
+// be shared across an experiment.
+type Evaluator struct {
+	// Mutants is the number of golden-RTL mutants (paper: 10).
+	Mutants int
+	// AgreeFrac is the verdict-agreement threshold (paper: 0.8).
+	AgreeFrac float64
+	// Seed makes fixture construction deterministic.
+	Seed int64
+
+	mu       sync.Mutex
+	fixtures map[string]*fixture
+}
+
+// NewEvaluator returns an evaluator with the paper's configuration.
+func NewEvaluator(seed int64) *Evaluator {
+	return &Evaluator{Mutants: 10, AgreeFrac: 0.8, Seed: seed}
+}
+
+type fixture struct {
+	golden        *testbench.Testbench
+	goldenDesign  *sim.Design
+	mutantDesigns []*sim.Design
+	goldenVerdict []bool // golden TB's pass verdict per mutant
+}
+
+// fixtureFor builds (or retrieves) the per-problem fixture.
+func (e *Evaluator) fixtureFor(p *dataset.Problem) (*fixture, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.fixtures == nil {
+		e.fixtures = map[string]*fixture{}
+	}
+	if f, ok := e.fixtures[p.Name]; ok {
+		return f, nil
+	}
+	rng := rand.New(rand.NewSource(e.Seed ^ int64(len(p.Name))<<32 ^ hashName(p.Name)))
+	gtb, err := testbench.Golden(p, rng)
+	if err != nil {
+		return nil, err
+	}
+	goldenDesign, err := p.Elaborate()
+	if err != nil {
+		return nil, err
+	}
+	golden, err := p.Module()
+	if err != nil {
+		return nil, err
+	}
+
+	// Mutants must be killable by the golden testbench: that is what
+	// makes them useful Eval2 probes.
+	differs := func(m *verilog.Module) (bool, error) {
+		res, err := gtb.RunAgainstSource(verilog.PrintModule(m), p.Top)
+		if err != nil {
+			return false, err
+		}
+		return !res.Pass(), nil
+	}
+	// A corner-free random probe separates subtle mutants (killed only
+	// by corner/exhaustive or directed stimuli) from gross ones. The
+	// paper's hand-extended mutant set leans subtle, which is exactly
+	// what gives Eval2 its coverage-discriminating power; we reproduce
+	// that by preferring mutants the probe misses. Sequential mutants
+	// get a long random probe: surviving it means the fault hides from
+	// random walks entirely, the class that separates thorough
+	// testbenches from thin ones.
+	probeCov := testbench.Coverage{Scenarios: 2, Steps: 4}
+	if p.Kind == dataset.SEQ {
+		probeCov = testbench.Coverage{Scenarios: 5, Steps: 10}
+	}
+	probeScs, err := testbench.GenerateScenarios(p, rng, probeCov)
+	if err != nil {
+		return nil, err
+	}
+	probe := &testbench.Testbench{
+		Problem: p, Scenarios: probeScs,
+		CheckerSource: p.Source, CheckerTop: p.Top, CheckerSticky: -1,
+	}
+	candidates := mutate.DistinctMutants(golden, rng, e.Mutants*3, 1, differs)
+	if len(candidates) < e.Mutants {
+		// Problems with few mutation sites: widen to 2-fault mutants.
+		candidates = append(candidates, mutate.DistinctMutants(golden, rng, e.Mutants*2, 2, differs)...)
+	}
+	var subtle, gross []*verilog.Module
+	for _, m := range candidates {
+		res, err := probe.RunAgainstSource(verilog.PrintModule(m), p.Top)
+		if err == nil && res.Pass() {
+			subtle = append(subtle, m)
+		} else {
+			gross = append(gross, m)
+		}
+	}
+	// Up to 70% subtle, the rest gross (mirroring the dataset's mix).
+	var mutants []*verilog.Module
+	maxSubtle := e.Mutants * 7 / 10
+	for _, m := range subtle {
+		if len(mutants) >= maxSubtle {
+			break
+		}
+		mutants = append(mutants, m)
+	}
+	for _, m := range gross {
+		if len(mutants) >= e.Mutants {
+			break
+		}
+		mutants = append(mutants, m)
+	}
+	for _, m := range subtle {
+		if len(mutants) >= e.Mutants {
+			break
+		}
+		if !containsModule(mutants, m) {
+			mutants = append(mutants, m)
+		}
+	}
+	f := &fixture{golden: gtb, goldenDesign: goldenDesign}
+	for _, m := range mutants {
+		d, err := sim.ElaborateSource(verilog.PrintModule(m), p.Top)
+		if err != nil {
+			continue
+		}
+		f.mutantDesigns = append(f.mutantDesigns, d)
+		f.goldenVerdict = append(f.goldenVerdict, false) // killable by construction
+	}
+	if len(f.mutantDesigns) == 0 {
+		return nil, fmt.Errorf("autoeval: no usable mutants for %s", p.Name)
+	}
+	e.fixtures[p.Name] = f
+	return f, nil
+}
+
+func containsModule(list []*verilog.Module, m *verilog.Module) bool {
+	for _, x := range list {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}
+
+func hashName(s string) int64 {
+	var h int64 = 1469598103934665603
+	for _, c := range s {
+		h ^= int64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Evaluate grades one testbench.
+func (e *Evaluator) Evaluate(tb *testbench.Testbench) (Grade, error) {
+	p := tb.Problem
+	if !tb.SyntaxOK() {
+		return GradeFailed, nil
+	}
+	f, err := e.fixtureFor(p)
+	if err != nil {
+		return GradeFailed, err
+	}
+
+	// Eval1: the golden RTL must pass.
+	res, err := tb.RunAgainstDesign(f.goldenDesign)
+	if err != nil || !res.Pass() {
+		return GradeEval0, nil
+	}
+
+	// Eval2: verdict agreement on the mutants.
+	agree := 0
+	for i, md := range f.mutantDesigns {
+		verdict := false
+		mres, err := tb.RunAgainstDesign(md)
+		if err == nil {
+			verdict = mres.Pass()
+		}
+		if verdict == f.goldenVerdict[i] {
+			agree++
+		}
+	}
+	if float64(agree) >= e.AgreeFrac*float64(len(f.mutantDesigns)) {
+		return GradeEval2, nil
+	}
+	return GradeEval1, nil
+}
+
+// GoldenTestbench exposes the cached golden testbench for a problem
+// (used by the validator-accuracy study to label testbenches).
+func (e *Evaluator) GoldenTestbench(p *dataset.Problem) (*testbench.Testbench, error) {
+	f, err := e.fixtureFor(p)
+	if err != nil {
+		return nil, err
+	}
+	return f.golden, nil
+}

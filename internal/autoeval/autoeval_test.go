@@ -1,0 +1,146 @@
+package autoeval
+
+import (
+	"math/rand"
+	"testing"
+
+	"correctbench/internal/dataset"
+	"correctbench/internal/mutate"
+	"correctbench/internal/testbench"
+	"correctbench/internal/verilog"
+)
+
+func TestDefinitionsComplete(t *testing.T) {
+	defs := Definitions()
+	for _, g := range []Grade{GradeFailed, GradeEval0, GradeEval1, GradeEval2} {
+		if defs[g] == "" {
+			t.Errorf("missing definition for %s", g)
+		}
+	}
+	if GradeEval2.String() != "Eval2" || GradeFailed.String() != "Failed" {
+		t.Error("grade names wrong")
+	}
+}
+
+func TestGoldenTestbenchGetsEval2(t *testing.T) {
+	e := NewEvaluator(1)
+	for _, name := range []string{"adder8", "cnt8", "det101", "mux4_w4"} {
+		p := dataset.ByName(name)
+		tb, err := e.GoldenTestbench(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := e.Evaluate(tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g != GradeEval2 {
+			t.Errorf("%s: golden TB graded %s", name, g)
+		}
+	}
+}
+
+func TestSyntaxBrokenIsFailed(t *testing.T) {
+	e := NewEvaluator(2)
+	p := dataset.ByName("adder8")
+	tb, err := e.GoldenTestbench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := *tb
+	broken.DriverSource = "module ("
+	g, err := e.Evaluate(&broken)
+	if err != nil || g != GradeFailed {
+		t.Errorf("grade = %s, %v; want Failed", g, err)
+	}
+}
+
+func TestFaultyCheckerStopsAtEval0(t *testing.T) {
+	e := NewEvaluator(3)
+	p := dataset.ByName("cnt8")
+	golden, err := p.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gtb, err := e.GoldenTestbench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find an observable fault.
+	for seed := int64(0); seed < 40; seed++ {
+		plan := mutate.NewPlan(golden, rand.New(rand.NewSource(seed)), 1)
+		mod, muts := plan.Build(golden)
+		if len(muts) == 0 {
+			continue
+		}
+		tb := &testbench.Testbench{
+			Problem: p, Scenarios: gtb.Scenarios,
+			CheckerSource: verilog.PrintModule(mod), CheckerTop: p.Top, CheckerSticky: -1,
+		}
+		tb.DriverSource = testbench.EmitDriver(tb)
+		res, err := tb.RunAgainstSource(p.Source, p.Top)
+		if err != nil || res.Pass() {
+			continue
+		}
+		g, err := e.Evaluate(tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g != GradeEval0 {
+			t.Errorf("faulty checker graded %s, want Eval0", g)
+		}
+		return
+	}
+	t.Fatal("no observable fault found")
+}
+
+func TestThinTestbenchMayMissEval2(t *testing.T) {
+	// A clean checker with almost no stimuli passes Eval1 but should
+	// fail Eval2 on at least some problems (coverage discrimination).
+	e := NewEvaluator(4)
+	rng := rand.New(rand.NewSource(9))
+	missed := 0
+	for _, p := range dataset.OfKind(dataset.SEQ) {
+		scs, err := testbench.GenerateScenarios(p, rng, testbench.Coverage{Scenarios: 1, Steps: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb := &testbench.Testbench{
+			Problem: p, Scenarios: scs,
+			CheckerSource: p.Source, CheckerTop: p.Top, CheckerSticky: -1,
+		}
+		tb.DriverSource = testbench.EmitDriver(tb)
+		g, err := e.Evaluate(tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g == GradeEval1 {
+			missed++
+		}
+		if g < GradeEval1 {
+			t.Errorf("%s: clean thin TB graded %s", p.Name, g)
+		}
+	}
+	if missed < 10 {
+		t.Errorf("thin TBs failed Eval2 on only %d SEQ problems; Eval2 has no discriminating power", missed)
+	}
+}
+
+func TestFixtureCachingIsStable(t *testing.T) {
+	e := NewEvaluator(5)
+	p := dataset.ByName("alu4")
+	f1, err := e.fixtureFor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := e.fixtureFor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Error("fixture not cached")
+	}
+	if len(f1.mutantDesigns) == 0 {
+		t.Error("no mutants in fixture")
+	}
+}

@@ -1,0 +1,203 @@
+// Package dataset provides the 156-problem benchmark suite used by the
+// CorrectBench reproduction: 81 combinational (CMB) and 75 sequential
+// (SEQ) Verilog design problems, mirroring the AutoBench/CorrectBench
+// dataset extended from VerilogEval-Human/HDLBits. Each problem carries
+// a natural-language specification (the only input the generation
+// framework is allowed to see), a golden RTL implementation, and
+// metadata used for stimulus generation.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"correctbench/internal/sim"
+	"correctbench/internal/verilog"
+)
+
+// Kind classifies problems by circuit type.
+type Kind int
+
+// Problem kinds.
+const (
+	CMB Kind = iota // combinational
+	SEQ             // sequential
+)
+
+func (k Kind) String() string {
+	if k == CMB {
+		return "CMB"
+	}
+	return "SEQ"
+}
+
+// Problem is one benchmark task.
+type Problem struct {
+	Name string
+	Kind Kind
+	// Spec is the natural-language design specification handed to the
+	// testbench generator.
+	Spec string
+	// Source is the golden RTL (never shown to the generator).
+	Source string
+	// Top is the module name.
+	Top string
+	// Clock and Reset name the clock/synchronous-reset inputs for SEQ
+	// problems (empty for CMB). Reset may be empty for reset-less
+	// designs that are flushed by loading instead.
+	Clock, Reset string
+	// Difficulty in 1..5 scales the simulated LLM's fault rates; SEQ
+	// problems are systematically harder, as in the paper.
+	Difficulty int
+
+	mu           sync.Mutex
+	cachedModule *verilog.Module
+	cachedDesign *sim.Design
+}
+
+// Module parses the golden source and returns its top module. The
+// result is cached and shared: callers must treat it as read-only
+// (mutation always goes through verilog.CloneModule).
+func (p *Problem) Module() (*verilog.Module, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cachedModule != nil {
+		return p.cachedModule, nil
+	}
+	f, err := verilog.Parse(p.Source)
+	if err != nil {
+		return nil, fmt.Errorf("dataset %s: %v", p.Name, err)
+	}
+	m := f.Module(p.Top)
+	if m == nil {
+		return nil, fmt.Errorf("dataset %s: top module %q missing", p.Name, p.Top)
+	}
+	p.cachedModule = m
+	return m, nil
+}
+
+// Elaborate parses and elaborates the golden source. The design is
+// cached and shared; sim.Design is read-only during simulation.
+func (p *Problem) Elaborate() (*sim.Design, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cachedDesign != nil {
+		return p.cachedDesign, nil
+	}
+	d, err := sim.ElaborateSource(p.Source, p.Top)
+	if err != nil {
+		return nil, err
+	}
+	p.cachedDesign = d
+	return d, nil
+}
+
+// DataInputs lists input ports excluding clock and reset, in
+// declaration order; these are the ports stimulus generators drive.
+func (p *Problem) DataInputs() ([]sim.Port, error) {
+	d, err := p.Elaborate()
+	if err != nil {
+		return nil, err
+	}
+	var out []sim.Port
+	for _, pt := range d.Ports {
+		if pt.Dir != sim.In || pt.Name == p.Clock || pt.Name == p.Reset {
+			continue
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// Outputs lists output ports in declaration order.
+func (p *Problem) Outputs() ([]sim.Port, error) {
+	d, err := p.Elaborate()
+	if err != nil {
+		return nil, err
+	}
+	var out []sim.Port
+	for _, pt := range d.Ports {
+		if pt.Dir == sim.Out {
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+var (
+	buildOnce sync.Once
+	problems  []*Problem
+	byName    map[string]*Problem
+)
+
+func build() {
+	buildOnce.Do(func() {
+		problems = append(problems, combinational()...)
+		problems = append(problems, sequential()...)
+		byName = make(map[string]*Problem, len(problems))
+		for _, p := range problems {
+			if byName[p.Name] != nil {
+				panic("dataset: duplicate problem name " + p.Name)
+			}
+			byName[p.Name] = p
+		}
+	})
+}
+
+// All returns every problem, CMB first, in a stable order.
+func All() []*Problem {
+	build()
+	return problems
+}
+
+// ByName returns the named problem, or nil.
+func ByName(name string) *Problem {
+	build()
+	return byName[name]
+}
+
+// OfKind returns all problems of the given kind.
+func OfKind(k Kind) []*Problem {
+	var out []*Problem
+	for _, p := range All() {
+		if p.Kind == k {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Names returns all problem names sorted alphabetically.
+func Names() []string {
+	out := make([]string, 0, len(All()))
+	for _, p := range All() {
+		out = append(out, p.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// problem is the internal constructor; it fills Top from the name.
+func problem(name string, kind Kind, difficulty int, spec, source string) *Problem {
+	p := &Problem{
+		Name:       name,
+		Kind:       kind,
+		Spec:       spec,
+		Source:     source,
+		Top:        name,
+		Difficulty: difficulty,
+	}
+	if kind == SEQ {
+		p.Clock = "clk"
+	}
+	return p
+}
+
+// seqProblem builds a SEQ problem with a synchronous reset input named
+// rst (pass "" for reset-less designs).
+func seqProblem(name string, difficulty int, reset, spec, source string) *Problem {
+	p := problem(name, SEQ, difficulty, spec, source)
+	p.Reset = reset
+	return p
+}

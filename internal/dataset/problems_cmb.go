@@ -1,0 +1,826 @@
+package dataset
+
+import "fmt"
+
+// vec renders a port range prefix for a width ("" for scalars).
+func vec(w int) string {
+	if w <= 1 {
+		return ""
+	}
+	return fmt.Sprintf("[%d:0] ", w-1)
+}
+
+// combinational builds the 81 CMB problems.
+func combinational() []*Problem {
+	var ps []*Problem
+	add := func(p *Problem) { ps = append(ps, p) }
+
+	// --- multiplexers (9) ---
+	for _, w := range []int{1, 4, 8, 16} {
+		name := fmt.Sprintf("mux2_w%d", w)
+		add(problem(name, CMB, 1,
+			fmt.Sprintf("A 2-to-1 multiplexer with %d-bit data inputs a and b and a select input sel. When sel is 0 the output y equals a; when sel is 1 the output y equals b.", w),
+			fmt.Sprintf(`module %s(
+    input %sa,
+    input %sb,
+    input sel,
+    output %sy
+);
+    assign y = sel ? b : a;
+endmodule
+`, name, vec(w), vec(w), vec(w))))
+	}
+	for _, w := range []int{1, 4, 8} {
+		name := fmt.Sprintf("mux4_w%d", w)
+		add(problem(name, CMB, 2,
+			fmt.Sprintf("A 4-to-1 multiplexer with four %d-bit data inputs d0, d1, d2, d3 and a 2-bit select input sel. The output y equals d0 when sel is 0, d1 when sel is 1, d2 when sel is 2 and d3 when sel is 3.", w),
+			fmt.Sprintf(`module %s(
+    input %sd0,
+    input %sd1,
+    input %sd2,
+    input %sd3,
+    input [1:0] sel,
+    output reg %sy
+);
+    always @(*) begin
+        case (sel)
+            2'd0: y = d0;
+            2'd1: y = d1;
+            2'd2: y = d2;
+            default: y = d3;
+        endcase
+    end
+endmodule
+`, name, vec(w), vec(w), vec(w), vec(w), vec(w))))
+	}
+	for _, w := range []int{1, 8} {
+		name := fmt.Sprintf("mux8_w%d", w)
+		add(problem(name, CMB, 2,
+			fmt.Sprintf("An 8-to-1 multiplexer with eight %d-bit data inputs d0 through d7 and a 3-bit select input sel. The output y equals the data input whose index matches sel.", w),
+			fmt.Sprintf(`module %s(
+    input %sd0, input %sd1, input %sd2, input %sd3,
+    input %sd4, input %sd5, input %sd6, input %sd7,
+    input [2:0] sel,
+    output reg %sy
+);
+    always @(*) begin
+        case (sel)
+            3'd0: y = d0;
+            3'd1: y = d1;
+            3'd2: y = d2;
+            3'd3: y = d3;
+            3'd4: y = d4;
+            3'd5: y = d5;
+            3'd6: y = d6;
+            default: y = d7;
+        endcase
+    end
+endmodule
+`, name, vec(w), vec(w), vec(w), vec(w), vec(w), vec(w), vec(w), vec(w), vec(w))))
+	}
+
+	// --- decoders / demux (8) ---
+	for _, n := range []int{2, 3, 4} {
+		name := fmt.Sprintf("decoder%d", n)
+		out := 1 << n
+		add(problem(name, CMB, 1,
+			fmt.Sprintf("A %d-to-%d binary decoder. The %d-bit input a selects which single bit of the %d-bit output y is set to 1; all other output bits are 0.", n, out, n, out),
+			fmt.Sprintf(`module %s(
+    input %sa,
+    output %sy
+);
+    assign y = %d'd1 << a;
+endmodule
+`, name, vec(n), vec(out), out)))
+	}
+	for _, n := range []int{2, 3} {
+		name := fmt.Sprintf("decoder%d_en", n)
+		out := 1 << n
+		add(problem(name, CMB, 2,
+			fmt.Sprintf("A %d-to-%d binary decoder with an active-high enable input en. When en is 1 the output bit selected by the %d-bit input a is 1 and all others are 0; when en is 0 the whole %d-bit output y is 0.", n, out, n, out),
+			fmt.Sprintf(`module %s(
+    input %sa,
+    input en,
+    output %sy
+);
+    assign y = en ? (%d'd1 << a) : %d'd0;
+endmodule
+`, name, vec(n), vec(out), out, out)))
+	}
+	for _, n := range []int{4, 8} {
+		name := fmt.Sprintf("demux%d", n)
+		sel := 2
+		if n == 8 {
+			sel = 3
+		}
+		add(problem(name, CMB, 2,
+			fmt.Sprintf("A 1-to-%d demultiplexer. The single-bit data input d is routed to the output bit of y selected by the %d-bit input sel; all other bits of the %d-bit output y are 0.", n, sel, n),
+			fmt.Sprintf(`module %s(
+    input d,
+    input %ssel,
+    output %sy
+);
+    assign y = d ? (%d'd1 << sel) : %d'd0;
+endmodule
+`, name, vec(sel), vec(n), n, n)))
+	}
+	add(problem("onehot_mux4", CMB, 2,
+		"A 4-to-1 one-hot multiplexer with four 4-bit data inputs d0..d3 and a 4-bit one-hot select input sel. Output y equals the data input whose select bit is set; if sel is not one-hot the result is the OR-combination of the selected inputs (standard AND-OR mux).",
+		`module onehot_mux4(
+    input [3:0] d0,
+    input [3:0] d1,
+    input [3:0] d2,
+    input [3:0] d3,
+    input [3:0] sel,
+    output [3:0] y
+);
+    assign y = ({4{sel[0]}} & d0) | ({4{sel[1]}} & d1) | ({4{sel[2]}} & d2) | ({4{sel[3]}} & d3);
+endmodule
+`))
+
+	// --- encoders (5) ---
+	add(problem("encoder4", CMB, 2,
+		"A 4-to-2 binary encoder for a one-hot input. The 4-bit input a has exactly one bit set; the 2-bit output y is the index of that bit. For input 4'b0001 y is 0, for 4'b0010 y is 1, for 4'b0100 y is 2 and for 4'b1000 y is 3. For any other input y is 0.",
+		`module encoder4(
+    input [3:0] a,
+    output reg [1:0] y
+);
+    always @(*) begin
+        case (a)
+            4'b0001: y = 2'd0;
+            4'b0010: y = 2'd1;
+            4'b0100: y = 2'd2;
+            4'b1000: y = 2'd3;
+            default: y = 2'd0;
+        endcase
+    end
+endmodule
+`))
+	add(problem("encoder8", CMB, 2,
+		"An 8-to-3 binary encoder for a one-hot input. The 8-bit input a has exactly one bit set and the 3-bit output y gives the index of that bit; for any input that is not one-hot, y is 0.",
+		`module encoder8(
+    input [7:0] a,
+    output reg [2:0] y
+);
+    always @(*) begin
+        case (a)
+            8'b00000001: y = 3'd0;
+            8'b00000010: y = 3'd1;
+            8'b00000100: y = 3'd2;
+            8'b00001000: y = 3'd3;
+            8'b00010000: y = 3'd4;
+            8'b00100000: y = 3'd5;
+            8'b01000000: y = 3'd6;
+            8'b10000000: y = 3'd7;
+            default: y = 3'd0;
+        endcase
+    end
+endmodule
+`))
+	for _, n := range []int{4, 8, 16} {
+		name := fmt.Sprintf("prio_enc%d", n)
+		sel := 2
+		if n == 8 {
+			sel = 3
+		} else if n == 16 {
+			sel = 4
+		}
+		body := ""
+		for i := n - 1; i >= 0; i-- {
+			pat := make([]byte, n)
+			for j := range pat {
+				pat[j] = '?'
+			}
+			pat[n-1-i] = '1'
+			for j := 0; j < n-1-i; j++ {
+				pat[j] = '0'
+			}
+			body += fmt.Sprintf("            %d'b%s: begin idx = %d'd%d; valid = 1'b1; end\n", n, string(pat), sel, i)
+		}
+		add(problem(name, CMB, 3,
+			fmt.Sprintf("A %d-bit priority encoder. The output idx is the index of the highest-numbered 1 bit of the input req, and valid is 1 when at least one request bit is set. When req is all zero, idx is 0 and valid is 0.", n),
+			fmt.Sprintf(`module %s(
+    input %sreq,
+    output reg %sidx,
+    output reg valid
+);
+    always @(*) begin
+        casez (req)
+%s            default: begin idx = %d'd0; valid = 1'b0; end
+        endcase
+    end
+endmodule
+`, name, vec(n), vec(sel), body, sel)))
+	}
+
+	// --- adders and arithmetic (12) ---
+	add(problem("halfadd", CMB, 1,
+		"A half adder. Inputs a and b are single bits; output s is their sum bit (a XOR b) and output c is the carry (a AND b).",
+		`module halfadd(
+    input a,
+    input b,
+    output s,
+    output c
+);
+    assign s = a ^ b;
+    assign c = a & b;
+endmodule
+`))
+	add(problem("fulladd", CMB, 1,
+		"A full adder. Inputs a, b and cin are single bits; output s is the sum bit and cout is the carry out, so {cout, s} equals a + b + cin.",
+		`module fulladd(
+    input a,
+    input b,
+    input cin,
+    output s,
+    output cout
+);
+    assign {cout, s} = a + b + cin;
+endmodule
+`))
+	for _, w := range []int{4, 8, 16} {
+		name := fmt.Sprintf("adder%d", w)
+		add(problem(name, CMB, 2,
+			fmt.Sprintf("A %d-bit ripple-carry style adder with carry in and carry out. Inputs a and b are %d-bit unsigned values and cin is a single carry bit; {cout, sum} equals a + b + cin.", w, w),
+			fmt.Sprintf(`module %s(
+    input %sa,
+    input %sb,
+    input cin,
+    output %ssum,
+    output cout
+);
+    assign {cout, sum} = a + b + cin;
+endmodule
+`, name, vec(w), vec(w), vec(w))))
+	}
+	add(problem("addsub8", CMB, 3,
+		"An 8-bit adder-subtractor. When the mode input sub is 0 the output y is a + b; when sub is 1 the output y is a - b. The result wraps modulo 256 and no carry/borrow is reported.",
+		`module addsub8(
+    input [7:0] a,
+    input [7:0] b,
+    input sub,
+    output [7:0] y
+);
+    assign y = sub ? (a - b) : (a + b);
+endmodule
+`))
+	add(problem("inc8", CMB, 1,
+		"An 8-bit incrementer: the output y equals the input a plus one, wrapping from 255 back to 0.",
+		`module inc8(
+    input [7:0] a,
+    output [7:0] y
+);
+    assign y = a + 8'd1;
+endmodule
+`))
+	add(problem("dec8", CMB, 1,
+		"An 8-bit decrementer: the output y equals the input a minus one, wrapping from 0 to 255.",
+		`module dec8(
+    input [7:0] a,
+    output [7:0] y
+);
+    assign y = a - 8'd1;
+endmodule
+`))
+	for _, w := range []int{4, 8} {
+		name := fmt.Sprintf("sub%d", w)
+		add(problem(name, CMB, 2,
+			fmt.Sprintf("A %d-bit subtractor with borrow out. diff is a - b modulo %d, and borrow is 1 when b is greater than a.", w, 1<<w),
+			fmt.Sprintf(`module %s(
+    input %sa,
+    input %sb,
+    output %sdiff,
+    output borrow
+);
+    assign diff = a - b;
+    assign borrow = b > a;
+endmodule
+`, name, vec(w), vec(w), vec(w))))
+	}
+	add(problem("mult4x4", CMB, 3,
+		"A 4x4 unsigned multiplier: the 8-bit output p is the product of the 4-bit unsigned inputs a and b.",
+		`module mult4x4(
+    input [3:0] a,
+    input [3:0] b,
+    output [7:0] p
+);
+    assign p = a * b;
+endmodule
+`))
+	add(problem("satadd4", CMB, 3,
+		"A 4-bit saturating adder: the output y is a + b, but if the true sum exceeds 15 the output saturates at 15 instead of wrapping.",
+		`module satadd4(
+    input [3:0] a,
+    input [3:0] b,
+    output [3:0] y
+);
+    wire [4:0] full;
+    assign full = a + b;
+    assign y = full[4] ? 4'd15 : full[3:0];
+endmodule
+`))
+
+	// --- comparators (6) ---
+	for _, w := range []int{4, 8} {
+		name := fmt.Sprintf("cmp_eq%d", w)
+		add(problem(name, CMB, 1,
+			fmt.Sprintf("A %d-bit equality comparator: output eq is 1 exactly when inputs a and b are equal.", w),
+			fmt.Sprintf(`module %s(
+    input %sa,
+    input %sb,
+    output eq
+);
+    assign eq = a == b;
+endmodule
+`, name, vec(w), vec(w))))
+	}
+	for _, w := range []int{4, 8} {
+		name := fmt.Sprintf("cmp_lt%d", w)
+		add(problem(name, CMB, 2,
+			fmt.Sprintf("A %d-bit unsigned magnitude comparator: output lt is 1 exactly when a is strictly less than b (unsigned).", w),
+			fmt.Sprintf(`module %s(
+    input %sa,
+    input %sb,
+    output lt
+);
+    assign lt = a < b;
+endmodule
+`, name, vec(w), vec(w))))
+	}
+	for _, w := range []int{4, 8} {
+		name := fmt.Sprintf("cmp_full%d", w)
+		add(problem(name, CMB, 2,
+			fmt.Sprintf("A full %d-bit unsigned comparator with three outputs: lt is 1 when a < b, eq is 1 when a equals b, and gt is 1 when a > b. Exactly one output is 1 for any input pair.", w),
+			fmt.Sprintf(`module %s(
+    input %sa,
+    input %sb,
+    output lt,
+    output eq,
+    output gt
+);
+    assign lt = a < b;
+    assign eq = a == b;
+    assign gt = a > b;
+endmodule
+`, name, vec(w), vec(w))))
+	}
+
+	// --- parity / counting (7) ---
+	for _, w := range []int{8, 16} {
+		for _, odd := range []bool{false, true} {
+			kind, op := "even", ""
+			if odd {
+				kind, op = "odd", "~"
+			}
+			name := fmt.Sprintf("parity_%s%d", kind, w)
+			add(problem(name, CMB, 1,
+				fmt.Sprintf("A %d-bit %s-parity generator: output p is the %s parity of input a, i.e. p is chosen so that the XOR of all input bits %s.", w, kind, kind,
+					map[bool]string{false: "equals p (p = XOR reduction of a)", true: "XORed with p is 1 (p = NOT of the XOR reduction of a)"}[odd]),
+				fmt.Sprintf(`module %s(
+    input %sa,
+    output p
+);
+    assign p = %s(^a);
+endmodule
+`, name, vec(w), op)))
+		}
+	}
+	for _, w := range []int{4, 8, 16} {
+		name := fmt.Sprintf("popcount%d", w)
+		ow := 3
+		if w == 8 {
+			ow = 4
+		} else if w == 16 {
+			ow = 5
+		}
+		add(problem(name, CMB, 3,
+			fmt.Sprintf("A %d-bit population counter: output n is the number of 1 bits in the input a.", w),
+			fmt.Sprintf(`module %s(
+    input %sa,
+    output reg %sn
+);
+    integer i;
+    always @(*) begin
+        n = %d'd0;
+        for (i = 0; i < %d; i = i + 1)
+            if (a[i]) n = n + %d'd1;
+    end
+endmodule
+`, name, vec(w), vec(ow), ow, w, ow)))
+	}
+
+	// --- gray code (3) ---
+	for _, w := range []int{4, 8} {
+		name := fmt.Sprintf("gray_enc%d", w)
+		add(problem(name, CMB, 2,
+			fmt.Sprintf("A %d-bit binary-to-Gray encoder: the output g equals the input b XOR (b shifted right by one).", w),
+			fmt.Sprintf(`module %s(
+    input %sb,
+    output %sg
+);
+    assign g = b ^ (b >> 1);
+endmodule
+`, name, vec(w), vec(w))))
+	}
+	add(problem("gray_dec4", CMB, 3,
+		"A 4-bit Gray-to-binary decoder. Bit 3 of the output b equals bit 3 of the Gray input g; each lower output bit is the XOR of the corresponding Gray bit and the next higher binary bit.",
+		`module gray_dec4(
+    input [3:0] g,
+    output [3:0] b
+);
+    assign b[3] = g[3];
+    assign b[2] = b[3] ^ g[2];
+    assign b[1] = b[2] ^ g[1];
+    assign b[0] = b[1] ^ g[0];
+endmodule
+`))
+
+	// --- bitwise units (4) ---
+	for _, op := range []struct{ name, spec, expr string }{
+		{"bitwise_and8", "the bitwise AND of a and b", "a & b"},
+		{"bitwise_or8", "the bitwise OR of a and b", "a | b"},
+		{"bitwise_xor8", "the bitwise XOR of a and b", "a ^ b"},
+		{"bitwise_not8", "the bitwise complement of a (input b is unused)", "~a"},
+	} {
+		add(problem(op.name, CMB, 1,
+			fmt.Sprintf("An 8-bit bitwise unit: the output y is %s.", op.spec),
+			fmt.Sprintf(`module %s(
+    input [7:0] a,
+    input [7:0] b,
+    output [7:0] y
+);
+    assign y = %s;
+endmodule
+`, op.name, op.expr)))
+	}
+
+	// --- shifters / rotates (6) ---
+	add(problem("barrel_l8", CMB, 3,
+		"An 8-bit logical left barrel shifter: output y is input a shifted left by the 3-bit amount sh, with zeros filling the vacated low bits.",
+		`module barrel_l8(
+    input [7:0] a,
+    input [2:0] sh,
+    output [7:0] y
+);
+    assign y = a << sh;
+endmodule
+`))
+	add(problem("barrel_r8", CMB, 3,
+		"An 8-bit logical right barrel shifter: output y is input a shifted right by the 3-bit amount sh, with zeros filling the vacated high bits.",
+		`module barrel_r8(
+    input [7:0] a,
+    input [2:0] sh,
+    output [7:0] y
+);
+    assign y = a >> sh;
+endmodule
+`))
+	add(problem("barrel_asr8", CMB, 3,
+		"An 8-bit arithmetic right shifter: output y is input a shifted right by the 3-bit amount sh, with the sign bit a[7] replicated into the vacated high bits.",
+		`module barrel_asr8(
+    input [7:0] a,
+    input [2:0] sh,
+    output [7:0] y
+);
+    assign y = ({8{a[7]}} << (4'd8 - {1'b0, sh})) | (a >> sh);
+endmodule
+`))
+	add(problem("rotl8", CMB, 3,
+		"An 8-bit left rotator: output y is input a rotated left by the 3-bit amount sh; bits shifted out of the top re-enter at the bottom.",
+		`module rotl8(
+    input [7:0] a,
+    input [2:0] sh,
+    output [7:0] y
+);
+    assign y = (a << sh) | (a >> (4'd8 - {1'b0, sh}));
+endmodule
+`))
+	add(problem("rotr8", CMB, 3,
+		"An 8-bit right rotator: output y is input a rotated right by the 3-bit amount sh; bits shifted out of the bottom re-enter at the top.",
+		`module rotr8(
+    input [7:0] a,
+    input [2:0] sh,
+    output [7:0] y
+);
+    assign y = (a >> sh) | (a << (4'd8 - {1'b0, sh}));
+endmodule
+`))
+	// --- ALUs (2) ---
+	add(problem("alu4", CMB, 3,
+		"A 4-bit ALU with a 2-bit operation select op: op 0 adds a and b, op 1 subtracts b from a, op 2 is bitwise AND and op 3 is bitwise OR. The output zero is 1 when the 4-bit result y is zero.",
+		`module alu4(
+    input [3:0] a,
+    input [3:0] b,
+    input [1:0] op,
+    output reg [3:0] y,
+    output zero
+);
+    always @(*) begin
+        case (op)
+            2'd0: y = a + b;
+            2'd1: y = a - b;
+            2'd2: y = a & b;
+            default: y = a | b;
+        endcase
+    end
+    assign zero = y == 4'd0;
+endmodule
+`))
+	add(problem("alu8", CMB, 4,
+		"An 8-bit ALU with a 3-bit operation select op: 0 add, 1 subtract, 2 AND, 3 OR, 4 XOR, 5 shift a left by one, 6 shift a right by one (logical), 7 set-less-than (y is 1 when a < b unsigned, else 0). Output zero is 1 when the result y is zero.",
+		`module alu8(
+    input [7:0] a,
+    input [7:0] b,
+    input [2:0] op,
+    output reg [7:0] y,
+    output zero
+);
+    always @(*) begin
+        case (op)
+            3'd0: y = a + b;
+            3'd1: y = a - b;
+            3'd2: y = a & b;
+            3'd3: y = a | b;
+            3'd4: y = a ^ b;
+            3'd5: y = a << 1;
+            3'd6: y = a >> 1;
+            default: y = (a < b) ? 8'd1 : 8'd0;
+        endcase
+    end
+    assign zero = y == 8'd0;
+endmodule
+`))
+
+	// --- misc logic (3) ---
+	add(problem("majority3", CMB, 1,
+		"A 3-input majority gate: output y is 1 when at least two of the inputs a, b and c are 1.",
+		`module majority3(
+    input a,
+    input b,
+    input c,
+    output y
+);
+    assign y = (a & b) | (a & c) | (b & c);
+endmodule
+`))
+	add(problem("aoi22", CMB, 1,
+		"A 2-2 AND-OR-INVERT gate: output y is the complement of ((a AND b) OR (c AND d)).",
+		`module aoi22(
+    input a,
+    input b,
+    input c,
+    input d,
+    output y
+);
+    assign y = ~((a & b) | (c & d));
+endmodule
+`))
+	// --- width/format converters (5) ---
+	add(problem("signext4_8", CMB, 2,
+		"A sign extender from 4 to 8 bits: the output y replicates bit 3 of the input a into the four upper output bits and copies a into the lower four bits.",
+		`module signext4_8(
+    input [3:0] a,
+    output [7:0] y
+);
+    assign y = {{4{a[3]}}, a};
+endmodule
+`))
+	add(problem("zeroext4_8", CMB, 1,
+		"A zero extender from 4 to 8 bits: the output y has the input a in its lower four bits and zeros in the upper four bits.",
+		`module zeroext4_8(
+    input [3:0] a,
+    output [7:0] y
+);
+    assign y = {4'b0000, a};
+endmodule
+`))
+	add(problem("byteswap16", CMB, 2,
+		"A 16-bit byte swapper: the output y exchanges the two bytes of the input a, so y[15:8] is a[7:0] and y[7:0] is a[15:8].",
+		`module byteswap16(
+    input [15:0] a,
+    output [15:0] y
+);
+    assign y = {a[7:0], a[15:8]};
+endmodule
+`))
+	add(problem("nibswap8", CMB, 1,
+		"An 8-bit nibble swapper: the output y exchanges the two 4-bit halves of input a.",
+		`module nibswap8(
+    input [7:0] a,
+    output [7:0] y
+);
+    assign y = {a[3:0], a[7:4]};
+endmodule
+`))
+	add(problem("revbits8", CMB, 2,
+		"An 8-bit bit reverser: output bit i of y equals input bit 7-i of a.",
+		`module revbits8(
+    input [7:0] a,
+    output [7:0] y
+);
+    assign y = {a[0], a[1], a[2], a[3], a[4], a[5], a[6], a[7]};
+endmodule
+`))
+
+	// --- min/max/abs (3) ---
+	add(problem("min8", CMB, 2,
+		"An 8-bit unsigned minimum unit: output y is the smaller of inputs a and b.",
+		`module min8(
+    input [7:0] a,
+    input [7:0] b,
+    output [7:0] y
+);
+    assign y = (a < b) ? a : b;
+endmodule
+`))
+	add(problem("max8", CMB, 2,
+		"An 8-bit unsigned maximum unit: output y is the larger of inputs a and b.",
+		`module max8(
+    input [7:0] a,
+    input [7:0] b,
+    output [7:0] y
+);
+    assign y = (a > b) ? a : b;
+endmodule
+`))
+	add(problem("abs8", CMB, 3,
+		"An 8-bit absolute-value unit for two's-complement inputs: when bit 7 of a is 1 the output y is the two's complement negation of a, otherwise y equals a.",
+		`module abs8(
+    input [7:0] a,
+    output [7:0] y
+);
+    assign y = a[7] ? (~a + 8'd1) : a;
+endmodule
+`))
+
+	// --- truth tables (3) ---
+	add(problem("lut3_a", CMB, 2,
+		"A 3-input combinational function given by its truth table: y is 1 for input combinations {a,b,c} = 011, 101, 110 and 111 (i.e. the carry function of a full adder), otherwise 0.",
+		`module lut3_a(
+    input a,
+    input b,
+    input c,
+    output reg y
+);
+    always @(*) begin
+        case ({a, b, c})
+            3'b011: y = 1'b1;
+            3'b101: y = 1'b1;
+            3'b110: y = 1'b1;
+            3'b111: y = 1'b1;
+            default: y = 1'b0;
+        endcase
+    end
+endmodule
+`))
+	add(problem("lut3_b", CMB, 2,
+		"A 3-input combinational function given by its truth table: y is 1 for input combinations {a,b,c} = 001, 010, 100 and 111 (the odd-parity function), otherwise 0.",
+		`module lut3_b(
+    input a,
+    input b,
+    input c,
+    output reg y
+);
+    always @(*) begin
+        case ({a, b, c})
+            3'b001: y = 1'b1;
+            3'b010: y = 1'b1;
+            3'b100: y = 1'b1;
+            3'b111: y = 1'b1;
+            default: y = 1'b0;
+        endcase
+    end
+endmodule
+`))
+	add(problem("lut3_c", CMB, 2,
+		"A 3-input combinational function given by its truth table: y is 1 for input combinations {a,b,c} = 000, 011, 101 and 110, otherwise 0 (the even-parity function).",
+		`module lut3_c(
+    input a,
+    input b,
+    input c,
+    output reg y
+);
+    always @(*) begin
+        case ({a, b, c})
+            3'b000: y = 1'b1;
+            3'b011: y = 1'b1;
+            3'b101: y = 1'b1;
+            3'b110: y = 1'b1;
+            default: y = 1'b0;
+        endcase
+    end
+endmodule
+`))
+
+	// --- detectors / checkers (5) ---
+	add(problem("range_det8", CMB, 2,
+		"An 8-bit range detector: output inside is 1 when the unsigned input x is between 50 and 200 inclusive.",
+		`module range_det8(
+    input [7:0] x,
+    output inside,
+    output outside
+);
+    assign inside = (x >= 8'd50) && (x <= 8'd200);
+    assign outside = ~inside;
+endmodule
+`))
+	add(problem("onehot4_check", CMB, 3,
+		"A 4-bit one-hot checker: output onehot is 1 exactly when the input a has exactly one bit set.",
+		`module onehot4_check(
+    input [3:0] a,
+    output reg onehot
+);
+    always @(*) begin
+        case (a)
+            4'b0001: onehot = 1'b1;
+            4'b0010: onehot = 1'b1;
+            4'b0100: onehot = 1'b1;
+            4'b1000: onehot = 1'b1;
+            default: onehot = 1'b0;
+        endcase
+    end
+endmodule
+`))
+	add(problem("bin2onehot4", CMB, 1,
+		"A 2-to-4 binary-to-one-hot converter: output y has exactly the bit indexed by the 2-bit input a set.",
+		`module bin2onehot4(
+    input [1:0] a,
+    output [3:0] y
+);
+    assign y = 4'd1 << a;
+endmodule
+`))
+	add(problem("clz8", CMB, 4,
+		"An 8-bit count-leading-zeros unit: output n is the number of consecutive 0 bits at the most-significant end of input a; for a = 0, n is 8.",
+		`module clz8(
+    input [7:0] a,
+    output reg [3:0] n
+);
+    always @(*) begin
+        casez (a)
+            8'b1???????: n = 4'd0;
+            8'b01??????: n = 4'd1;
+            8'b001?????: n = 4'd2;
+            8'b0001????: n = 4'd3;
+            8'b00001???: n = 4'd4;
+            8'b000001??: n = 4'd5;
+            8'b0000001?: n = 4'd6;
+            8'b00000001: n = 4'd7;
+            default: n = 4'd8;
+        endcase
+    end
+endmodule
+`))
+	add(problem("bcd_valid", CMB, 2,
+		"A BCD digit validator: output valid is 1 when the 4-bit input d encodes a decimal digit (0 through 9) and 0 for values 10 through 15.",
+		`module bcd_valid(
+    input [3:0] d,
+    output valid
+);
+    assign valid = d < 4'd10;
+endmodule
+`))
+
+	// --- display / merge (2) ---
+	add(problem("sevenseg", CMB, 4,
+		"A seven-segment decoder for hexadecimal digits. The 4-bit input d selects the active-high segment pattern on the 7-bit output seg, ordered {g,f,e,d,c,b,a}, using the standard patterns for digits 0-9 and A-F (e.g. 0 lights segments a-f giving 7'b0111111; 1 lights b and c giving 7'b0000110).",
+		`module sevenseg(
+    input [3:0] d,
+    output reg [6:0] seg
+);
+    always @(*) begin
+        case (d)
+            4'h0: seg = 7'b0111111;
+            4'h1: seg = 7'b0000110;
+            4'h2: seg = 7'b1011011;
+            4'h3: seg = 7'b1001111;
+            4'h4: seg = 7'b1100110;
+            4'h5: seg = 7'b1101101;
+            4'h6: seg = 7'b1111101;
+            4'h7: seg = 7'b0000111;
+            4'h8: seg = 7'b1111111;
+            4'h9: seg = 7'b1101111;
+            4'ha: seg = 7'b1110111;
+            4'hb: seg = 7'b1111100;
+            4'hc: seg = 7'b0111001;
+            4'hd: seg = 7'b1011110;
+            4'he: seg = 7'b1111001;
+            default: seg = 7'b1110001;
+        endcase
+    end
+endmodule
+`))
+	add(problem("mask_merge8", CMB, 2,
+		"An 8-bit mask merger: for each bit position, the output y takes the bit from input a where the mask m is 1 and from input b where the mask is 0.",
+		`module mask_merge8(
+    input [7:0] a,
+    input [7:0] b,
+    input [7:0] m,
+    output [7:0] y
+);
+    assign y = (a & m) | (b & ~m);
+endmodule
+`))
+
+	return ps
+}

@@ -1,0 +1,1261 @@
+package dataset
+
+import "fmt"
+
+// sequential builds the 75 SEQ problems. All clocks are named clk and
+// all resets are synchronous and active-high (named rst) unless a
+// problem states otherwise in its spec.
+func sequential() []*Problem {
+	var ps []*Problem
+	add := func(p *Problem) { ps = append(ps, p) }
+
+	// --- flip-flops and registers (9) ---
+	add(seqProblem("dff", 2, "",
+		"A positive-edge-triggered D flip-flop: on every rising edge of clk the output q takes the value of input d.",
+		`module dff(
+    input clk,
+    input d,
+    output reg q
+);
+    always @(posedge clk) q <= d;
+endmodule
+`))
+	add(seqProblem("dff_en", 2, "",
+		"A D flip-flop with clock enable: on a rising clk edge, q takes the value of d when en is 1 and holds its value when en is 0.",
+		`module dff_en(
+    input clk,
+    input en,
+    input d,
+    output reg q
+);
+    always @(posedge clk) begin
+        if (en) q <= d;
+    end
+endmodule
+`))
+	add(seqProblem("dff_rst", 2, "rst",
+		"A D flip-flop with synchronous active-high reset: on a rising clk edge, q becomes 0 when rst is 1, otherwise q takes the value of d.",
+		`module dff_rst(
+    input clk,
+    input rst,
+    input d,
+    output reg q
+);
+    always @(posedge clk) begin
+        if (rst) q <= 1'b0;
+        else q <= d;
+    end
+endmodule
+`))
+	add(seqProblem("dff_set", 2, "",
+		"A D flip-flop with synchronous set: on a rising clk edge, q becomes 1 when set is 1, otherwise q takes the value of d.",
+		`module dff_set(
+    input clk,
+    input set,
+    input d,
+    output reg q
+);
+    always @(posedge clk) begin
+        if (set) q <= 1'b1;
+        else q <= d;
+    end
+endmodule
+`))
+	add(seqProblem("dff_en_rst", 3, "rst",
+		"A D flip-flop with synchronous reset and clock enable. On a rising clk edge: if rst is 1 the output q becomes 0; otherwise if en is 1 q takes d; otherwise q holds. Reset has priority over enable.",
+		`module dff_en_rst(
+    input clk,
+    input rst,
+    input en,
+    input d,
+    output reg q
+);
+    always @(posedge clk) begin
+        if (rst) q <= 1'b0;
+        else if (en) q <= d;
+    end
+endmodule
+`))
+	add(seqProblem("reg8_en", 2, "rst",
+		"An 8-bit register with synchronous reset and write enable. On a rising clk edge: rst clears the register to 0; otherwise en loads the 8-bit input d; otherwise the value is held. The stored value appears on output q.",
+		`module reg8_en(
+    input clk,
+    input rst,
+    input en,
+    input [7:0] d,
+    output reg [7:0] q
+);
+    always @(posedge clk) begin
+        if (rst) q <= 8'd0;
+        else if (en) q <= d;
+    end
+endmodule
+`))
+	add(seqProblem("reg8_clr", 2, "",
+		"An 8-bit register with synchronous clear: on a rising clk edge the register loads d, unless clr is 1 in which case it is cleared to 0. The stored value appears on output q.",
+		`module reg8_clr(
+    input clk,
+    input clr,
+    input [7:0] d,
+    output reg [7:0] q
+);
+    always @(posedge clk) begin
+        if (clr) q <= 8'd0;
+        else q <= d;
+    end
+endmodule
+`))
+	add(seqProblem("reg4_gated", 3, "rst",
+		"A 4-bit register with two gated write ports. On a rising clk edge: rst clears q to 0; otherwise if wa is 1 q loads da; otherwise if wb is 1 q loads db; otherwise q holds. Port a has priority over port b.",
+		`module reg4_gated(
+    input clk,
+    input rst,
+    input wa,
+    input [3:0] da,
+    input wb,
+    input [3:0] db,
+    output reg [3:0] q
+);
+    always @(posedge clk) begin
+        if (rst) q <= 4'd0;
+        else if (wa) q <= da;
+        else if (wb) q <= db;
+    end
+endmodule
+`))
+	add(seqProblem("dff_neg", 3, "",
+		"A negative-edge-triggered D flip-flop: on every falling edge of clk the output q takes the value of input d.",
+		`module dff_neg(
+    input clk,
+    input d,
+    output reg q
+);
+    always @(negedge clk) q <= d;
+endmodule
+`))
+
+	// --- counters (13) ---
+	for _, w := range []int{4, 8} {
+		name := fmt.Sprintf("cnt%d", w)
+		add(seqProblem(name, 2, "rst",
+			fmt.Sprintf("A %d-bit up counter with synchronous reset: on a rising clk edge the count q increments by 1, or is cleared to 0 when rst is 1. The counter wraps around at its maximum value.", w),
+			fmt.Sprintf(`module %s(
+    input clk,
+    input rst,
+    output reg %sq
+);
+    always @(posedge clk) begin
+        if (rst) q <= %d'd0;
+        else q <= q + %d'd1;
+    end
+endmodule
+`, name, vec(w), w, w)))
+	}
+	add(seqProblem("cnt4_down", 2, "rst",
+		"A 4-bit down counter with synchronous reset: rst sets the count q to 15; otherwise q decrements by 1 on each rising clk edge, wrapping from 0 back to 15.",
+		`module cnt4_down(
+    input clk,
+    input rst,
+    output reg [3:0] q
+);
+    always @(posedge clk) begin
+        if (rst) q <= 4'd15;
+        else q <= q - 4'd1;
+    end
+endmodule
+`))
+	add(seqProblem("cnt8_updown", 3, "rst",
+		"An 8-bit up/down counter: rst clears q to 0; otherwise on each rising clk edge q increments when up is 1 and decrements when up is 0, wrapping in both directions.",
+		`module cnt8_updown(
+    input clk,
+    input rst,
+    input up,
+    output reg [7:0] q
+);
+    always @(posedge clk) begin
+        if (rst) q <= 8'd0;
+        else if (up) q <= q + 8'd1;
+        else q <= q - 8'd1;
+    end
+endmodule
+`))
+	for _, mod := range []int{5, 10, 12} {
+		name := fmt.Sprintf("mod%d", mod)
+		add(seqProblem(name, 3, "rst",
+			fmt.Sprintf("A modulo-%d counter with synchronous reset: the 4-bit count q steps 0, 1, ..., %d, 0, ... on rising clk edges; rst returns it to 0. Output tc (terminal count) is 1 during the cycle when q equals %d.", mod, mod-1, mod-1),
+			fmt.Sprintf(`module %s(
+    input clk,
+    input rst,
+    output reg [3:0] q,
+    output tc
+);
+    always @(posedge clk) begin
+        if (rst) q <= 4'd0;
+        else if (q == 4'd%d) q <= 4'd0;
+        else q <= q + 4'd1;
+    end
+    assign tc = q == 4'd%d;
+endmodule
+`, name, mod-1, mod-1)))
+	}
+	add(seqProblem("cnt_en4", 2, "rst",
+		"A 4-bit counter with enable: rst clears the count; otherwise the count increments on rising clk edges only while en is 1.",
+		`module cnt_en4(
+    input clk,
+    input rst,
+    input en,
+    output reg [3:0] q
+);
+    always @(posedge clk) begin
+        if (rst) q <= 4'd0;
+        else if (en) q <= q + 4'd1;
+    end
+endmodule
+`))
+	add(seqProblem("cnt_sat4", 3, "rst",
+		"A 4-bit saturating counter: rst clears the count to 0; otherwise the count increments on each rising clk edge until it reaches 15, where it stays (no wrap-around).",
+		`module cnt_sat4(
+    input clk,
+    input rst,
+    output reg [3:0] q
+);
+    always @(posedge clk) begin
+        if (rst) q <= 4'd0;
+        else if (q != 4'd15) q <= q + 4'd1;
+    end
+endmodule
+`))
+	add(seqProblem("updown_sat4", 4, "rst",
+		"A 4-bit saturating up/down counter: rst clears to 0; otherwise on rising clk edges the count increments when up is 1 (saturating at 15) and decrements when up is 0 (saturating at 0).",
+		`module updown_sat4(
+    input clk,
+    input rst,
+    input up,
+    output reg [3:0] q
+);
+    always @(posedge clk) begin
+        if (rst) q <= 4'd0;
+        else if (up && q != 4'd15) q <= q + 4'd1;
+        else if (!up && q != 4'd0) q <= q - 4'd1;
+    end
+endmodule
+`))
+	add(seqProblem("bcd2", 4, "rst",
+		"A two-digit BCD counter: the low digit ones counts 0-9 and rolls over into the high digit tens, which also counts 0-9; the counter counts 00 to 99 and wraps to 00. rst clears both digits.",
+		`module bcd2(
+    input clk,
+    input rst,
+    output reg [3:0] ones,
+    output reg [3:0] tens
+);
+    always @(posedge clk) begin
+        if (rst) begin
+            ones <= 4'd0;
+            tens <= 4'd0;
+        end else if (ones == 4'd9) begin
+            ones <= 4'd0;
+            if (tens == 4'd9) tens <= 4'd0;
+            else tens <= tens + 4'd1;
+        end else begin
+            ones <= ones + 4'd1;
+        end
+    end
+endmodule
+`))
+	add(seqProblem("gray_cnt4", 4, "rst",
+		"A 4-bit Gray-code counter: rst clears the state; otherwise on each rising clk edge the output g steps through the reflected Gray sequence 0000, 0001, 0011, 0010, 0110, ... (the Gray encoding of an internal binary counter).",
+		`module gray_cnt4(
+    input clk,
+    input rst,
+    output [3:0] g
+);
+    reg [3:0] bin;
+    always @(posedge clk) begin
+        if (rst) bin <= 4'd0;
+        else bin <= bin + 4'd1;
+    end
+    assign g = bin ^ (bin >> 1);
+endmodule
+`))
+	add(seqProblem("ring4", 3, "rst",
+		"A 4-bit ring counter: rst loads the pattern 0001; afterwards the single 1 bit rotates one position toward the MSB on every rising clk edge, wrapping from bit 3 back to bit 0.",
+		`module ring4(
+    input clk,
+    input rst,
+    output reg [3:0] q
+);
+    always @(posedge clk) begin
+        if (rst) q <= 4'b0001;
+        else q <= {q[2:0], q[3]};
+    end
+endmodule
+`))
+	add(seqProblem("johnson4", 4, "rst",
+		"A 4-bit Johnson (twisted-ring) counter: rst clears the register; afterwards on each rising clk edge the register shifts toward the MSB with the complement of the MSB entering at the LSB, producing the 8-state Johnson sequence.",
+		`module johnson4(
+    input clk,
+    input rst,
+    output reg [3:0] q
+);
+    always @(posedge clk) begin
+        if (rst) q <= 4'd0;
+        else q <= {q[2:0], ~q[3]};
+    end
+endmodule
+`))
+
+	// --- shift registers (9) ---
+	add(seqProblem("sipo4", 2, "rst",
+		"A 4-bit serial-in parallel-out shift register: rst clears it; otherwise on each rising clk edge the register shifts toward the MSB and the serial input sin enters at bit 0. All four bits appear on output q.",
+		`module sipo4(
+    input clk,
+    input rst,
+    input sin,
+    output reg [3:0] q
+);
+    always @(posedge clk) begin
+        if (rst) q <= 4'd0;
+        else q <= {q[2:0], sin};
+    end
+endmodule
+`))
+	add(seqProblem("sipo8", 2, "rst",
+		"An 8-bit serial-in parallel-out shift register: rst clears it; otherwise on each rising clk edge the register shifts toward the MSB and the serial input sin enters at bit 0.",
+		`module sipo8(
+    input clk,
+    input rst,
+    input sin,
+    output reg [7:0] q
+);
+    always @(posedge clk) begin
+        if (rst) q <= 8'd0;
+        else q <= {q[6:0], sin};
+    end
+endmodule
+`))
+	add(seqProblem("piso4", 3, "",
+		"A 4-bit parallel-in serial-out shift register: when load is 1 on a rising clk edge the 4-bit input d is loaded; otherwise the register shifts toward the MSB with 0 entering at the LSB. The serial output sout is the MSB of the register, and q exposes the full register.",
+		`module piso4(
+    input clk,
+    input load,
+    input [3:0] d,
+    output sout,
+    output reg [3:0] q
+);
+    always @(posedge clk) begin
+        if (load) q <= d;
+        else q <= {q[2:0], 1'b0};
+    end
+    assign sout = q[3];
+endmodule
+`))
+	add(seqProblem("shiftlr8", 4, "rst",
+		"An 8-bit bidirectional shift register: rst clears it; otherwise when dir is 0 the register shifts left (toward the MSB) with sin entering at bit 0, and when dir is 1 it shifts right with sin entering at bit 7.",
+		`module shiftlr8(
+    input clk,
+    input rst,
+    input dir,
+    input sin,
+    output reg [7:0] q
+);
+    always @(posedge clk) begin
+        if (rst) q <= 8'd0;
+        else if (dir) q <= {sin, q[7:1]};
+        else q <= {q[6:0], sin};
+    end
+endmodule
+`))
+	add(seqProblem("shift_load8", 3, "",
+		"An 8-bit shift register with parallel load: when load is 1 on a rising clk edge the register takes the 8-bit input d; otherwise it shifts left by one with 0 entering at the LSB.",
+		`module shift_load8(
+    input clk,
+    input load,
+    input [7:0] d,
+    output reg [7:0] q
+);
+    always @(posedge clk) begin
+        if (load) q <= d;
+        else q <= {q[6:0], 1'b0};
+    end
+endmodule
+`))
+	add(seqProblem("rotreg8", 3, "",
+		"An 8-bit rotating register: when load is 1 on a rising clk edge the register takes d; otherwise it rotates left by one position (the MSB wraps to the LSB).",
+		`module rotreg8(
+    input clk,
+    input load,
+    input [7:0] d,
+    output reg [7:0] q
+);
+    always @(posedge clk) begin
+        if (load) q <= d;
+        else q <= {q[6:0], q[7]};
+    end
+endmodule
+`))
+	add(seqProblem("shift18", 5, "",
+		"A 64-bit arithmetic shifter register (HDLBits problem shift18). On each rising clk edge, if load is 1 the register q loads the 64-bit input data; otherwise if ena is 1 it shifts by the amount selected by the 2-bit input amount: 0 shifts left by 1, 1 shifts left by 8, 2 shifts arithmetic right by 1, and 3 shifts arithmetic right by 8. Arithmetic right shifts replicate the sign bit q[63].",
+		`module shift18(
+    input clk,
+    input load,
+    input ena,
+    input [1:0] amount,
+    input [63:0] data,
+    output reg [63:0] q
+);
+    always @(posedge clk) begin
+        if (load) q <= data;
+        else if (ena) begin
+            case (amount)
+                2'b00: q <= q << 1;
+                2'b01: q <= q << 8;
+                2'b10: q <= {q[63], q[63:1]};
+                default: q <= {{8{q[63]}}, q[63:8]};
+            endcase
+        end
+    end
+endmodule
+`))
+	add(seqProblem("shift_arith8", 4, "",
+		"An 8-bit arithmetic shifter register: on each rising clk edge, load loads d; otherwise the register shifts arithmetic right by one, replicating the sign bit q[7].",
+		`module shift_arith8(
+    input clk,
+    input load,
+    input [7:0] d,
+    output reg [7:0] q
+);
+    always @(posedge clk) begin
+        if (load) q <= d;
+        else q <= {q[7], q[7:1]};
+    end
+endmodule
+`))
+	add(seqProblem("lfsr5", 4, "rst",
+		"A 5-bit maximal-length Galois LFSR (taps at positions 5 and 3): rst loads the seed 00001; on each rising clk edge the register shifts right with the feedback bit q[0] XORed into the tapped positions, exactly as in HDLBits' Lfsr5.",
+		`module lfsr5(
+    input clk,
+    input rst,
+    output reg [4:0] q
+);
+    always @(posedge clk) begin
+        if (rst) q <= 5'b00001;
+        else q <= {q[0], q[4], q[3] ^ q[0], q[2], q[1]};
+    end
+endmodule
+`))
+
+	// --- edge detectors (4) ---
+	add(seqProblem("edge_rise", 3, "rst",
+		"A rising-edge detector: output pulse is 1 for exactly one clock cycle after the input x changes from 0 to 1 (comparing the current sample with the previous one). rst clears the stored sample.",
+		`module edge_rise(
+    input clk,
+    input rst,
+    input x,
+    output pulse
+);
+    reg prev;
+    always @(posedge clk) begin
+        if (rst) prev <= 1'b0;
+        else prev <= x;
+    end
+    assign pulse = x & ~prev;
+endmodule
+`))
+	add(seqProblem("edge_fall", 3, "rst",
+		"A falling-edge detector: output pulse is 1 while the current sample of input x is 0 and the previous sample was 1. rst clears the stored sample.",
+		`module edge_fall(
+    input clk,
+    input rst,
+    input x,
+    output pulse
+);
+    reg prev;
+    always @(posedge clk) begin
+        if (rst) prev <= 1'b0;
+        else prev <= x;
+    end
+    assign pulse = ~x & prev;
+endmodule
+`))
+	add(seqProblem("edge_both", 3, "rst",
+		"A change detector: output pulse is 1 while the current sample of input x differs from the previous sample. rst clears the stored sample.",
+		`module edge_both(
+    input clk,
+    input rst,
+    input x,
+    output pulse
+);
+    reg prev;
+    always @(posedge clk) begin
+        if (rst) prev <= 1'b0;
+        else prev <= x;
+    end
+    assign pulse = x ^ prev;
+endmodule
+`))
+	add(seqProblem("edge_cnt8", 4, "rst",
+		"A rising-edge counter: the 8-bit output n counts how many 0-to-1 transitions of the input x have been sampled since rst was last asserted.",
+		`module edge_cnt8(
+    input clk,
+    input rst,
+    input x,
+    output reg [7:0] n
+);
+    reg prev;
+    always @(posedge clk) begin
+        if (rst) begin
+            prev <= 1'b0;
+            n <= 8'd0;
+        end else begin
+            prev <= x;
+            if (x & ~prev) n <= n + 8'd1;
+        end
+    end
+endmodule
+`))
+
+	// --- toggles / dividers / pulses (5) ---
+	add(seqProblem("toggle", 2, "rst",
+		"A toggle flip-flop: rst clears q to 0; otherwise q inverts on each rising clk edge where t is 1 and holds where t is 0.",
+		`module toggle(
+    input clk,
+    input rst,
+    input t,
+    output reg q
+);
+    always @(posedge clk) begin
+        if (rst) q <= 1'b0;
+        else if (t) q <= ~q;
+    end
+endmodule
+`))
+	add(seqProblem("clkdiv2", 2, "rst",
+		"A divide-by-2 clock divider: the output q toggles on every rising edge of clk, producing a square wave at half the clock frequency. rst clears q to 0.",
+		`module clkdiv2(
+    input clk,
+    input rst,
+    output reg q
+);
+    always @(posedge clk) begin
+        if (rst) q <= 1'b0;
+        else q <= ~q;
+    end
+endmodule
+`))
+	add(seqProblem("clkdiv4", 3, "rst",
+		"A divide-by-4 clock divider: an internal 2-bit counter increments on each rising clk edge, and the output q is its MSB, giving a square wave at one quarter of the clock frequency. rst clears the counter.",
+		`module clkdiv4(
+    input clk,
+    input rst,
+    output q
+);
+    reg [1:0] cnt;
+    always @(posedge clk) begin
+        if (rst) cnt <= 2'd0;
+        else cnt <= cnt + 2'd1;
+    end
+    assign q = cnt[1];
+endmodule
+`))
+	add(seqProblem("pulse4", 3, "rst",
+		"A periodic pulse generator: an internal 2-bit counter cycles 0-3 on rising clk edges, and output pulse is 1 during the cycle where the counter equals 3, i.e. one pulse every four cycles. rst clears the counter.",
+		`module pulse4(
+    input clk,
+    input rst,
+    output pulse
+);
+    reg [1:0] cnt;
+    always @(posedge clk) begin
+        if (rst) cnt <= 2'd0;
+        else cnt <= cnt + 2'd1;
+    end
+    assign pulse = cnt == 2'd3;
+endmodule
+`))
+	add(seqProblem("oneshot", 4, "rst",
+		"A one-shot pulse stretcher: when the input trig is sampled 1 and the stretcher is idle, the output q goes 1 for exactly three consecutive clock cycles, then returns to 0 and the circuit waits for the next trigger. Triggers during an active pulse are ignored. rst returns the circuit to idle.",
+		`module oneshot(
+    input clk,
+    input rst,
+    input trig,
+    output q
+);
+    reg [1:0] left;
+    always @(posedge clk) begin
+        if (rst) left <= 2'd0;
+        else if (left != 2'd0) left <= left - 2'd1;
+        else if (trig) left <= 2'd3;
+    end
+    assign q = left != 2'd0;
+endmodule
+`))
+
+	// --- sequence detectors (6) ---
+	add(seqProblem("det101", 4, "rst",
+		"A Moore-style overlapping sequence detector for the pattern 101 on the serial input x. The output z is 1 during the cycle in which the last three sampled bits (including the current sample) were 1, 0, 1. Overlap is allowed: in 10101 the pattern is detected twice. rst returns the detector to its initial state.",
+		`module det101(
+    input clk,
+    input rst,
+    input x,
+    output z
+);
+    reg [1:0] state;
+    always @(posedge clk) begin
+        if (rst) state <= 2'd0;
+        else begin
+            case (state)
+                2'd0: state <= x ? 2'd1 : 2'd0;
+                2'd1: state <= x ? 2'd1 : 2'd2;
+                2'd2: state <= x ? 2'd1 : 2'd0;
+                default: state <= 2'd0;
+            endcase
+        end
+    end
+    assign z = (state == 2'd2) && x;
+endmodule
+`))
+	add(seqProblem("det110", 4, "rst",
+		"A Mealy-style overlapping sequence detector for the pattern 110 on the serial input x: output z is 1 during the cycle where the current and two previous samples form 1,1,0. rst returns the detector to its initial state.",
+		`module det110(
+    input clk,
+    input rst,
+    input x,
+    output z
+);
+    reg [1:0] state;
+    always @(posedge clk) begin
+        if (rst) state <= 2'd0;
+        else begin
+            case (state)
+                2'd0: state <= x ? 2'd1 : 2'd0;
+                2'd1: state <= x ? 2'd2 : 2'd0;
+                2'd2: state <= x ? 2'd2 : 2'd0;
+                default: state <= 2'd0;
+            endcase
+        end
+    end
+    assign z = (state == 2'd2) && !x;
+endmodule
+`))
+	add(seqProblem("det11", 3, "rst",
+		"An overlapping detector for two consecutive 1 samples on input x: output z is 1 while the previous sample was 1 and the current sample is 1.",
+		`module det11(
+    input clk,
+    input rst,
+    input x,
+    output z
+);
+    reg prev;
+    always @(posedge clk) begin
+        if (rst) prev <= 1'b0;
+        else prev <= x;
+    end
+    assign z = prev & x;
+endmodule
+`))
+	add(seqProblem("det1101", 5, "rst",
+		"An overlapping Mealy sequence detector for the 4-bit pattern 1101 on serial input x: z is 1 during the cycle where the last four samples (including the current one) are 1,1,0,1. Overlapping occurrences are all reported. rst resets the detector.",
+		`module det1101(
+    input clk,
+    input rst,
+    input x,
+    output z
+);
+    reg [1:0] state;
+    always @(posedge clk) begin
+        if (rst) state <= 2'd0;
+        else begin
+            case (state)
+                2'd0: state <= x ? 2'd1 : 2'd0;
+                2'd1: state <= x ? 2'd2 : 2'd0;
+                2'd2: state <= x ? 2'd2 : 2'd3;
+                default: state <= x ? 2'd1 : 2'd0;
+            endcase
+        end
+    end
+    assign z = (state == 2'd3) && x;
+endmodule
+`))
+	add(seqProblem("det0110", 5, "rst",
+		"An overlapping sequence detector for the pattern 0110 on serial input x: z is 1 during the cycle where the last four samples are 0,1,1,0. rst resets the detector.",
+		`module det0110(
+    input clk,
+    input rst,
+    input x,
+    output z
+);
+    reg [2:0] hist;
+    always @(posedge clk) begin
+        if (rst) hist <= 3'b111;
+        else hist <= {hist[1:0], x};
+    end
+    assign z = (hist == 3'b011) && !x;
+endmodule
+`))
+	add(seqProblem("ser_parity", 3, "rst",
+		"A serial parity tracker: output p is the running even parity (XOR) of all samples of input x since rst was last asserted, updated on each rising clk edge.",
+		`module ser_parity(
+    input clk,
+    input rst,
+    input x,
+    output reg p
+);
+    always @(posedge clk) begin
+        if (rst) p <= 1'b0;
+        else p <= p ^ x;
+    end
+endmodule
+`))
+
+	// --- FSM controllers (5) ---
+	add(seqProblem("traffic", 5, "rst",
+		"A traffic-light controller FSM with three states cycling green (6 cycles), yellow (2 cycles), red (4 cycles). The 2-bit output light encodes 0 for green, 1 for yellow, 2 for red. rst puts the controller in green with its timer restarted.",
+		`module traffic(
+    input clk,
+    input rst,
+    output reg [1:0] light
+);
+    reg [2:0] timer;
+    always @(posedge clk) begin
+        if (rst) begin
+            light <= 2'd0;
+            timer <= 3'd0;
+        end else begin
+            case (light)
+                2'd0: begin
+                    if (timer == 3'd5) begin light <= 2'd1; timer <= 3'd0; end
+                    else timer <= timer + 3'd1;
+                end
+                2'd1: begin
+                    if (timer == 3'd1) begin light <= 2'd2; timer <= 3'd0; end
+                    else timer <= timer + 3'd1;
+                end
+                default: begin
+                    if (timer == 3'd3) begin light <= 2'd0; timer <= 3'd0; end
+                    else timer <= timer + 3'd1;
+                end
+            endcase
+        end
+    end
+endmodule
+`))
+	add(seqProblem("vending", 5, "rst",
+		"A vending-machine FSM: coins worth 5 (nickel input) or 10 (dime input) are inserted one per cycle at most; when the accumulated credit reaches 15 or more, the output dispense is 1 for that cycle and the credit resets to 0 on the next edge (no change is given). The 4-bit output credit shows the current credit. rst clears the credit.",
+		`module vending(
+    input clk,
+    input rst,
+    input nickel,
+    input dime,
+    output reg [3:0] credit,
+    output dispense
+);
+    wire [3:0] add;
+    assign add = nickel ? 4'd5 : (dime ? 4'd10 : 4'd0);
+    assign dispense = (credit + add) >= 4'd15;
+    always @(posedge clk) begin
+        if (rst) credit <= 4'd0;
+        else if (dispense) credit <= 4'd0;
+        else credit <= credit + add;
+    end
+endmodule
+`))
+	add(seqProblem("elevator2", 5, "rst",
+		"A two-floor elevator controller: output floor is 0 or 1. When the elevator is at floor 0 and req1 is 1 it moves to floor 1 (one cycle later); at floor 1 with req0 asserted it moves to floor 0. Simultaneous requests keep it where it is. Output moving is 1 during a cycle in which the floor is about to change. rst puts the car at floor 0.",
+		`module elevator2(
+    input clk,
+    input rst,
+    input req0,
+    input req1,
+    output reg floor,
+    output moving
+);
+    wire want;
+    assign want = floor ? (req0 & ~req1) : (req1 & ~req0);
+    assign moving = want;
+    always @(posedge clk) begin
+        if (rst) floor <= 1'b0;
+        else if (want) floor <= ~floor;
+    end
+endmodule
+`))
+	add(seqProblem("lock3", 5, "rst",
+		"A combination-lock FSM: the door unlocks (output unlock goes 1 and stays 1 until reset) after the 2-bit input code takes the values 3, 1, 2 on three consecutive clock edges. Any wrong entry returns the FSM to the start. rst relocks the door and restarts the sequence.",
+		`module lock3(
+    input clk,
+    input rst,
+    input [1:0] code,
+    output unlock
+);
+    reg [1:0] state;
+    always @(posedge clk) begin
+        if (rst) state <= 2'd0;
+        else begin
+            case (state)
+                2'd0: state <= (code == 2'd3) ? 2'd1 : 2'd0;
+                2'd1: state <= (code == 2'd1) ? 2'd2 : ((code == 2'd3) ? 2'd1 : 2'd0);
+                2'd2: state <= (code == 2'd2) ? 2'd3 : ((code == 2'd3) ? 2'd1 : 2'd0);
+                default: state <= 2'd3;
+            endcase
+        end
+    end
+    assign unlock = state == 2'd3;
+endmodule
+`))
+	add(seqProblem("arbiter2", 5, "rst",
+		"A two-requester round-robin arbiter: each cycle at most one grant bit of the 2-bit output gnt is 1, matching a request bit in req. When both request, the requester that was granted least recently wins (strict alternation). A grant is only asserted while its request is high. rst clears the priority state toward requester 0.",
+		`module arbiter2(
+    input clk,
+    input rst,
+    input [1:0] req,
+    output [1:0] gnt
+);
+    reg last;
+    wire [1:0] pick;
+    assign pick = (req == 2'b11) ? (last ? 2'b01 : 2'b10) : (req & (~req + 2'd1));
+    assign gnt = pick & req;
+    always @(posedge clk) begin
+        if (rst) last <= 1'b0;
+        else if (gnt[0]) last <= 1'b0;
+        else if (gnt[1]) last <= 1'b1;
+    end
+endmodule
+`))
+
+	// --- timers / debounce (4) ---
+	add(seqProblem("debounce4", 4, "rst",
+		"A debouncer: the output stable follows the input raw only after raw has held the same value for four consecutive clock samples; shorter glitches do not change stable. rst clears the internal counter and drives stable to 0.",
+		`module debounce4(
+    input clk,
+    input rst,
+    input raw,
+    output reg stable
+);
+    reg [1:0] cnt;
+    reg prev;
+    always @(posedge clk) begin
+        if (rst) begin
+            cnt <= 2'd0;
+            prev <= 1'b0;
+            stable <= 1'b0;
+        end else begin
+            prev <= raw;
+            if (raw != prev) cnt <= 2'd0;
+            else if (cnt == 2'd3) stable <= raw;
+            else cnt <= cnt + 2'd1;
+        end
+    end
+endmodule
+`))
+	add(seqProblem("timer8", 4, "rst",
+		"A programmable one-shot timer: when start is sampled 1 while the timer is idle, it loads the 8-bit input n and counts down one per cycle; output done is 1 exactly while the timer is idle (count zero). Starting with n = 0 leaves the timer idle. rst forces the timer idle.",
+		`module timer8(
+    input clk,
+    input rst,
+    input start,
+    input [7:0] n,
+    output done,
+    output [7:0] remain
+);
+    reg [7:0] cnt;
+    always @(posedge clk) begin
+        if (rst) cnt <= 8'd0;
+        else if (cnt != 8'd0) cnt <= cnt - 8'd1;
+        else if (start) cnt <= n;
+    end
+    assign done = cnt == 8'd0;
+    assign remain = cnt;
+endmodule
+`))
+	add(seqProblem("watchdog4", 4, "rst",
+		"A watchdog: an internal 2-bit counter increments each cycle and is cleared whenever the kick input is 1; the output bark goes 1 during any cycle where the counter has reached 3 (i.e. no kick for four cycles). rst clears the counter.",
+		`module watchdog4(
+    input clk,
+    input rst,
+    input kick,
+    output bark
+);
+    reg [1:0] cnt;
+    always @(posedge clk) begin
+        if (rst) cnt <= 2'd0;
+        else if (kick) cnt <= 2'd0;
+        else if (cnt != 2'd3) cnt <= cnt + 2'd1;
+    end
+    assign bark = cnt == 2'd3;
+endmodule
+`))
+	add(seqProblem("stopwatch8", 4, "rst",
+		"A stopwatch: the toggle input startstop flips the running state on each cycle it is sampled 1; while running, the 8-bit count q increments each cycle. rst stops the watch and clears the count.",
+		`module stopwatch8(
+    input clk,
+    input rst,
+    input startstop,
+    output reg [7:0] q,
+    output running
+);
+    reg run;
+    always @(posedge clk) begin
+        if (rst) begin
+            run <= 1'b0;
+            q <= 8'd0;
+        end else begin
+            if (startstop) run <= ~run;
+            if (run) q <= q + 8'd1;
+        end
+    end
+    assign running = run;
+endmodule
+`))
+
+	// --- accumulators / datapath (6) ---
+	add(seqProblem("acc8", 3, "rst",
+		"An 8-bit accumulator: on each rising clk edge the register adds the 8-bit input d to its current value (wrapping modulo 256); rst clears it to 0. The running sum appears on output sum.",
+		`module acc8(
+    input clk,
+    input rst,
+    input [7:0] d,
+    output reg [7:0] sum
+);
+    always @(posedge clk) begin
+        if (rst) sum <= 8'd0;
+        else sum <= sum + d;
+    end
+endmodule
+`))
+	add(seqProblem("acc_en8", 3, "rst",
+		"An 8-bit accumulator with enable: the running sum adds d only on edges where en is 1, holds otherwise; rst clears it.",
+		`module acc_en8(
+    input clk,
+    input rst,
+    input en,
+    input [7:0] d,
+    output reg [7:0] sum
+);
+    always @(posedge clk) begin
+        if (rst) sum <= 8'd0;
+        else if (en) sum <= sum + d;
+    end
+endmodule
+`))
+	add(seqProblem("runmax8", 4, "rst",
+		"A running-maximum tracker: output m is the largest 8-bit value of input d sampled since rst was last asserted (unsigned comparison).",
+		`module runmax8(
+    input clk,
+    input rst,
+    input [7:0] d,
+    output reg [7:0] m
+);
+    always @(posedge clk) begin
+        if (rst) m <= 8'd0;
+        else if (d > m) m <= d;
+    end
+endmodule
+`))
+	add(seqProblem("ser2comp", 5, "rst",
+		"A bit-serial two's complementer (LSB first): starting after rst, each sampled input bit x is passed through unchanged on output y until after the first 1 bit has been seen, after which every bit is inverted — the classic serial two's-complement algorithm.",
+		`module ser2comp(
+    input clk,
+    input rst,
+    input x,
+    output y
+);
+    reg seen;
+    always @(posedge clk) begin
+        if (rst) seen <= 1'b0;
+        else if (x) seen <= 1'b1;
+    end
+    assign y = seen ? ~x : x;
+endmodule
+`))
+	add(seqProblem("seradd", 5, "rst",
+		"A bit-serial adder (LSB first): each cycle it adds the input bits a and b plus a stored carry, outputs the sum bit s, and keeps the new carry for the next cycle. rst clears the carry.",
+		`module seradd(
+    input clk,
+    input rst,
+    input a,
+    input b,
+    output s
+);
+    reg carry;
+    assign s = a ^ b ^ carry;
+    always @(posedge clk) begin
+        if (rst) carry <= 1'b0;
+        else carry <= (a & b) | (a & carry) | (b & carry);
+    end
+endmodule
+`))
+	add(seqProblem("event_cnt8", 3, "rst",
+		"An event counter: the 8-bit output n counts the number of cycles in which the input x was sampled 1 since rst was last asserted.",
+		`module event_cnt8(
+    input clk,
+    input rst,
+    input x,
+    output reg [7:0] n
+);
+    always @(posedge clk) begin
+        if (rst) n <= 8'd0;
+        else if (x) n <= n + 8'd1;
+    end
+endmodule
+`))
+
+	// --- delay lines / pipelines (4) ---
+	add(seqProblem("delay2", 2, "rst",
+		"A two-cycle delay line: the output y reproduces the 4-bit input d delayed by exactly two clock cycles. rst clears both pipeline stages.",
+		`module delay2(
+    input clk,
+    input rst,
+    input [3:0] d,
+    output [3:0] y
+);
+    reg [3:0] s1, s2;
+    always @(posedge clk) begin
+        if (rst) begin
+            s1 <= 4'd0;
+            s2 <= 4'd0;
+        end else begin
+            s1 <= d;
+            s2 <= s1;
+        end
+    end
+    assign y = s2;
+endmodule
+`))
+	add(seqProblem("delay4", 3, "rst",
+		"A four-cycle delay line for a single-bit input: output y equals input d delayed by exactly four clock cycles, implemented as a 4-bit shift register. rst clears the line.",
+		`module delay4(
+    input clk,
+    input rst,
+    input d,
+    output y
+);
+    reg [3:0] line;
+    always @(posedge clk) begin
+        if (rst) line <= 4'd0;
+        else line <= {line[2:0], d};
+    end
+    assign y = line[3];
+endmodule
+`))
+	add(seqProblem("pipe_add2", 4, "rst",
+		"A two-stage pipelined adder: stage 1 registers the 4-bit inputs a and b; stage 2 registers their 5-bit sum, which appears on output s two cycles after the operands entered. rst clears all pipeline registers.",
+		`module pipe_add2(
+    input clk,
+    input rst,
+    input [3:0] a,
+    input [3:0] b,
+    output [4:0] s
+);
+    reg [3:0] ra, rb;
+    reg [4:0] rs;
+    always @(posedge clk) begin
+        if (rst) begin
+            ra <= 4'd0;
+            rb <= 4'd0;
+            rs <= 5'd0;
+        end else begin
+            ra <= a;
+            rb <= b;
+            rs <= ra + rb;
+        end
+    end
+    assign s = rs;
+endmodule
+`))
+	add(seqProblem("majority_win3", 4, "rst",
+		"A sliding-window majority filter: output y is 1 while at least two of the last three samples of input x (including the current stored history) are 1. The window is the two stored previous samples plus the current input. rst clears the history.",
+		`module majority_win3(
+    input clk,
+    input rst,
+    input x,
+    output y
+);
+    reg p1, p2;
+    always @(posedge clk) begin
+        if (rst) begin
+            p1 <= 1'b0;
+            p2 <= 1'b0;
+        end else begin
+            p2 <= p1;
+            p1 <= x;
+        end
+    end
+    assign y = (x & p1) | (x & p2) | (p1 & p2);
+endmodule
+`))
+
+	// --- FIFO / PWM / patterns (4) ---
+	add(seqProblem("fifo2", 5, "rst",
+		"A depth-2 FIFO with 4-bit data. push writes din into the tail when not full; pop removes the head when not empty; simultaneous push and pop are allowed when non-empty. Outputs: dout is the head element, empty and full are status flags. rst empties the FIFO.",
+		`module fifo2(
+    input clk,
+    input rst,
+    input push,
+    input pop,
+    input [3:0] din,
+    output [3:0] dout,
+    output empty,
+    output full
+);
+    reg [3:0] s0, s1;
+    reg [1:0] cnt;
+    wire doPush, doPop;
+    assign empty = cnt == 2'd0;
+    assign full = cnt == 2'd2;
+    assign doPop = pop & ~empty;
+    assign doPush = push & (~full | doPop);
+    assign dout = s0;
+    always @(posedge clk) begin
+        if (rst) begin
+            cnt <= 2'd0;
+            s0 <= 4'd0;
+            s1 <= 4'd0;
+        end else begin
+            if (doPop) begin
+                s0 <= s1;
+                if (doPush) begin
+                    if (cnt == 2'd1) s0 <= din;
+                    else s1 <= din;
+                end else begin
+                    cnt <= cnt - 2'd1;
+                end
+            end else if (doPush) begin
+                if (cnt == 2'd0) s0 <= din;
+                else s1 <= din;
+                cnt <= cnt + 2'd1;
+            end
+        end
+    end
+endmodule
+`))
+	add(seqProblem("pwm3", 4, "rst",
+		"A 3-bit PWM generator: an internal counter cycles 0-7; the output pwm is 1 while the counter is strictly less than the 3-bit duty input, giving duty/8 high time (duty 0 keeps the output low). rst clears the counter.",
+		`module pwm3(
+    input clk,
+    input rst,
+    input [2:0] duty,
+    output pwm
+);
+    reg [2:0] cnt;
+    always @(posedge clk) begin
+        if (rst) cnt <= 3'd0;
+        else cnt <= cnt + 3'd1;
+    end
+    assign pwm = cnt < duty;
+endmodule
+`))
+	add(seqProblem("blink", 3, "rst",
+		"A blink-pattern generator: a 3-bit counter advances each cycle and the output led is driven by the repeating 8-step pattern 1,1,0,0,1,0,1,0 indexed by the counter. rst restarts the pattern.",
+		`module blink(
+    input clk,
+    input rst,
+    output reg led
+);
+    reg [2:0] cnt;
+    always @(posedge clk) begin
+        if (rst) cnt <= 3'd0;
+        else cnt <= cnt + 3'd1;
+    end
+    always @(*) begin
+        case (cnt)
+            3'd0: led = 1'b1;
+            3'd1: led = 1'b1;
+            3'd2: led = 1'b0;
+            3'd3: led = 1'b0;
+            3'd4: led = 1'b1;
+            3'd5: led = 1'b0;
+            3'd6: led = 1'b1;
+            default: led = 1'b0;
+        endcase
+    end
+endmodule
+`))
+	add(seqProblem("movsum4", 4, "rst",
+		"A moving-sum filter: output s is the number of 1 samples among the last four samples of input x (a 3-bit value 0-4), computed from a 4-bit history shift register. rst clears the history.",
+		`module movsum4(
+    input clk,
+    input rst,
+    input x,
+    output [2:0] s
+);
+    reg [3:0] hist;
+    always @(posedge clk) begin
+        if (rst) hist <= 4'd0;
+        else hist <= {hist[2:0], x};
+    end
+    assign s = {2'b00, hist[0]} + {2'b00, hist[1]} + {2'b00, hist[2]} + {2'b00, hist[3]};
+endmodule
+`))
+
+	// --- larger LFSRs / misc (2) ---
+	add(seqProblem("lfsr8", 4, "rst",
+		"An 8-bit Fibonacci LFSR with feedback taps at bits 7, 5, 4 and 3: rst loads the seed 00000001; each rising clk edge shifts left with the XOR of the tapped bits entering at bit 0.",
+		`module lfsr8(
+    input clk,
+    input rst,
+    output reg [7:0] q
+);
+    always @(posedge clk) begin
+        if (rst) q <= 8'd1;
+        else q <= {q[6:0], q[7] ^ q[5] ^ q[4] ^ q[3]};
+    end
+endmodule
+`))
+	add(seqProblem("lfsr16", 5, "rst",
+		"A 16-bit Fibonacci LFSR with taps at bits 15, 13, 12 and 10: rst loads the seed 1; each rising clk edge shifts left with the XOR of the tapped bits entering at bit 0.",
+		`module lfsr16(
+    input clk,
+    input rst,
+    output reg [15:0] q
+);
+    always @(posedge clk) begin
+        if (rst) q <= 16'd1;
+        else q <= {q[14:0], q[15] ^ q[13] ^ q[12] ^ q[10]};
+    end
+endmodule
+`))
+
+	add(seqProblem("runmin8", 4, "rst",
+		"A running-minimum tracker: output m is the smallest 8-bit value of input d sampled since rst was last asserted (unsigned comparison); rst presets m to 255.",
+		`module runmin8(
+    input clk,
+    input rst,
+    input [7:0] d,
+    output reg [7:0] m
+);
+    always @(posedge clk) begin
+        if (rst) m <= 8'd255;
+        else if (d < m) m <= d;
+    end
+endmodule
+`))
+	add(seqProblem("thermo4", 3, "rst",
+		"A 4-bit thermometer-code filler: rst clears the register; on each rising clk edge a 1 shifts in at the LSB so the register steps 0000, 0001, 0011, 0111, 1111 and then stays full.",
+		`module thermo4(
+    input clk,
+    input rst,
+    output reg [3:0] q
+);
+    always @(posedge clk) begin
+        if (rst) q <= 4'd0;
+        else q <= {q[2:0], 1'b1};
+    end
+endmodule
+`))
+	add(seqProblem("cnt_tc8", 3, "rst",
+		"An 8-bit counter with terminal-count output: the count q increments each cycle (wrapping) and the output tc is 1 during the cycle in which q equals 255. rst clears the count.",
+		`module cnt_tc8(
+    input clk,
+    input rst,
+    output reg [7:0] q,
+    output tc
+);
+    always @(posedge clk) begin
+        if (rst) q <= 8'd0;
+        else q <= q + 8'd1;
+    end
+    assign tc = q == 8'd255;
+endmodule
+`))
+
+	return ps
+}

@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	res, err := Run(Config{Reps: 1, Seed: 31, Problems: subset(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + 3 methods x 1 rep x 6 tasks
+	if len(rows) != 1+3*6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "method" || len(rows[0]) != 12 {
+		t.Errorf("header wrong: %v", rows[0])
+	}
+	for _, row := range rows[1:] {
+		if row[4] == "" {
+			t.Errorf("missing grade in %v", row)
+		}
+	}
+}
+
+func TestSummaryCSV(t *testing.T) {
+	res, err := Run(Config{Reps: 1, Seed: 33, Problems: subset(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.SummaryCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + 3 groups x 3 metrics x 3 methods
+	if len(rows) != 1+27 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}

@@ -1,0 +1,299 @@
+// Package harness runs the paper's experiments end to end: the three
+// generation methods over the 156-task dataset with repetitions
+// (Table I), gain attribution for the validator and corrector
+// (Table III), the validation-criteria studies (Fig. 6a/6b) and the
+// cross-LLM comparison (Fig. 7). It also formats the resulting tables
+// and figures as text.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"correctbench/internal/autobench"
+	"correctbench/internal/autoeval"
+	"correctbench/internal/core"
+	"correctbench/internal/dataset"
+	"correctbench/internal/llm"
+	"correctbench/internal/testbench"
+	"correctbench/internal/validator"
+)
+
+// Method names one of the compared generation methods.
+type Method string
+
+// The three methods of Table I.
+const (
+	MethodCorrectBench Method = "CorrectBench"
+	MethodAutoBench    Method = "AutoBench"
+	MethodBaseline     Method = "Baseline"
+)
+
+// AllMethods returns the methods in paper column order.
+func AllMethods() []Method { return []Method{MethodCorrectBench, MethodAutoBench, MethodBaseline} }
+
+// TaskOutcome is the result of one task under one method.
+type TaskOutcome struct {
+	Problem string
+	Kind    dataset.Kind
+	Grade   autoeval.Grade
+
+	// CorrectBench-only trace data.
+	ValidatorIntervened bool
+	CorrectorShaped     bool
+	FinalValidated      bool
+	Corrections         int
+	Reboots             int
+
+	TokensIn, TokensOut int
+}
+
+// Config configures an experiment.
+type Config struct {
+	Profile   *llm.Profile
+	Criterion validator.Criterion
+	Reps      int
+	Seed      int64
+	Problems  []*dataset.Problem
+	Methods   []Method
+	// Progress, when non-nil, receives one line per (method, rep).
+	Progress io.Writer
+}
+
+func (c *Config) fill() {
+	if c.Profile == nil {
+		c.Profile = llm.GPT4o()
+	}
+	if c.Criterion.Name == "" {
+		c.Criterion = validator.Wrong70
+	}
+	if c.Reps < 1 {
+		c.Reps = 1
+	}
+	if len(c.Problems) == 0 {
+		c.Problems = dataset.All()
+	}
+	if len(c.Methods) == 0 {
+		c.Methods = AllMethods()
+	}
+}
+
+// Results holds all task outcomes of an experiment.
+type Results struct {
+	Config   Config
+	Outcomes map[Method][][]TaskOutcome // method -> rep -> tasks
+}
+
+// Run executes the configured experiment.
+func Run(cfg Config) (*Results, error) {
+	cfg.fill()
+	eval := autoeval.NewEvaluator(cfg.Seed ^ 0x5eed)
+	res := &Results{Config: cfg, Outcomes: map[Method][][]TaskOutcome{}}
+	for _, method := range cfg.Methods {
+		for rep := 0; rep < cfg.Reps; rep++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)*7919 + int64(len(method))*104729))
+			var outcomes []TaskOutcome
+			for _, p := range cfg.Problems {
+				o, err := runTask(method, p, cfg, eval, rng)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s rep %d: %w", method, p.Name, rep, err)
+				}
+				outcomes = append(outcomes, o)
+			}
+			res.Outcomes[method] = append(res.Outcomes[method], outcomes)
+			if cfg.Progress != nil {
+				fmt.Fprintf(cfg.Progress, "%s rep %d/%d done (%d tasks)\n", method, rep+1, cfg.Reps, len(outcomes))
+			}
+		}
+	}
+	return res, nil
+}
+
+func runTask(method Method, p *dataset.Problem, cfg Config, eval *autoeval.Evaluator, rng *rand.Rand) (TaskOutcome, error) {
+	o := TaskOutcome{Problem: p.Name, Kind: p.Kind}
+	var tb *testbench.Testbench
+	switch method {
+	case MethodCorrectBench:
+		opt := core.DefaultOptions(cfg.Profile)
+		opt.Criterion = cfg.Criterion
+		r, err := core.Run(p, opt, rng)
+		if err != nil {
+			return o, err
+		}
+		tb = r.Testbench
+		o.ValidatorIntervened = r.Trace.ValidatorIntervened
+		o.CorrectorShaped = r.Trace.CorrectorShaped
+		o.FinalValidated = r.Trace.FinalValidated
+		o.Corrections = r.Trace.Corrections
+		o.Reboots = r.Trace.Reboots
+		o.TokensIn, o.TokensOut = r.Trace.Tokens.In, r.Trace.Tokens.Out
+	case MethodAutoBench, MethodBaseline:
+		gen, err := autobench.ForMethod(string(method), cfg.Profile)
+		if err != nil {
+			return o, err
+		}
+		trait := cfg.Profile.SampleTrait(p.Difficulty, p.Kind == dataset.SEQ, rng)
+		var acct llm.Accountant
+		tb, err = gen.Generate(p, trait, rng, &acct)
+		if err != nil {
+			return o, err
+		}
+		o.TokensIn, o.TokensOut = acct.In, acct.Out
+	default:
+		return o, fmt.Errorf("unknown method %q", method)
+	}
+	grade, err := eval.Evaluate(tb)
+	if err != nil {
+		return o, err
+	}
+	o.Grade = grade
+	return o, nil
+}
+
+// ---- aggregation ----
+
+// Group selects a task subset for aggregation.
+type Group struct {
+	Name   string
+	Filter func(TaskOutcome) bool
+}
+
+// Groups returns the paper's three row groups.
+func Groups() []Group {
+	return []Group{
+		{"Total", func(TaskOutcome) bool { return true }},
+		{"CMB", func(o TaskOutcome) bool { return o.Kind == dataset.CMB }},
+		{"SEQ", func(o TaskOutcome) bool { return o.Kind == dataset.SEQ }},
+	}
+}
+
+// PassStats gives the average number and ratio of tasks reaching at
+// least a grade, across repetitions.
+type PassStats struct {
+	AvgCount float64
+	Ratio    float64
+}
+
+// Stats computes pass statistics for a method, group and minimum grade.
+func (r *Results) Stats(method Method, g Group, min autoeval.Grade) PassStats {
+	reps := r.Outcomes[method]
+	if len(reps) == 0 {
+		return PassStats{}
+	}
+	totalTasks := 0
+	sum := 0.0
+	for repIdx, rep := range reps {
+		n, passed := 0, 0
+		for _, o := range rep {
+			if !g.Filter(o) {
+				continue
+			}
+			n++
+			if o.Grade >= min {
+				passed++
+			}
+		}
+		if repIdx == 0 {
+			totalTasks = n
+		}
+		sum += float64(passed)
+	}
+	avg := sum / float64(len(reps))
+	ratio := 0.0
+	if totalTasks > 0 {
+		ratio = avg / float64(totalTasks)
+	}
+	return PassStats{AvgCount: avg, Ratio: ratio}
+}
+
+// GradeShare returns the average fraction of tasks whose grade is
+// exactly g (for the Fig. 7 stacked bars).
+func (r *Results) GradeShare(method Method, grade autoeval.Grade) float64 {
+	reps := r.Outcomes[method]
+	if len(reps) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, rep := range reps {
+		n, hit := 0, 0
+		for _, o := range rep {
+			n++
+			if o.Grade == grade {
+				hit++
+			}
+		}
+		if n > 0 {
+			sum += float64(hit) / float64(n)
+		}
+	}
+	return sum / float64(len(reps))
+}
+
+// Attribution computes Table III: the average number of Eval2-passed
+// CorrectBench tasks in which the validator intervened ("Val.") and, of
+// those, the ones whose final testbench carries a surviving correction
+// ("Corr."), plus the gain over AutoBench.
+type Attribution struct {
+	Group        string
+	CorrectBench float64
+	AutoBench    float64
+	Gain         float64
+	Validator    float64
+	Corrector    float64
+}
+
+// Attribute computes the attribution rows.
+func (r *Results) Attribute() []Attribution {
+	var out []Attribution
+	for _, g := range Groups() {
+		cb := r.Stats(MethodCorrectBench, g, autoeval.GradeEval2)
+		ab := r.Stats(MethodAutoBench, g, autoeval.GradeEval2)
+		a := Attribution{
+			Group:        g.Name,
+			CorrectBench: cb.AvgCount,
+			AutoBench:    ab.AvgCount,
+			Gain:         cb.AvgCount - ab.AvgCount,
+		}
+		reps := r.Outcomes[MethodCorrectBench]
+		for _, rep := range reps {
+			val, corr := 0, 0
+			for _, o := range rep {
+				if !g.Filter(o) || o.Grade < autoeval.GradeEval2 {
+					continue
+				}
+				if o.ValidatorIntervened {
+					val++
+					if o.CorrectorShaped {
+						corr++
+					}
+				}
+			}
+			a.Validator += float64(val)
+			a.Corrector += float64(corr)
+		}
+		if len(reps) > 0 {
+			a.Validator /= float64(len(reps))
+			a.Corrector /= float64(len(reps))
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// AvgTokens returns average input/output token counts per task.
+func (r *Results) AvgTokens(method Method) (in, out float64) {
+	reps := r.Outcomes[method]
+	n := 0
+	for _, rep := range reps {
+		for _, o := range rep {
+			in += float64(o.TokensIn)
+			out += float64(o.TokensOut)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return in / float64(n), out / float64(n)
+}

@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"correctbench/internal/autoeval"
+)
+
+// Table1 renders the main-results table in the layout of the paper's
+// Table I: pass ratios and average pass counts for each method, metric
+// and group.
+func (r *Results) Table1() string {
+	var sb strings.Builder
+	methods := []Method{MethodCorrectBench, MethodAutoBench, MethodBaseline}
+	sb.WriteString("TABLE I: MAIN RESULTS (pass ratio % | avg #tasks)\n")
+	fmt.Fprintf(&sb, "%-6s %-6s", "Group", "Metric")
+	for _, m := range methods {
+		fmt.Fprintf(&sb, " | %-22s", m)
+	}
+	sb.WriteString("\n")
+	sb.WriteString(strings.Repeat("-", 6+1+6+3*25) + "\n")
+	for _, g := range Groups() {
+		n := r.groupSize(g)
+		for _, metric := range []autoeval.Grade{autoeval.GradeEval2, autoeval.GradeEval1, autoeval.GradeEval0} {
+			fmt.Fprintf(&sb, "%-6s %-6s", groupLabel(g.Name, n), metric)
+			base := r.Stats(MethodBaseline, g, metric)
+			for _, m := range methods {
+				st := r.Stats(m, g, metric)
+				delta := (st.Ratio - base.Ratio) * 100
+				fmt.Fprintf(&sb, " | %6.2f%% (%+6.2f%%) %5.1f", st.Ratio*100, delta, st.AvgCount)
+			}
+			sb.WriteString("\n")
+		}
+	}
+	sb.WriteString("(values in parentheses: improvement over the Baseline ratio)\n")
+	return sb.String()
+}
+
+func groupLabel(name string, n int) string {
+	return fmt.Sprintf("%s", name)
+}
+
+func (r *Results) groupSize(g Group) int {
+	for _, reps := range r.Outcomes {
+		if len(reps) == 0 {
+			continue
+		}
+		n := 0
+		for _, o := range reps[0] {
+			if g.Filter(o) {
+				n++
+			}
+		}
+		return n
+	}
+	return 0
+}
+
+// Table2 renders the AutoEval criterion definitions (paper Table II).
+func Table2() string {
+	var sb strings.Builder
+	sb.WriteString("TABLE II: DEFINITIONS OF EVALUATION CRITERIA IN AUTOEVAL\n")
+	defs := autoeval.Definitions()
+	for _, g := range []autoeval.Grade{autoeval.GradeFailed, autoeval.GradeEval0, autoeval.GradeEval1, autoeval.GradeEval2} {
+		fmt.Fprintf(&sb, "%-8s %s\n", g, defs[g])
+	}
+	return sb.String()
+}
+
+// Table3 renders the validator/corrector contribution table (paper
+// Table III).
+func (r *Results) Table3() string {
+	var sb strings.Builder
+	sb.WriteString("TABLE III: CONTRIBUTIONS OF VALIDATOR AND CORRECTOR (avg Eval2-passed tasks)\n")
+	fmt.Fprintf(&sb, "%-6s %12s %10s %6s %6s %6s %10s\n",
+		"Group", "CorrectBench", "AutoBench", "Gain", "Val.", "Corr.", "Corr./Val.")
+	for _, a := range r.Attribute() {
+		frac := 0.0
+		if a.Validator > 0 {
+			frac = a.Corrector / a.Validator
+		}
+		fmt.Fprintf(&sb, "%-6s %12.1f %10.1f %6.1f %6.1f %6.1f %9.1f%%\n",
+			a.Group, a.CorrectBench, a.AutoBench, a.Gain, a.Validator, a.Corrector, frac*100)
+	}
+	sb.WriteString("(Corr. is counted within Val., as in the paper)\n")
+	return sb.String()
+}
+
+// Fig7Row holds the stacked-bar data for one method under one LLM.
+type Fig7Row struct {
+	Method Method
+	Shares map[autoeval.Grade]float64
+}
+
+// Fig7Rows computes the stacked-bar shares (exact-grade fractions).
+func (r *Results) Fig7Rows() []Fig7Row {
+	var out []Fig7Row
+	for _, m := range r.Config.Methods {
+		row := Fig7Row{Method: m, Shares: map[autoeval.Grade]float64{}}
+		for _, g := range []autoeval.Grade{autoeval.GradeEval2, autoeval.GradeEval1, autoeval.GradeEval0, autoeval.GradeFailed} {
+			row.Shares[g] = r.GradeShare(m, g)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// RenderFig7 renders one LLM's panel of Fig. 7 as text bars.
+func RenderFig7(title string, rows []Fig7Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig. 7 panel: %s (share of 156 tasks by exact grade)\n", title)
+	for _, row := range rows {
+		fmt.Fprintf(&sb, "%-13s", row.Method)
+		for _, g := range []autoeval.Grade{autoeval.GradeEval2, autoeval.GradeEval1, autoeval.GradeEval0, autoeval.GradeFailed} {
+			fmt.Fprintf(&sb, " %s %5.1f%%", g, row.Shares[g]*100)
+		}
+		sb.WriteString("\n")
+		sb.WriteString("             |")
+		for _, g := range []autoeval.Grade{autoeval.GradeEval2, autoeval.GradeEval1, autoeval.GradeEval0, autoeval.GradeFailed} {
+			n := int(row.Shares[g]*50 + 0.5)
+			sb.WriteString(strings.Repeat(sym(g), n))
+		}
+		sb.WriteString("|\n")
+	}
+	return sb.String()
+}
+
+func sym(g autoeval.Grade) string {
+	switch g {
+	case autoeval.GradeEval2:
+		return "#"
+	case autoeval.GradeEval1:
+		return "+"
+	case autoeval.GradeEval0:
+		return "-"
+	default:
+		return "."
+	}
+}

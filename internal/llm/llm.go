@@ -1,0 +1,325 @@
+// Package llm models the large language models used by CorrectBench as
+// seeded stochastic processes. The paper's pipeline never depends on
+// the text an LLM produces — only on the statistics of its mistakes:
+// how often generated testbenches have syntax errors, how often the
+// checker computes wrong reference outputs (and in how many scenarios),
+// how buggy the 20 "imperfect" validation RTLs are, and how reliably a
+// guided two-stage conversation repairs a located fault. Each Profile
+// fixes those statistics for one commercial model, calibrated so the
+// pipeline-level results reproduce the shape of the paper's Tables I
+// and III and Figures 6 and 7 (see DESIGN.md for the substitution
+// rationale).
+package llm
+
+import (
+	"math/rand"
+)
+
+// Profile is the stochastic model of one LLM.
+type Profile struct {
+	Name string
+
+	// --- direct (baseline) testbench generation ---
+
+	// BaselineSyntaxCMB/SEQ is the probability that a directly
+	// generated testbench has a syntax error, per circuit class.
+	BaselineSyntaxCMB float64
+	BaselineSyntaxSEQ float64
+
+	// --- AutoBench-style generation (after syntax auto-debug) ---
+
+	// GenSyntaxCMB/SEQ is the residual syntax-error probability after
+	// AutoBench's self-enhancement stages.
+	GenSyntaxCMB float64
+	GenSyntaxSEQ float64
+
+	// CheckerCleanBase/Slope give the probability that the generated
+	// checker is functionally correct: clamp(Base - Slope*difficulty),
+	// with an extra SEQPenalty subtracted for sequential problems.
+	CheckerCleanBase       float64
+	CheckerCleanSlope      float64
+	CheckerCleanSEQPenalty float64
+
+	// FaultCount is the distribution of the number of injected checker
+	// faults when the checker is not clean: FaultCount[k] is the
+	// relative weight of k+1 faults.
+	FaultCount []float64
+
+	// --- coverage (scenario list quality) ---
+
+	// BaselineScenarios/Steps size the baseline's thin testbenches.
+	BaselineScenarios, BaselineSteps int
+	// GenScenarios/Steps size AutoBench-style testbenches (before the
+	// per-difficulty bonus GenScenarioBonus*difficulty).
+	GenScenarios, GenSteps int
+	GenScenarioBonus       int
+
+	// --- imperfect RTL generation (validator's RTL group) ---
+
+	// RTLSyntax is the probability an imperfect RTL has syntax errors.
+	RTLSyntax float64
+	// RTLCorrect is the probability an imperfect RTL is actually
+	// correct (no injected fault).
+	RTLCorrect float64
+	// RTLFaultCount is the fault-count distribution for buggy RTLs
+	// (weights for 1, 2, ... faults).
+	RTLFaultCount []float64
+
+	// --- per-task systematic failure traits ---
+
+	// MisBase/MisSlopeCMB/MisSlopeSEQ give the probability that the
+	// model systematically misunderstands a task's specification:
+	// MisBase + slope*difficulty. A misunderstood task carries the
+	// same conceptual error into every regeneration (the "sticky"
+	// checker fault), which is what bounds CorrectBench's pass ratio
+	// despite its 10-reboot budget.
+	MisBase     float64
+	MisSlopeCMB float64
+	MisSlopeSEQ float64
+	// MisCleanProb is the residual probability that a regeneration of
+	// a misunderstood task happens to avoid the sticky error.
+	MisCleanProb float64
+	// StickyFixProb is the per-round probability the corrector repairs
+	// the sticky fault (the LLM rarely argues itself out of its own
+	// misconception).
+	StickyFixProb float64
+
+	// CovWeakCMB/CovWeakSEQ give the probability that the model's
+	// scenario list for a task systematically under-covers the input
+	// space (thin testbenches that pass Eval1 but cannot separate
+	// Eval2 mutants). Like misunderstanding, this is sticky per task.
+	CovWeakCMB float64
+	CovWeakSEQ float64
+
+	// --- corrector (two-stage conversation) ---
+
+	// LocalizeProb is the stage-1 probability of correctly attributing
+	// a fault implicated by the wrong-scenario report.
+	LocalizeProb float64
+	// FixProb is the stage-2 probability of repairing a localized
+	// fault without breaking the format.
+	FixProb float64
+	// RegressProb is the probability a correction round introduces a
+	// fresh fault elsewhere in the checker.
+	RegressProb float64
+
+	// --- token costs (per call, rough means; sampled ±25%) ---
+
+	TokensGenIn, TokensGenOut           int // testbench generation
+	TokensRTLIn, TokensRTLOut           int // one imperfect RTL
+	TokensCorrectIn, TokensCorrectOut   int // one correction round (both stages)
+	TokensBaselineIn, TokensBaselineOut int
+}
+
+// CheckerCleanProb returns the probability the generated checker is
+// functionally correct for a problem of the given difficulty/class,
+// assuming the task is understood.
+func (p *Profile) CheckerCleanProb(difficulty int, seq bool) float64 {
+	v := p.CheckerCleanBase - p.CheckerCleanSlope*float64(difficulty)
+	if seq {
+		v -= p.CheckerCleanSEQPenalty
+	}
+	return clamp01(v)
+}
+
+// TaskTrait captures the systematic, per-task component of the model's
+// behaviour: traits persist across regenerations of the same task
+// (same prompt, same misconception), unlike the per-call noise.
+type TaskTrait struct {
+	// Misunderstood tasks carry a sticky conceptual checker error.
+	Misunderstood bool
+	// WeakCoverage tasks get thin scenario lists in every generation.
+	WeakCoverage bool
+	// StickySeed fixes the mutation-enumeration seed for the task so
+	// the sticky fault lands on the same site in every regeneration.
+	StickySeed int64
+}
+
+// SampleTrait draws the per-task traits.
+func (p *Profile) SampleTrait(difficulty int, seq bool, rng *rand.Rand) TaskTrait {
+	slope := p.MisSlopeCMB
+	cov := p.CovWeakCMB
+	if seq {
+		slope = p.MisSlopeSEQ
+		cov = p.CovWeakSEQ
+	}
+	return TaskTrait{
+		Misunderstood: rng.Float64() < clamp01(p.MisBase+slope*float64(difficulty)),
+		WeakCoverage:  rng.Float64() < cov,
+		StickySeed:    rng.Int63(),
+	}
+}
+
+// SampleFaultCount draws the number of checker faults (>= 1) for a
+// non-clean checker.
+func (p *Profile) SampleFaultCount(rng *rand.Rand) int {
+	return 1 + weightedIndex(rng, p.FaultCount)
+}
+
+// SampleRTLFaultCount draws the number of faults for a buggy imperfect
+// RTL (>= 1).
+func (p *Profile) SampleRTLFaultCount(rng *rand.Rand) int {
+	return 1 + weightedIndex(rng, p.RTLFaultCount)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func weightedIndex(rng *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return 0
+	}
+	x := rng.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// GPT4o models gpt-4o-2024-08-06, the paper's primary model.
+func GPT4o() *Profile {
+	return &Profile{
+		Name: "gpt-4o",
+
+		BaselineSyntaxCMB: 0.20,
+		BaselineSyntaxSEQ: 0.51,
+		GenSyntaxCMB:      0.09,
+		GenSyntaxSEQ:      0.013,
+
+		CheckerCleanBase:       0.92,
+		CheckerCleanSlope:      0.03,
+		CheckerCleanSEQPenalty: 0.19,
+		FaultCount:             []float64{0.6, 0.3, 0.1},
+
+		MisBase:       0.02,
+		MisSlopeCMB:   0.06,
+		MisSlopeSEQ:   0.115,
+		MisCleanProb:  0.005,
+		StickyFixProb: 0.01,
+		CovWeakCMB:    0.03,
+		CovWeakSEQ:    0.23,
+
+		BaselineScenarios: 4, BaselineSteps: 5,
+		GenScenarios: 9, GenSteps: 12, GenScenarioBonus: 1,
+
+		RTLSyntax:     0.15,
+		RTLCorrect:    0.35,
+		RTLFaultCount: []float64{0.65, 0.25, 0.10},
+
+		LocalizeProb: 0.70,
+		FixProb:      0.80,
+		RegressProb:  0.06,
+
+		TokensGenIn: 5200, TokensGenOut: 1900,
+		TokensRTLIn: 700, TokensRTLOut: 450,
+		TokensCorrectIn: 3800, TokensCorrectOut: 1100,
+		TokensBaselineIn: 900, TokensBaselineOut: 1300,
+	}
+}
+
+// Claude35Sonnet models claude-3-5-sonnet-20240620.
+func Claude35Sonnet() *Profile {
+	p := GPT4o()
+	p.Name = "claude-3.5-sonnet"
+	// Slightly fewer syntax errors, comparable checker quality; the
+	// paper notes interface-compatibility friction that costs a little
+	// AutoBench-stage reliability.
+	p.BaselineSyntaxCMB = 0.17
+	p.BaselineSyntaxSEQ = 0.45
+	p.GenSyntaxCMB = 0.11
+	p.GenSyntaxSEQ = 0.05
+	p.CheckerCleanBase = 0.91
+	p.MisSlopeCMB = 0.065
+	p.MisSlopeSEQ = 0.095
+	p.CovWeakSEQ = 0.25
+	p.LocalizeProb = 0.68
+	p.FixProb = 0.78
+	return p
+}
+
+// GPT4oMini models gpt-4o-mini-2024-07-18.
+func GPT4oMini() *Profile {
+	p := GPT4o()
+	p.Name = "gpt-4o-mini"
+	// The lightweight model writes simpler testbenches: fewer syntax
+	// errors at baseline than 4o's long answers, but markedly worse
+	// functional quality and correction ability.
+	p.BaselineSyntaxCMB = 0.16
+	p.BaselineSyntaxSEQ = 0.40
+	p.GenSyntaxCMB = 0.12
+	p.GenSyntaxSEQ = 0.06
+	p.CheckerCleanBase = 0.86
+	p.CheckerCleanSlope = 0.04
+	p.CheckerCleanSEQPenalty = 0.20
+	p.MisBase = 0.04
+	p.MisSlopeCMB = 0.09
+	p.MisSlopeSEQ = 0.13
+	p.CovWeakCMB = 0.06
+	p.CovWeakSEQ = 0.30
+	p.RTLCorrect = 0.22
+	p.RTLSyntax = 0.22
+	p.LocalizeProb = 0.50
+	p.FixProb = 0.62
+	p.RegressProb = 0.12
+	p.GenScenarios = 7
+	p.GenSteps = 9
+	return p
+}
+
+// Profiles returns the three evaluated profiles in paper order.
+func Profiles() []*Profile {
+	return []*Profile{GPT4o(), Claude35Sonnet(), GPT4oMini()}
+}
+
+// ByName returns the profile with the given name, or nil.
+func ByName(name string) *Profile {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Accountant accumulates simulated token usage, the quantity Fig. 6(b)
+// reports per task.
+type Accountant struct {
+	In, Out int
+	Calls   int
+}
+
+// Charge records one call's cost, jittered ±25% like real responses.
+func (a *Accountant) Charge(rng *rand.Rand, in, out int) {
+	a.In += jitter(rng, in)
+	a.Out += jitter(rng, out)
+	a.Calls++
+}
+
+// Add merges another accountant's usage.
+func (a *Accountant) Add(o Accountant) {
+	a.In += o.In
+	a.Out += o.Out
+	a.Calls += o.Calls
+}
+
+func jitter(rng *rand.Rand, v int) int {
+	if v == 0 {
+		return 0
+	}
+	f := 0.75 + rng.Float64()*0.5
+	return int(float64(v) * f)
+}

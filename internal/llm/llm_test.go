@@ -1,0 +1,132 @@
+package llm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestProfilesDistinctAndComplete(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 3 {
+		t.Fatalf("profiles = %d, want 3", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.Name] {
+			t.Errorf("duplicate profile %s", p.Name)
+		}
+		seen[p.Name] = true
+		if p.TokensGenIn == 0 || p.FaultCount == nil || p.RTLFaultCount == nil {
+			t.Errorf("%s: incomplete profile", p.Name)
+		}
+	}
+	if ByName("gpt-4o") == nil || ByName("nope") != nil {
+		t.Error("ByName lookup broken")
+	}
+}
+
+func TestCheckerCleanProbMonotonic(t *testing.T) {
+	p := GPT4o()
+	for d := 1; d < 5; d++ {
+		if p.CheckerCleanProb(d, false) < p.CheckerCleanProb(d+1, false) {
+			t.Errorf("clean prob not decreasing in difficulty at %d", d)
+		}
+	}
+	for d := 1; d <= 5; d++ {
+		if p.CheckerCleanProb(d, true) > p.CheckerCleanProb(d, false) {
+			t.Errorf("SEQ should not be easier than CMB at difficulty %d", d)
+		}
+	}
+}
+
+func TestCheckerCleanProbClamped(t *testing.T) {
+	f := func(d uint8, seq bool) bool {
+		v := GPT4o().CheckerCleanProb(int(d%10), seq)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleFaultCountRange(t *testing.T) {
+	p := GPT4o()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		if n := p.SampleFaultCount(rng); n < 1 || n > len(p.FaultCount) {
+			t.Fatalf("fault count %d out of range", n)
+		}
+		if n := p.SampleRTLFaultCount(rng); n < 1 || n > len(p.RTLFaultCount) {
+			t.Fatalf("rtl fault count %d out of range", n)
+		}
+	}
+}
+
+func TestSampleTraitRates(t *testing.T) {
+	p := GPT4o()
+	rng := rand.New(rand.NewSource(2))
+	misSeq, misCmb := 0, 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if p.SampleTrait(4, true, rng).Misunderstood {
+			misSeq++
+		}
+		if p.SampleTrait(2, false, rng).Misunderstood {
+			misCmb++
+		}
+	}
+	seqRate := float64(misSeq) / n
+	cmbRate := float64(misCmb) / n
+	if seqRate < cmbRate {
+		t.Errorf("SEQ misunderstanding rate %.3f below CMB %.3f", seqRate, cmbRate)
+	}
+	wantSeq := p.MisBase + p.MisSlopeSEQ*4
+	if seqRate < wantSeq-0.02 || seqRate > wantSeq+0.02 {
+		t.Errorf("SEQ rate %.3f, want about %.3f", seqRate, wantSeq)
+	}
+}
+
+func TestTraitSeedsDiffer(t *testing.T) {
+	p := GPT4o()
+	rng := rand.New(rand.NewSource(3))
+	a := p.SampleTrait(3, true, rng)
+	b := p.SampleTrait(3, true, rng)
+	if a.StickySeed == b.StickySeed {
+		t.Error("sticky seeds collide")
+	}
+}
+
+func TestAccountant(t *testing.T) {
+	var a Accountant
+	rng := rand.New(rand.NewSource(4))
+	a.Charge(rng, 1000, 500)
+	if a.Calls != 1 || a.In < 750 || a.In > 1250 || a.Out < 375 || a.Out > 625 {
+		t.Errorf("charge out of jitter bounds: %+v", a)
+	}
+	var b Accountant
+	b.Charge(rng, 100, 100)
+	a.Add(b)
+	if a.Calls != 2 {
+		t.Errorf("add failed: %+v", a)
+	}
+	var z Accountant
+	z.Charge(rng, 0, 0)
+	if z.In != 0 || z.Out != 0 {
+		t.Error("zero charge should stay zero")
+	}
+}
+
+func TestWeightedIndexDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		counts[weightedIndex(rng, []float64{0.6, 0.3, 0.1})]++
+	}
+	if counts[0] < counts[1] || counts[1] < counts[2] {
+		t.Errorf("weights not respected: %v", counts)
+	}
+	if weightedIndex(rng, nil) != 0 || weightedIndex(rng, []float64{0, 0}) != 0 {
+		t.Error("degenerate weights should return 0")
+	}
+}

@@ -1,0 +1,321 @@
+// Package logic implements four-state (0, 1, X, Z) bit vectors with
+// IEEE 1364 (Verilog) operator semantics. It is the value domain of the
+// event-driven simulator in internal/sim.
+//
+// A Vector of width w stores two bit planes, following the common
+// aval/bval encoding:
+//
+//	a=0 b=0  ->  0
+//	a=1 b=0  ->  1
+//	a=0 b=1  ->  Z
+//	a=1 b=1  ->  X
+//
+// Bits above the width are kept zero in both planes; every operation
+// re-normalizes so that equality on the planes is value equality.
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Bit is a single four-state logic value.
+type Bit uint8
+
+// The four scalar logic states.
+const (
+	L0 Bit = iota // logic zero
+	L1            // logic one
+	Z             // high impedance
+	X             // unknown
+)
+
+// String returns "0", "1", "z" or "x".
+func (b Bit) String() string {
+	switch b {
+	case L0:
+		return "0"
+	case L1:
+		return "1"
+	case Z:
+		return "z"
+	default:
+		return "x"
+	}
+}
+
+const wordBits = 64
+
+// Vector is a fixed-width four-state bit vector. The zero value is not
+// usable; construct vectors with New, FromUint64, FromString or AllX.
+type Vector struct {
+	width int
+	a, b  []uint64
+}
+
+func words(width int) int { return (width + wordBits - 1) / wordBits }
+
+// New returns a vector of the given width with every bit 0.
+// It panics if width < 1.
+func New(width int) Vector {
+	if width < 1 {
+		panic(fmt.Sprintf("logic: invalid vector width %d", width))
+	}
+	n := words(width)
+	return Vector{width: width, a: make([]uint64, n), b: make([]uint64, n)}
+}
+
+// AllX returns a vector of the given width with every bit X.
+func AllX(width int) Vector {
+	v := New(width)
+	for i := range v.a {
+		v.a[i] = ^uint64(0)
+		v.b[i] = ^uint64(0)
+	}
+	v.normalize()
+	return v
+}
+
+// AllZ returns a vector of the given width with every bit Z.
+func AllZ(width int) Vector {
+	v := New(width)
+	for i := range v.b {
+		v.b[i] = ^uint64(0)
+	}
+	v.normalize()
+	return v
+}
+
+// Ones returns a vector of the given width with every bit 1.
+func Ones(width int) Vector {
+	v := New(width)
+	for i := range v.a {
+		v.a[i] = ^uint64(0)
+	}
+	v.normalize()
+	return v
+}
+
+// FromUint64 returns a vector of the given width holding val truncated
+// to that width.
+func FromUint64(width int, val uint64) Vector {
+	v := New(width)
+	v.a[0] = val
+	v.normalize()
+	return v
+}
+
+// FromBits builds a vector from bits listed most-significant first.
+func FromBits(bits ...Bit) Vector {
+	v := New(len(bits))
+	for i, b := range bits {
+		v.SetBit(len(bits)-1-i, b)
+	}
+	return v
+}
+
+// FromString parses a binary string such as "1010", "1x0z" or
+// "0b_1010" (underscores ignored). The first character is the MSB.
+func FromString(s string) (Vector, error) {
+	s = strings.TrimPrefix(s, "0b")
+	s = strings.ReplaceAll(s, "_", "")
+	if s == "" {
+		return Vector{}, fmt.Errorf("logic: empty vector literal")
+	}
+	v := New(len(s))
+	for i, c := range s {
+		pos := len(s) - 1 - i
+		switch c {
+		case '0':
+			v.SetBit(pos, L0)
+		case '1':
+			v.SetBit(pos, L1)
+		case 'x', 'X':
+			v.SetBit(pos, X)
+		case 'z', 'Z', '?':
+			v.SetBit(pos, Z)
+		default:
+			return Vector{}, fmt.Errorf("logic: invalid bit character %q", c)
+		}
+	}
+	return v, nil
+}
+
+// MustParse is FromString that panics on error; for tests and tables.
+func MustParse(s string) Vector {
+	v, err := FromString(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Width reports the number of bits in the vector.
+func (v Vector) Width() int { return v.width }
+
+// IsValid reports whether the vector was properly constructed.
+func (v Vector) IsValid() bool { return v.width > 0 && len(v.a) == words(v.width) }
+
+// clone returns a deep copy of v.
+func (v Vector) clone() Vector {
+	c := Vector{width: v.width, a: make([]uint64, len(v.a)), b: make([]uint64, len(v.b))}
+	copy(c.a, v.a)
+	copy(c.b, v.b)
+	return c
+}
+
+// normalize clears plane bits above the width.
+func (v *Vector) normalize() {
+	if v.width%wordBits == 0 {
+		return
+	}
+	mask := (uint64(1) << uint(v.width%wordBits)) - 1
+	v.a[len(v.a)-1] &= mask
+	v.b[len(v.b)-1] &= mask
+}
+
+// Bit returns the bit at position i (0 is the LSB). Out-of-range
+// positions read as 0, matching Verilog's zero extension of reads that
+// the simulator performs after width adjustment.
+func (v Vector) Bit(i int) Bit {
+	if i < 0 || i >= v.width {
+		return L0
+	}
+	w, o := i/wordBits, uint(i%wordBits)
+	a := (v.a[w] >> o) & 1
+	b := (v.b[w] >> o) & 1
+	switch {
+	case a == 0 && b == 0:
+		return L0
+	case a == 1 && b == 0:
+		return L1
+	case a == 0 && b == 1:
+		return Z
+	default:
+		return X
+	}
+}
+
+// SetBit sets the bit at position i. Out-of-range positions are ignored.
+func (v *Vector) SetBit(i int, b Bit) {
+	if i < 0 || i >= v.width {
+		return
+	}
+	w, o := i/wordBits, uint(i%wordBits)
+	am, bm := uint64(0), uint64(0)
+	switch b {
+	case L1:
+		am = 1
+	case Z:
+		bm = 1
+	case X:
+		am, bm = 1, 1
+	}
+	v.a[w] = v.a[w]&^(1<<o) | am<<o
+	v.b[w] = v.b[w]&^(1<<o) | bm<<o
+}
+
+// HasUnknown reports whether any bit is X or Z.
+func (v Vector) HasUnknown() bool {
+	for _, w := range v.b {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IsZero reports whether every bit is exactly 0.
+func (v Vector) IsZero() bool {
+	for i := range v.a {
+		if v.a[i] != 0 || v.b[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Uint64 returns the value as a uint64. ok is false if any bit is X or
+// Z or the value does not fit in 64 bits.
+func (v Vector) Uint64() (val uint64, ok bool) {
+	if v.HasUnknown() {
+		return 0, false
+	}
+	for i := 1; i < len(v.a); i++ {
+		if v.a[i] != 0 {
+			return 0, false
+		}
+	}
+	return v.a[0], true
+}
+
+// Equal reports case equality (===): identical four-state bit patterns
+// and identical widths.
+func (v Vector) Equal(o Vector) bool {
+	if v.width != o.width {
+		return false
+	}
+	for i := range v.a {
+		if v.a[i] != o.a[i] || v.b[i] != o.b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SameValue reports case equality after resizing both operands to the
+// wider width (zero extension), mirroring Verilog comparison contexts.
+func (v Vector) SameValue(o Vector) bool {
+	w := v.width
+	if o.width > w {
+		w = o.width
+	}
+	return v.Resize(w).Equal(o.Resize(w))
+}
+
+// String renders the vector MSB-first, e.g. "1010", "1xz0".
+func (v Vector) String() string {
+	var sb strings.Builder
+	sb.Grow(v.width)
+	for i := v.width - 1; i >= 0; i-- {
+		sb.WriteString(v.Bit(i).String())
+	}
+	return sb.String()
+}
+
+// VerilogLiteral renders the vector as a sized Verilog binary literal,
+// e.g. "4'b10x0".
+func (v Vector) VerilogLiteral() string {
+	return fmt.Sprintf("%d'b%s", v.width, v.String())
+}
+
+// Resize returns a copy of v resized to width, truncating or
+// zero-extending (Verilog unsigned semantics).
+func (v Vector) Resize(width int) Vector {
+	if width == v.width {
+		return v.clone()
+	}
+	r := New(width)
+	n := len(r.a)
+	if len(v.a) < n {
+		n = len(v.a)
+	}
+	copy(r.a[:n], v.a[:n])
+	copy(r.b[:n], v.b[:n])
+	r.normalize()
+	return r
+}
+
+// SignResize returns a copy of v resized to width with sign extension
+// (the MSB, including X/Z, is replicated when widening).
+func (v Vector) SignResize(width int) Vector {
+	if width <= v.width {
+		return v.Resize(width)
+	}
+	r := v.Resize(width)
+	msb := v.Bit(v.width - 1)
+	for i := v.width; i < width; i++ {
+		r.SetBit(i, msb)
+	}
+	return r
+}

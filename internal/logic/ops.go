@@ -1,0 +1,579 @@
+package logic
+
+// This file implements the Verilog operator set on Vector values.
+// Unless noted otherwise operands are first resized to a common width
+// (the wider of the two, per IEEE 1364 self-determined/context rules as
+// applied by the simulator) and results follow the standard
+// X-propagation rules:
+//
+//   - bitwise operators use the per-bit four-state tables (0&x==0,
+//     1|x==1, otherwise unknown inputs give x; z behaves as x),
+//   - arithmetic, shifts by unknown amounts, and ordered comparisons
+//     with any unknown bit yield all-x (or 1'bx for comparisons),
+//   - logical operators use three-valued logic,
+//   - case equality (===) is exact pattern comparison and always 0/1.
+
+// bitKnown reports whether the bit is 0 or 1.
+func bitKnown(b Bit) bool { return b == L0 || b == L1 }
+
+func commonWidth(x, y Vector) (Vector, Vector, int) {
+	w := x.width
+	if y.width > w {
+		w = y.width
+	}
+	return x.Resize(w), y.Resize(w), w
+}
+
+// And returns x & y.
+func And(x, y Vector) Vector { return bitwise(x, y, andBit) }
+
+// Or returns x | y.
+func Or(x, y Vector) Vector { return bitwise(x, y, orBit) }
+
+// Xor returns x ^ y.
+func Xor(x, y Vector) Vector { return bitwise(x, y, xorBit) }
+
+// Xnor returns x ~^ y.
+func Xnor(x, y Vector) Vector { return NotV(Xor(x, y)) }
+
+func andBit(p, q Bit) Bit {
+	if p == L0 || q == L0 {
+		return L0
+	}
+	if p == L1 && q == L1 {
+		return L1
+	}
+	return X
+}
+
+func orBit(p, q Bit) Bit {
+	if p == L1 || q == L1 {
+		return L1
+	}
+	if p == L0 && q == L0 {
+		return L0
+	}
+	return X
+}
+
+func xorBit(p, q Bit) Bit {
+	if !bitKnown(p) || !bitKnown(q) {
+		return X
+	}
+	if p != q {
+		return L1
+	}
+	return L0
+}
+
+func bitwise(x, y Vector, f func(p, q Bit) Bit) Vector {
+	xr, yr, w := commonWidth(x, y)
+	r := New(w)
+	for i := 0; i < w; i++ {
+		r.SetBit(i, f(xr.Bit(i), yr.Bit(i)))
+	}
+	return r
+}
+
+// NotV returns ~x (bitwise negation). Named NotV to leave Not for the
+// logical operator.
+func NotV(x Vector) Vector {
+	r := New(x.width)
+	for i := 0; i < x.width; i++ {
+		switch x.Bit(i) {
+		case L0:
+			r.SetBit(i, L1)
+		case L1:
+			r.SetBit(i, L0)
+		default:
+			r.SetBit(i, X)
+		}
+	}
+	return r
+}
+
+// arithmetic helpers -------------------------------------------------
+
+// addWords adds the a-planes of two fully known vectors of equal word
+// count with carry-in, returning the raw words.
+func addWords(x, y []uint64, carry uint64) []uint64 {
+	out := make([]uint64, len(x))
+	for i := range x {
+		s := x[i] + y[i]
+		c1 := uint64(0)
+		if s < x[i] {
+			c1 = 1
+		}
+		s2 := s + carry
+		if s2 < s {
+			c1 = 1
+		}
+		out[i] = s2
+		carry = c1
+	}
+	return out
+}
+
+// Add returns x + y at the common width, wrapping; all-x on unknowns.
+func Add(x, y Vector) Vector {
+	xr, yr, w := commonWidth(x, y)
+	if xr.HasUnknown() || yr.HasUnknown() {
+		return AllX(w)
+	}
+	r := Vector{width: w, a: addWords(xr.a, yr.a, 0), b: make([]uint64, len(xr.a))}
+	r.normalize()
+	return r
+}
+
+// Sub returns x - y at the common width, wrapping; all-x on unknowns.
+func Sub(x, y Vector) Vector {
+	xr, yr, w := commonWidth(x, y)
+	if xr.HasUnknown() || yr.HasUnknown() {
+		return AllX(w)
+	}
+	neg := make([]uint64, len(yr.a))
+	for i := range neg {
+		neg[i] = ^yr.a[i]
+	}
+	r := Vector{width: w, a: addWords(xr.a, neg, 1), b: make([]uint64, len(xr.a))}
+	r.normalize()
+	return r
+}
+
+// Neg returns -x (two's complement) at the width of x.
+func Neg(x Vector) Vector { return Sub(New(x.width), x) }
+
+// Mul returns x * y at the common width, wrapping; all-x on unknowns.
+// Operands wider than 64 known bits fall back to all-x only if the
+// product cannot be computed exactly in 128 bits; dataset circuits stay
+// within 64 bits.
+func Mul(x, y Vector) Vector {
+	xr, yr, w := commonWidth(x, y)
+	if xr.HasUnknown() || yr.HasUnknown() {
+		return AllX(w)
+	}
+	if len(xr.a) == 1 {
+		return FromUint64(w, xr.a[0]*yr.a[0])
+	}
+	// Schoolbook multiply on 32-bit limbs, truncated to w bits.
+	limbs := func(v []uint64) []uint64 {
+		out := make([]uint64, 0, len(v)*2)
+		for _, x := range v {
+			out = append(out, x&0xffffffff, x>>32)
+		}
+		return out
+	}
+	xa, ya := limbs(xr.a), limbs(yr.a)
+	acc := make([]uint64, len(xa)+len(ya))
+	for i, xv := range xa {
+		var carry uint64
+		for j, yv := range ya {
+			cur := acc[i+j] + xv*yv + carry
+			acc[i+j] = cur & 0xffffffff
+			carry = cur >> 32
+		}
+		if i+len(ya) < len(acc) {
+			acc[i+len(ya)] += carry
+		}
+	}
+	r := New(w)
+	for i := range r.a {
+		lo := uint64(0)
+		if 2*i < len(acc) {
+			lo = acc[2*i] & 0xffffffff
+		}
+		hi := uint64(0)
+		if 2*i+1 < len(acc) {
+			hi = acc[2*i+1] & 0xffffffff
+		}
+		r.a[i] = lo | hi<<32
+	}
+	r.normalize()
+	return r
+}
+
+// Div returns x / y (unsigned). Division by zero or unknowns give
+// all-x, per IEEE 1364.
+func Div(x, y Vector) Vector {
+	xr, yr, w := commonWidth(x, y)
+	xv, okx := xr.Uint64()
+	yv, oky := yr.Uint64()
+	if !okx || !oky || yv == 0 {
+		return AllX(w)
+	}
+	return FromUint64(w, xv/yv)
+}
+
+// Mod returns x % y (unsigned). Zero modulus or unknowns give all-x.
+func Mod(x, y Vector) Vector {
+	xr, yr, w := commonWidth(x, y)
+	xv, okx := xr.Uint64()
+	yv, oky := yr.Uint64()
+	if !okx || !oky || yv == 0 {
+		return AllX(w)
+	}
+	return FromUint64(w, xv%yv)
+}
+
+// shifts ---------------------------------------------------------------
+
+func shiftAmount(y Vector) (int, bool) {
+	v, ok := y.Uint64()
+	if !ok {
+		return 0, false
+	}
+	if v > 1<<20 {
+		v = 1 << 20 // clamp absurd amounts; result will be all zero anyway
+	}
+	return int(v), true
+}
+
+// Shl returns x << y at the width of x.
+func Shl(x, y Vector) Vector {
+	n, ok := shiftAmount(y)
+	if !ok {
+		return AllX(x.width)
+	}
+	r := New(x.width)
+	for i := n; i < x.width; i++ {
+		r.SetBit(i, x.Bit(i-n))
+	}
+	return r
+}
+
+// Shr returns x >> y (logical) at the width of x.
+func Shr(x, y Vector) Vector {
+	n, ok := shiftAmount(y)
+	if !ok {
+		return AllX(x.width)
+	}
+	r := New(x.width)
+	for i := 0; i+n < x.width; i++ {
+		r.SetBit(i, x.Bit(i+n))
+	}
+	return r
+}
+
+// Sshr returns x >>> y (arithmetic right shift: MSB replicated).
+func Sshr(x, y Vector) Vector {
+	n, ok := shiftAmount(y)
+	if !ok {
+		return AllX(x.width)
+	}
+	r := New(x.width)
+	msb := x.Bit(x.width - 1)
+	for i := 0; i < x.width; i++ {
+		if i+n < x.width {
+			r.SetBit(i, x.Bit(i+n))
+		} else {
+			r.SetBit(i, msb)
+		}
+	}
+	return r
+}
+
+// comparisons ----------------------------------------------------------
+
+// Bool converts a Go bool to a 1-bit vector.
+func Bool(b bool) Vector {
+	if b {
+		return FromUint64(1, 1)
+	}
+	return New(1)
+}
+
+// XBit returns the 1-bit unknown value.
+func XBit() Vector { return AllX(1) }
+
+// Eq returns x == y as a 1-bit vector (x if any unknown bit).
+func Eq(x, y Vector) Vector {
+	xr, yr, _ := commonWidth(x, y)
+	if xr.HasUnknown() || yr.HasUnknown() {
+		return XBit()
+	}
+	return Bool(xr.Equal(yr))
+}
+
+// Neq returns x != y as a 1-bit vector.
+func Neq(x, y Vector) Vector { return Not(Eq(x, y)) }
+
+// CaseEq returns x === y as a 1-bit 0/1 vector (exact pattern match at
+// the common width, zero extended).
+func CaseEq(x, y Vector) Vector {
+	xr, yr, _ := commonWidth(x, y)
+	return Bool(xr.Equal(yr))
+}
+
+// CaseNeq returns x !== y.
+func CaseNeq(x, y Vector) Vector { return Bool(!CaseEq(x, y).Equal(Bool(true))) }
+
+func cmpUnsigned(x, y Vector) (int, bool) {
+	xr, yr, _ := commonWidth(x, y)
+	if xr.HasUnknown() || yr.HasUnknown() {
+		return 0, false
+	}
+	for i := len(xr.a) - 1; i >= 0; i-- {
+		if xr.a[i] < yr.a[i] {
+			return -1, true
+		}
+		if xr.a[i] > yr.a[i] {
+			return 1, true
+		}
+	}
+	return 0, true
+}
+
+// Lt returns x < y (unsigned) as a 1-bit vector.
+func Lt(x, y Vector) Vector {
+	c, ok := cmpUnsigned(x, y)
+	if !ok {
+		return XBit()
+	}
+	return Bool(c < 0)
+}
+
+// Lte returns x <= y (unsigned).
+func Lte(x, y Vector) Vector {
+	c, ok := cmpUnsigned(x, y)
+	if !ok {
+		return XBit()
+	}
+	return Bool(c <= 0)
+}
+
+// Gt returns x > y (unsigned).
+func Gt(x, y Vector) Vector {
+	c, ok := cmpUnsigned(x, y)
+	if !ok {
+		return XBit()
+	}
+	return Bool(c > 0)
+}
+
+// Gte returns x >= y (unsigned).
+func Gte(x, y Vector) Vector {
+	c, ok := cmpUnsigned(x, y)
+	if !ok {
+		return XBit()
+	}
+	return Bool(c >= 0)
+}
+
+// logical (three-valued) ------------------------------------------------
+
+// Truth classifies a vector as true (any known 1 bit), false (all bits
+// known 0) or unknown.
+func Truth(x Vector) Bit {
+	sawUnknown := false
+	for i := 0; i < x.width; i++ {
+		switch x.Bit(i) {
+		case L1:
+			return L1
+		case X, Z:
+			sawUnknown = true
+		}
+	}
+	if sawUnknown {
+		return X
+	}
+	return L0
+}
+
+// Not returns !x as a 1-bit vector.
+func Not(x Vector) Vector {
+	switch Truth(x) {
+	case L1:
+		return Bool(false)
+	case L0:
+		return Bool(true)
+	default:
+		return XBit()
+	}
+}
+
+// LAnd returns x && y as a 1-bit vector.
+func LAnd(x, y Vector) Vector {
+	p, q := Truth(x), Truth(y)
+	if p == L0 || q == L0 {
+		return Bool(false)
+	}
+	if p == L1 && q == L1 {
+		return Bool(true)
+	}
+	return XBit()
+}
+
+// LOr returns x || y as a 1-bit vector.
+func LOr(x, y Vector) Vector {
+	p, q := Truth(x), Truth(y)
+	if p == L1 || q == L1 {
+		return Bool(true)
+	}
+	if p == L0 && q == L0 {
+		return Bool(false)
+	}
+	return XBit()
+}
+
+// reductions -------------------------------------------------------------
+
+// RedAnd returns &x.
+func RedAnd(x Vector) Vector {
+	r := L1
+	for i := 0; i < x.width; i++ {
+		r = andBit(r, x.Bit(i))
+		if r == L0 {
+			return Bool(false)
+		}
+	}
+	return bitVec(r)
+}
+
+// RedOr returns |x.
+func RedOr(x Vector) Vector {
+	r := L0
+	for i := 0; i < x.width; i++ {
+		r = orBit(r, x.Bit(i))
+		if r == L1 {
+			return Bool(true)
+		}
+	}
+	return bitVec(r)
+}
+
+// RedXor returns ^x.
+func RedXor(x Vector) Vector {
+	r := L0
+	for i := 0; i < x.width; i++ {
+		r = xorBit(r, x.Bit(i))
+	}
+	return bitVec(r)
+}
+
+// RedNand, RedNor, RedXnor are the negated reductions.
+func RedNand(x Vector) Vector { return NotV(RedAnd(x)) }
+func RedNor(x Vector) Vector  { return NotV(RedOr(x)) }
+func RedXnor(x Vector) Vector { return NotV(RedXor(x)) }
+
+func bitVec(b Bit) Vector {
+	v := New(1)
+	v.SetBit(0, b)
+	return v
+}
+
+// structure --------------------------------------------------------------
+
+// Concat concatenates the operands, first listed = most significant,
+// matching Verilog {a, b, c}.
+func Concat(parts ...Vector) Vector {
+	total := 0
+	for _, p := range parts {
+		total += p.width
+	}
+	r := New(total)
+	pos := 0
+	for i := len(parts) - 1; i >= 0; i-- {
+		p := parts[i]
+		for j := 0; j < p.width; j++ {
+			r.SetBit(pos+j, p.Bit(j))
+		}
+		pos += p.width
+	}
+	return r
+}
+
+// Replicate returns {n{x}}.
+func Replicate(n int, x Vector) Vector {
+	if n < 1 {
+		panic("logic: replication count must be >= 1")
+	}
+	parts := make([]Vector, n)
+	for i := range parts {
+		parts[i] = x
+	}
+	return Concat(parts...)
+}
+
+// Slice returns x[hi:lo] as a new vector of width hi-lo+1. Bits outside
+// x read as X, matching Verilog out-of-range part selects.
+func Slice(x Vector, hi, lo int) Vector {
+	if hi < lo {
+		hi, lo = lo, hi
+	}
+	r := New(hi - lo + 1)
+	for i := lo; i <= hi; i++ {
+		if i >= 0 && i < x.width {
+			r.SetBit(i-lo, x.Bit(i))
+		} else {
+			r.SetBit(i-lo, X)
+		}
+	}
+	return r
+}
+
+// SetSlice writes val into x[hi:lo] in place (truncating or
+// zero-extending val to the slice width).
+func (v *Vector) SetSlice(hi, lo int, val Vector) {
+	if hi < lo {
+		hi, lo = lo, hi
+	}
+	vr := val.Resize(hi - lo + 1)
+	for i := lo; i <= hi; i++ {
+		if i >= 0 && i < v.width {
+			v.SetBit(i, vr.Bit(i-lo))
+		}
+	}
+}
+
+// Mux returns sel ? a : b with Verilog ternary X-merging: when sel is
+// unknown, bits where a and b agree keep that value and others are X.
+func Mux(sel, a, b Vector) Vector {
+	switch Truth(sel) {
+	case L1:
+		return a.clone()
+	case L0:
+		return b.clone()
+	}
+	ar, br, w := commonWidth(a, b)
+	r := New(w)
+	for i := 0; i < w; i++ {
+		pa, pb := ar.Bit(i), br.Bit(i)
+		if pa == pb && bitKnown(pa) {
+			r.SetBit(i, pa)
+		} else {
+			r.SetBit(i, X)
+		}
+	}
+	return r
+}
+
+// CaseZMatch reports whether value matches pattern treating Z/? bits in
+// the pattern (and value) as don't-care, per casez.
+func CaseZMatch(value, pattern Vector) bool {
+	vr, pr, w := commonWidth(value, pattern)
+	for i := 0; i < w; i++ {
+		pv, pp := vr.Bit(i), pr.Bit(i)
+		if pv == Z || pp == Z {
+			continue
+		}
+		if pv != pp {
+			return false
+		}
+	}
+	return true
+}
+
+// CaseXMatch is CaseZMatch with X also a don't-care, per casex.
+func CaseXMatch(value, pattern Vector) bool {
+	vr, pr, w := commonWidth(value, pattern)
+	for i := 0; i < w; i++ {
+		pv, pp := vr.Bit(i), pr.Bit(i)
+		if pv == Z || pp == Z || pv == X || pp == X {
+			continue
+		}
+		if pv != pp {
+			return false
+		}
+	}
+	return true
+}

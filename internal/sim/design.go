@@ -1,0 +1,877 @@
+// Package sim elaborates parsed Verilog into a flat design and
+// simulates it with four-state, event-driven semantics. Together with
+// internal/verilog it is this repository's stand-in for Icarus Verilog:
+// parse errors and elaboration errors model "syntax failed" (Eval0),
+// and the Instance API supplies cycle-accurate outputs for testbench
+// validation, RS-matrix construction and mutant evaluation.
+//
+// The simulator supports two driving styles:
+//
+//   - the cycle API (SetInput / Settle / Tick) used by the testbench
+//     framework, with full edge detection including asynchronous sets
+//     and resets, and
+//   - a timed scheduler (Run) that executes initial blocks and
+//     delay-driven always blocks, used by cmd/vsim.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"correctbench/internal/logic"
+	"correctbench/internal/verilog"
+)
+
+// ElabError is an elaboration (semantic) error.
+type ElabError struct {
+	Pos verilog.Pos
+	Msg string
+}
+
+func (e *ElabError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func elabErrf(pos verilog.Pos, format string, args ...interface{}) error {
+	return &ElabError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// PortDir is a port direction in the elaborated design.
+type PortDir int
+
+// Port directions.
+const (
+	In PortDir = iota
+	Out
+	InOut
+)
+
+func (d PortDir) String() string {
+	switch d {
+	case In:
+		return "input"
+	case Out:
+		return "output"
+	default:
+		return "inout"
+	}
+}
+
+// Port describes a top-level port of the elaborated design.
+type Port struct {
+	Name  string
+	Dir   PortDir
+	Width int
+}
+
+// Signal is a named state element (net, variable or flattened child
+// signal).
+type Signal struct {
+	Name  string
+	Width int
+	IsVar bool // reg/integer (procedurally assigned)
+}
+
+// ProcKind classifies processes.
+type ProcKind int
+
+// Process kinds.
+const (
+	ProcComb    ProcKind = iota // continuous assign or always @(*) / level list
+	ProcSeq                     // edge-triggered always
+	ProcInitial                 // initial block (timed scheduler only)
+	ProcTimed                   // always block with no event control (delay loop)
+)
+
+// SensEntry is an elaborated sensitivity entry.
+type SensEntry struct {
+	Edge verilog.EdgeKind
+	Sig  string
+}
+
+// Process is an executable process of the flat design.
+type Process struct {
+	Kind ProcKind
+	Sens []SensEntry // seq: edge list; comb: read set
+	Body verilog.Stmt
+	Name string // diagnostic label
+}
+
+// Design is an elaborated, flattened module hierarchy.
+type Design struct {
+	Top     string
+	Ports   []Port
+	Signals map[string]*Signal
+	Order   []string // deterministic signal order
+	Procs   []*Process
+	Params  map[string]logic.Vector // resolved constants (top level)
+}
+
+// Port returns the named top-level port, or nil.
+func (d *Design) Port(name string) *Port {
+	for i := range d.Ports {
+		if d.Ports[i].Name == name {
+			return &d.Ports[i]
+		}
+	}
+	return nil
+}
+
+// Elaborate flattens the hierarchy rooted at module top.
+func Elaborate(file *verilog.SourceFile, top string) (*Design, error) {
+	mod := file.Module(top)
+	if mod == nil {
+		return nil, elabErrf(verilog.Pos{Line: 1, Col: 1}, "top module %q not found", top)
+	}
+	d := &Design{
+		Top:     top,
+		Signals: map[string]*Signal{},
+		Params:  map[string]logic.Vector{},
+	}
+	e := &elaborator{file: file, design: d, depth: 0}
+	if err := e.module(mod, "", nil, true); err != nil {
+		return nil, err
+	}
+	sort.Strings(d.Order)
+	return d, nil
+}
+
+// ElaborateSource parses and elaborates in one step.
+func ElaborateSource(src, top string) (*Design, error) {
+	f, err := verilog.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Elaborate(f, top)
+}
+
+type elaborator struct {
+	file   *verilog.SourceFile
+	design *Design
+	depth  int
+}
+
+const maxDepth = 16
+
+// module elaborates one module under the given instance prefix.
+// paramOverrides maps parameter names to override expressions already
+// evaluated in the parent scope.
+func (e *elaborator) module(m *verilog.Module, prefix string, paramOverrides map[string]logic.Vector, isTop bool) error {
+	if e.depth > maxDepth {
+		return elabErrf(m.Pos, "instantiation depth exceeds %d (recursive hierarchy?)", maxDepth)
+	}
+
+	// Pass 1: resolve parameters in declaration order.
+	params := map[string]logic.Vector{}
+	for _, it := range m.Items {
+		d, ok := it.(*verilog.Decl)
+		if !ok || (d.Kind != verilog.DeclParameter && d.Kind != verilog.DeclLocalparam) {
+			continue
+		}
+		name := d.Names[0]
+		if ov, ok := paramOverrides[name]; ok && d.Kind == verilog.DeclParameter {
+			params[name] = ov
+			continue
+		}
+		v, err := e.constEval(d.Init, params, d.Pos)
+		if err != nil {
+			return err
+		}
+		params[name] = v
+	}
+	if isTop {
+		e.design.Params = params
+	}
+
+	// Pass 2: declare signals.
+	declared := map[string]bool{}
+	for _, it := range m.Items {
+		d, ok := it.(*verilog.Decl)
+		if !ok || d.Kind == verilog.DeclParameter || d.Kind == verilog.DeclLocalparam {
+			continue
+		}
+		width := 1
+		if d.Kind == verilog.DeclInteger {
+			width = 32
+		}
+		if d.Range != nil {
+			w, err := e.rangeWidth(d.Range, params, d.Pos)
+			if err != nil {
+				return err
+			}
+			width = w
+		}
+		isVar := d.Kind == verilog.DeclReg || d.Kind == verilog.DeclInteger || d.IsReg
+		for _, n := range d.Names {
+			full := prefix + n
+			if prev, exists := e.design.Signals[full]; exists {
+				// Merging is allowed when a port is re-declared as
+				// reg/wire in the body (classic style); widths must
+				// agree.
+				if prev.Width != width {
+					return elabErrf(d.Pos, "conflicting widths for %s: %d vs %d", n, prev.Width, width)
+				}
+				prev.IsVar = prev.IsVar || isVar
+				continue
+			}
+			if declared[n] {
+				return elabErrf(d.Pos, "duplicate declaration of %s", n)
+			}
+			e.design.Signals[full] = &Signal{Name: full, Width: width, IsVar: isVar}
+			e.design.Order = append(e.design.Order, full)
+			if isTop && d.Kind.IsPort() {
+				dir := In
+				switch d.Kind {
+				case verilog.DeclOutput:
+					dir = Out
+				case verilog.DeclInout:
+					dir = InOut
+				}
+				e.design.Ports = append(e.design.Ports, Port{Name: n, Dir: dir, Width: width})
+			}
+		}
+	}
+
+	// Classic-style headers declare ports only by name; make sure every
+	// header port ended up with a declaration.
+	for _, n := range m.PortOrder {
+		if e.design.Signals[prefix+n] == nil {
+			return elabErrf(m.Pos, "port %s of module %s has no declaration", n, m.Name)
+		}
+	}
+
+	// Pass 3: processes and instances.
+	sub := &scopedElab{e: e, prefix: prefix, params: params, module: m}
+	for _, it := range m.Items {
+		switch x := it.(type) {
+		case *verilog.ContAssign:
+			if err := sub.contAssign(x); err != nil {
+				return err
+			}
+		case *verilog.Always:
+			if err := sub.always(x); err != nil {
+				return err
+			}
+		case *verilog.Initial:
+			body, err := sub.rewriteStmt(x.Body)
+			if err != nil {
+				return err
+			}
+			e.design.Procs = append(e.design.Procs, &Process{
+				Kind: ProcInitial, Body: body, Name: prefix + "initial",
+			})
+		case *verilog.Instance:
+			if err := sub.instance(x); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// scopedElab carries per-module state while rewriting bodies into the
+// flat namespace.
+type scopedElab struct {
+	e      *elaborator
+	prefix string
+	params map[string]logic.Vector
+	module *verilog.Module
+}
+
+func (s *scopedElab) contAssign(ca *verilog.ContAssign) error {
+	lhs, err := s.rewriteExpr(ca.LHS)
+	if err != nil {
+		return err
+	}
+	rhs, err := s.rewriteExpr(ca.RHS)
+	if err != nil {
+		return err
+	}
+	if err := s.checkLValue(lhs, ca.Pos, false); err != nil {
+		return err
+	}
+	body := &verilog.Assign{LHS: lhs, RHS: rhs, Pos: ca.Pos}
+	s.e.design.Procs = append(s.e.design.Procs, &Process{
+		Kind: ProcComb,
+		Sens: readSet(body),
+		Body: body,
+		Name: s.prefix + "assign " + verilog.ExprString(lhs),
+	})
+	return nil
+}
+
+func (s *scopedElab) always(a *verilog.Always) error {
+	body, err := s.rewriteStmt(a.Body)
+	if err != nil {
+		return err
+	}
+	switch {
+	case a.Star || allLevel(a.Sens):
+		p := &Process{Kind: ProcComb, Body: body, Name: s.prefix + "always@*"}
+		if a.Star {
+			p.Sens = readSetExcludingTargets(body)
+		} else {
+			for _, se := range a.Sens {
+				p.Sens = append(p.Sens, SensEntry{Edge: verilog.EdgeNone, Sig: s.prefix + se.Sig})
+			}
+		}
+		s.e.design.Procs = append(s.e.design.Procs, p)
+	case len(a.Sens) == 0:
+		// "always" with no event control: legal only with a delay body
+		// (timed scheduler).
+		if _, ok := firstDelay(body); !ok {
+			return elabErrf(a.Pos, "always block without event control or delay")
+		}
+		s.e.design.Procs = append(s.e.design.Procs, &Process{
+			Kind: ProcTimed, Body: body, Name: s.prefix + "always#",
+		})
+	default:
+		p := &Process{Kind: ProcSeq, Body: body, Name: s.prefix + "always@edge"}
+		for _, se := range a.Sens {
+			if se.Edge == verilog.EdgeNone {
+				return elabErrf(a.Pos, "mixed edge and level sensitivity is not supported")
+			}
+			sig := s.prefix + se.Sig
+			if s.e.design.Signals[sig] == nil {
+				return elabErrf(a.Pos, "unknown signal %s in sensitivity list", se.Sig)
+			}
+			p.Sens = append(p.Sens, SensEntry{Edge: se.Edge, Sig: sig})
+		}
+		s.e.design.Procs = append(s.e.design.Procs, p)
+	}
+	return nil
+}
+
+func allLevel(sens []verilog.SensItem) bool {
+	if len(sens) == 0 {
+		return false
+	}
+	for _, s := range sens {
+		if s.Edge != verilog.EdgeNone {
+			return false
+		}
+	}
+	return true
+}
+
+func firstDelay(s verilog.Stmt) (*verilog.Delay, bool) {
+	switch x := s.(type) {
+	case *verilog.Delay:
+		return x, true
+	case *verilog.Block:
+		if len(x.Stmts) > 0 {
+			return firstDelay(x.Stmts[0])
+		}
+	}
+	return nil, false
+}
+
+func (s *scopedElab) instance(inst *verilog.Instance) error {
+	child := s.e.file.Module(inst.Module)
+	if child == nil {
+		return elabErrf(inst.Pos, "unknown module %q", inst.Module)
+	}
+	// Evaluate parameter overrides in the parent scope.
+	overrides := map[string]logic.Vector{}
+	paramNames := childParamNames(child)
+	for i, c := range inst.Params {
+		name := c.Name
+		if name == "" {
+			if i >= len(paramNames) {
+				return elabErrf(inst.Pos, "too many positional parameters for %s", inst.Module)
+			}
+			name = paramNames[i]
+		}
+		v, err := s.e.constEval(c.Expr, s.params, inst.Pos)
+		if err != nil {
+			return err
+		}
+		overrides[name] = v
+	}
+
+	childPrefix := s.prefix + inst.Name + "."
+	s.e.depth++
+	err := s.e.module(child, childPrefix, overrides, false)
+	s.e.depth--
+	if err != nil {
+		return err
+	}
+
+	// Connect ports.
+	ports := child.Ports()
+	var flatNames []string
+	var flatDirs []verilog.DeclKind
+	for _, pd := range ports {
+		for _, n := range pd.Names {
+			flatNames = append(flatNames, n)
+			flatDirs = append(flatDirs, pd.Kind)
+		}
+	}
+	// Respect header order when available.
+	if len(child.PortOrder) == len(flatNames) {
+		dirByName := map[string]verilog.DeclKind{}
+		for i, n := range flatNames {
+			dirByName[n] = flatDirs[i]
+		}
+		flatNames = append([]string(nil), child.PortOrder...)
+		flatDirs = flatDirs[:0]
+		for _, n := range flatNames {
+			flatDirs = append(flatDirs, dirByName[n])
+		}
+	}
+
+	for i, c := range inst.Conns {
+		var portName string
+		var dir verilog.DeclKind
+		if c.Name != "" {
+			idx := indexOf(flatNames, c.Name)
+			if idx < 0 {
+				return elabErrf(inst.Pos, "module %s has no port %q", inst.Module, c.Name)
+			}
+			portName, dir = flatNames[idx], flatDirs[idx]
+		} else {
+			if i >= len(flatNames) {
+				return elabErrf(inst.Pos, "too many positional connections for %s", inst.Module)
+			}
+			portName, dir = flatNames[i], flatDirs[i]
+		}
+		if c.Expr == nil {
+			continue // unconnected port
+		}
+		parentExpr, err := s.rewriteExpr(c.Expr)
+		if err != nil {
+			return err
+		}
+		childSig := childPrefix + portName
+		switch dir {
+		case verilog.DeclInput:
+			body := &verilog.Assign{LHS: &verilog.Ident{Name: childSig}, RHS: parentExpr, Pos: inst.Pos}
+			s.e.design.Procs = append(s.e.design.Procs, &Process{
+				Kind: ProcComb, Sens: readSet(body), Body: body,
+				Name: childSig + " (port input)",
+			})
+		case verilog.DeclOutput:
+			if err := s.checkLValue(parentExpr, inst.Pos, false); err != nil {
+				return err
+			}
+			body := &verilog.Assign{LHS: parentExpr, RHS: &verilog.Ident{Name: childSig}, Pos: inst.Pos}
+			s.e.design.Procs = append(s.e.design.Procs, &Process{
+				Kind: ProcComb, Sens: readSet(body), Body: body,
+				Name: childSig + " (port output)",
+			})
+		default:
+			return elabErrf(inst.Pos, "inout ports are not supported in instances")
+		}
+	}
+	return nil
+}
+
+func childParamNames(m *verilog.Module) []string {
+	var out []string
+	for _, it := range m.Items {
+		if d, ok := it.(*verilog.Decl); ok && d.Kind == verilog.DeclParameter {
+			out = append(out, d.Names[0])
+		}
+	}
+	return out
+}
+
+func indexOf(ss []string, s string) int {
+	for i, v := range ss {
+		if v == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// rewriteExpr maps identifiers into the flat namespace, substituting
+// parameters by their constant values.
+func (s *scopedElab) rewriteExpr(e verilog.Expr) (verilog.Expr, error) {
+	switch x := e.(type) {
+	case nil:
+		return nil, nil
+	case *verilog.Ident:
+		if v, ok := s.params[x.Name]; ok {
+			return &verilog.Number{Width: v.Width(), Val: v}, nil
+		}
+		full := s.prefix + x.Name
+		if s.e.design.Signals[full] == nil {
+			return nil, elabErrf(x.Pos, "undeclared identifier %q", x.Name)
+		}
+		return &verilog.Ident{Name: full, Pos: x.Pos}, nil
+	case *verilog.Number, *verilog.StringLit:
+		return e, nil
+	case *verilog.Unary:
+		in, err := s.rewriteExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return &verilog.Unary{Op: x.Op, X: in}, nil
+	case *verilog.Binary:
+		l, err := s.rewriteExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		r, err := s.rewriteExpr(x.Y)
+		if err != nil {
+			return nil, err
+		}
+		return &verilog.Binary{Op: x.Op, X: l, Y: r, Pos: x.Pos}, nil
+	case *verilog.Ternary:
+		c, err := s.rewriteExpr(x.Cond)
+		if err != nil {
+			return nil, err
+		}
+		th, err := s.rewriteExpr(x.Then)
+		if err != nil {
+			return nil, err
+		}
+		el, err := s.rewriteExpr(x.Else)
+		if err != nil {
+			return nil, err
+		}
+		return &verilog.Ternary{Cond: c, Then: th, Else: el}, nil
+	case *verilog.Concat:
+		out := &verilog.Concat{}
+		for _, p := range x.Parts {
+			rp, err := s.rewriteExpr(p)
+			if err != nil {
+				return nil, err
+			}
+			out.Parts = append(out.Parts, rp)
+		}
+		return out, nil
+	case *verilog.Repl:
+		cnt, err := s.rewriteExpr(x.Count)
+		if err != nil {
+			return nil, err
+		}
+		val, err := s.rewriteExpr(x.Value)
+		if err != nil {
+			return nil, err
+		}
+		return &verilog.Repl{Count: cnt, Value: val}, nil
+	case *verilog.Index:
+		in, err := s.rewriteExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := s.rewriteExpr(x.Index)
+		if err != nil {
+			return nil, err
+		}
+		return &verilog.Index{X: in, Index: idx}, nil
+	case *verilog.PartSelect:
+		in, err := s.rewriteExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		msb, err := s.rewriteExpr(x.MSB)
+		if err != nil {
+			return nil, err
+		}
+		lsb, err := s.rewriteExpr(x.LSB)
+		if err != nil {
+			return nil, err
+		}
+		return &verilog.PartSelect{X: in, MSB: msb, LSB: lsb}, nil
+	default:
+		return nil, elabErrf(verilog.Pos{}, "unsupported expression %T", e)
+	}
+}
+
+func (s *scopedElab) rewriteStmt(st verilog.Stmt) (verilog.Stmt, error) {
+	switch x := st.(type) {
+	case nil:
+		return nil, nil
+	case *verilog.Null:
+		return x, nil
+	case *verilog.Block:
+		out := &verilog.Block{Name: x.Name}
+		for _, sub := range x.Stmts {
+			rs, err := s.rewriteStmt(sub)
+			if err != nil {
+				return nil, err
+			}
+			out.Stmts = append(out.Stmts, rs)
+		}
+		return out, nil
+	case *verilog.Assign:
+		lhs, err := s.rewriteExpr(x.LHS)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.checkLValue(lhs, x.Pos, true); err != nil {
+			return nil, err
+		}
+		rhs, err := s.rewriteExpr(x.RHS)
+		if err != nil {
+			return nil, err
+		}
+		return &verilog.Assign{LHS: lhs, RHS: rhs, NonBlocking: x.NonBlocking, Pos: x.Pos}, nil
+	case *verilog.If:
+		c, err := s.rewriteExpr(x.Cond)
+		if err != nil {
+			return nil, err
+		}
+		th, err := s.rewriteStmt(x.Then)
+		if err != nil {
+			return nil, err
+		}
+		el, err := s.rewriteStmt(x.Else)
+		if err != nil {
+			return nil, err
+		}
+		return &verilog.If{Cond: c, Then: th, Else: el}, nil
+	case *verilog.Case:
+		sel, err := s.rewriteExpr(x.Expr)
+		if err != nil {
+			return nil, err
+		}
+		out := &verilog.Case{Kind: x.Kind, Expr: sel}
+		for _, item := range x.Items {
+			var exprs []verilog.Expr
+			for _, e := range item.Exprs {
+				re, err := s.rewriteExpr(e)
+				if err != nil {
+					return nil, err
+				}
+				exprs = append(exprs, re)
+			}
+			body, err := s.rewriteStmt(item.Body)
+			if err != nil {
+				return nil, err
+			}
+			out.Items = append(out.Items, verilog.CaseItem{Exprs: exprs, Body: body})
+		}
+		return out, nil
+	case *verilog.For:
+		init, err := s.rewriteStmt(x.Init)
+		if err != nil {
+			return nil, err
+		}
+		cond, err := s.rewriteExpr(x.Cond)
+		if err != nil {
+			return nil, err
+		}
+		step, err := s.rewriteStmt(x.Step)
+		if err != nil {
+			return nil, err
+		}
+		body, err := s.rewriteStmt(x.Body)
+		if err != nil {
+			return nil, err
+		}
+		return &verilog.For{Init: init.(*verilog.Assign), Cond: cond, Step: step.(*verilog.Assign), Body: body}, nil
+	case *verilog.Repeat:
+		cnt, err := s.rewriteExpr(x.Count)
+		if err != nil {
+			return nil, err
+		}
+		body, err := s.rewriteStmt(x.Body)
+		if err != nil {
+			return nil, err
+		}
+		return &verilog.Repeat{Count: cnt, Body: body}, nil
+	case *verilog.Delay:
+		amt, err := s.rewriteExpr(x.Amount)
+		if err != nil {
+			return nil, err
+		}
+		body, err := s.rewriteStmt(x.Body)
+		if err != nil {
+			return nil, err
+		}
+		return &verilog.Delay{Amount: amt, Body: body}, nil
+	case *verilog.SysCall:
+		out := &verilog.SysCall{Name: x.Name, Pos: x.Pos}
+		for _, a := range x.Args {
+			if _, ok := a.(*verilog.StringLit); ok {
+				out.Args = append(out.Args, a)
+				continue
+			}
+			ra, err := s.rewriteExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			out.Args = append(out.Args, ra)
+		}
+		return out, nil
+	default:
+		return nil, elabErrf(verilog.Pos{}, "unsupported statement %T", st)
+	}
+}
+
+// checkLValue verifies that an already-rewritten expression is a legal
+// assignment target. procedural selects whether reg-ness is required.
+func (s *scopedElab) checkLValue(lhs verilog.Expr, pos verilog.Pos, procedural bool) error {
+	switch x := lhs.(type) {
+	case *verilog.Ident:
+		sig := s.e.design.Signals[x.Name]
+		if sig == nil {
+			return elabErrf(pos, "assignment to undeclared %q", x.Name)
+		}
+		if procedural && !sig.IsVar {
+			return elabErrf(pos, "procedural assignment to wire %q (declare it reg)", x.Name)
+		}
+		if !procedural && sig.IsVar {
+			return elabErrf(pos, "continuous assignment to reg %q", x.Name)
+		}
+		return nil
+	case *verilog.Index:
+		return s.checkLValue(x.X, pos, procedural)
+	case *verilog.PartSelect:
+		return s.checkLValue(x.X, pos, procedural)
+	case *verilog.Concat:
+		for _, p := range x.Parts {
+			if err := s.checkLValue(p, pos, procedural); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return elabErrf(pos, "invalid assignment target")
+	}
+}
+
+// readSet computes the level-sensitivity set of a statement: every
+// identifier read anywhere in it (conservative: includes LHS index
+// expressions; excludes pure LHS targets).
+func readSet(body verilog.Stmt) []SensEntry {
+	seen := map[string]bool{}
+	var addExpr func(e verilog.Expr)
+	addExpr = func(e verilog.Expr) {
+		verilog.WalkExprs(e, func(x verilog.Expr) {
+			if id, ok := x.(*verilog.Ident); ok {
+				seen[id.Name] = true
+			}
+		})
+	}
+	var addLHSIndexes func(e verilog.Expr)
+	addLHSIndexes = func(e verilog.Expr) {
+		switch x := e.(type) {
+		case *verilog.Index:
+			addLHSIndexes(x.X)
+			addExpr(x.Index)
+		case *verilog.PartSelect:
+			addLHSIndexes(x.X)
+			addExpr(x.MSB)
+			addExpr(x.LSB)
+		case *verilog.Concat:
+			for _, p := range x.Parts {
+				addLHSIndexes(p)
+			}
+		}
+	}
+	verilog.WalkStmts(body, func(s verilog.Stmt) {
+		switch x := s.(type) {
+		case *verilog.Assign:
+			addExpr(x.RHS)
+			addLHSIndexes(x.LHS)
+		case *verilog.If:
+			addExpr(x.Cond)
+		case *verilog.Case:
+			addExpr(x.Expr)
+			for _, item := range x.Items {
+				for _, e := range item.Exprs {
+					addExpr(e)
+				}
+			}
+		case *verilog.For:
+			addExpr(x.Cond)
+		case *verilog.Repeat:
+			addExpr(x.Count)
+		case *verilog.SysCall:
+			for _, a := range x.Args {
+				addExpr(a)
+			}
+		}
+	})
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]SensEntry, len(names))
+	for i, n := range names {
+		out[i] = SensEntry{Edge: verilog.EdgeNone, Sig: n}
+	}
+	return out
+}
+
+// readSetExcludingTargets is readSet minus the signals the statement
+// itself assigns. An always @(*) process that reads a signal it also
+// writes (loop counters, read-modify-write outputs, latch holds) must
+// not re-trigger on its own writes, or combinational settling would
+// never reach a fixpoint.
+func readSetExcludingTargets(body verilog.Stmt) []SensEntry {
+	targets := map[string]bool{}
+	verilog.WalkStmts(body, func(s verilog.Stmt) {
+		if a, ok := s.(*verilog.Assign); ok {
+			for _, n := range verilog.LHSTargets(a.LHS) {
+				targets[n] = true
+			}
+		}
+	})
+	var out []SensEntry
+	for _, se := range readSet(body) {
+		if !targets[se.Sig] {
+			out = append(out, se)
+		}
+	}
+	return out
+}
+
+// constEval evaluates a constant expression during elaboration.
+func (e *elaborator) constEval(expr verilog.Expr, params map[string]logic.Vector, pos verilog.Pos) (logic.Vector, error) {
+	if expr == nil {
+		return logic.Vector{}, elabErrf(pos, "missing constant expression")
+	}
+	env := constEnv{params: params}
+	v, err := evalExpr(expr, env, 0)
+	if err != nil {
+		return logic.Vector{}, elabErrf(pos, "constant expression: %v", err)
+	}
+	return v, nil
+}
+
+func (e *elaborator) rangeWidth(r *verilog.Range, params map[string]logic.Vector, pos verilog.Pos) (int, error) {
+	msbV, err := e.constEval(r.MSB, params, pos)
+	if err != nil {
+		return 0, err
+	}
+	lsbV, err := e.constEval(r.LSB, params, pos)
+	if err != nil {
+		return 0, err
+	}
+	msb, ok1 := msbV.Uint64()
+	lsb, ok2 := lsbV.Uint64()
+	if !ok1 || !ok2 {
+		return 0, elabErrf(pos, "range bounds must be fully defined")
+	}
+	if lsb != 0 {
+		return 0, elabErrf(pos, "only [msb:0] ranges are supported (got lsb=%d)", lsb)
+	}
+	if msb > 4095 {
+		return 0, elabErrf(pos, "vector too wide (%d bits)", msb+1)
+	}
+	return int(msb) + 1, nil
+}
+
+// constEnv resolves only parameters; any signal reference is an error.
+type constEnv struct {
+	params map[string]logic.Vector
+}
+
+func (c constEnv) readSignal(name string) (logic.Vector, error) {
+	if v, ok := c.params[name]; ok {
+		return v, nil
+	}
+	return logic.Vector{}, fmt.Errorf("%q is not a constant", name)
+}
+
+func (c constEnv) signalWidth(name string) (int, bool) {
+	if v, ok := c.params[name]; ok {
+		return v.Width(), true
+	}
+	return 0, false
+}

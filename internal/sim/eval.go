@@ -1,0 +1,366 @@
+package sim
+
+import (
+	"fmt"
+
+	"correctbench/internal/logic"
+	"correctbench/internal/verilog"
+)
+
+// env supplies signal values and widths to expression evaluation.
+type env interface {
+	readSignal(name string) (logic.Vector, error)
+	signalWidth(name string) (int, bool)
+}
+
+// selfWidth computes the self-determined width of an expression,
+// following IEEE 1364 table 5-22. Unknown identifiers report width 1;
+// evaluation will fail on them with a proper error.
+func selfWidth(e verilog.Expr, en env) int {
+	switch x := e.(type) {
+	case *verilog.Number:
+		if x.Width == 0 {
+			return 32
+		}
+		return x.Width
+	case *verilog.StringLit:
+		return 8 * len(x.Value)
+	case *verilog.Ident:
+		if w, ok := en.signalWidth(x.Name); ok {
+			return w
+		}
+		return 1
+	case *verilog.Unary:
+		switch x.Op {
+		case "~", "-":
+			return selfWidth(x.X, en)
+		default: // reductions and !
+			return 1
+		}
+	case *verilog.Binary:
+		switch x.Op {
+		case "+", "-", "*", "/", "%", "&", "|", "^", "~^", "^~":
+			l, r := selfWidth(x.X, en), selfWidth(x.Y, en)
+			if r > l {
+				return r
+			}
+			return l
+		case "<<", ">>", ">>>", "<<<", "**":
+			return selfWidth(x.X, en)
+		default: // comparisons and logical ops
+			return 1
+		}
+	case *verilog.Ternary:
+		l, r := selfWidth(x.Then, en), selfWidth(x.Else, en)
+		if r > l {
+			return r
+		}
+		return l
+	case *verilog.Concat:
+		total := 0
+		for _, p := range x.Parts {
+			total += selfWidth(p, en)
+		}
+		if total == 0 {
+			return 1
+		}
+		return total
+	case *verilog.Repl:
+		n := constUint(x.Count, en)
+		if n < 1 {
+			n = 1
+		}
+		return int(n) * selfWidth(x.Value, en)
+	case *verilog.Index:
+		return 1
+	case *verilog.PartSelect:
+		hi, lo := constUint(x.MSB, en), constUint(x.LSB, en)
+		if hi < lo {
+			hi, lo = lo, hi
+		}
+		return int(hi-lo) + 1
+	default:
+		return 1
+	}
+}
+
+// constUint evaluates an expression that should be constant in context
+// (replication counts, part-select bounds); 0 on failure — the caller
+// reports the error during real evaluation.
+func constUint(e verilog.Expr, en env) uint64 {
+	v, err := evalExpr(e, en, 0)
+	if err != nil {
+		return 0
+	}
+	u, ok := v.Uint64()
+	if !ok {
+		return 0
+	}
+	return u
+}
+
+// evalExpr evaluates e. ctx is the context width imposed by the
+// surrounding assignment or operation; 0 means self-determined. The
+// result always has width max(ctx, selfWidth).
+func evalExpr(e verilog.Expr, en env, ctx int) (logic.Vector, error) {
+	want := selfWidth(e, en)
+	if ctx > want {
+		want = ctx
+	}
+	switch x := e.(type) {
+	case *verilog.Number:
+		return x.Val.Resize(want), nil
+
+	case *verilog.StringLit:
+		return logic.Vector{}, fmt.Errorf("string literal in value context")
+
+	case *verilog.Ident:
+		v, err := en.readSignal(x.Name)
+		if err != nil {
+			return logic.Vector{}, err
+		}
+		return v.Resize(want), nil
+
+	case *verilog.Unary:
+		switch x.Op {
+		case "~":
+			v, err := evalExpr(x.X, en, want)
+			if err != nil {
+				return logic.Vector{}, err
+			}
+			return logic.NotV(v).Resize(want), nil
+		case "-":
+			v, err := evalExpr(x.X, en, want)
+			if err != nil {
+				return logic.Vector{}, err
+			}
+			return logic.Neg(v).Resize(want), nil
+		case "!":
+			v, err := evalExpr(x.X, en, 0)
+			if err != nil {
+				return logic.Vector{}, err
+			}
+			return logic.Not(v).Resize(want), nil
+		case "&", "|", "^", "~&", "~|", "~^", "^~":
+			v, err := evalExpr(x.X, en, 0)
+			if err != nil {
+				return logic.Vector{}, err
+			}
+			var r logic.Vector
+			switch x.Op {
+			case "&":
+				r = logic.RedAnd(v)
+			case "|":
+				r = logic.RedOr(v)
+			case "^":
+				r = logic.RedXor(v)
+			case "~&":
+				r = logic.RedNand(v)
+			case "~|":
+				r = logic.RedNor(v)
+			default:
+				r = logic.RedXnor(v)
+			}
+			return r.Resize(want), nil
+		default:
+			return logic.Vector{}, fmt.Errorf("unsupported unary operator %q", x.Op)
+		}
+
+	case *verilog.Binary:
+		return evalBinary(x, en, want)
+
+	case *verilog.Ternary:
+		c, err := evalExpr(x.Cond, en, 0)
+		if err != nil {
+			return logic.Vector{}, err
+		}
+		t, err := evalExpr(x.Then, en, want)
+		if err != nil {
+			return logic.Vector{}, err
+		}
+		f, err := evalExpr(x.Else, en, want)
+		if err != nil {
+			return logic.Vector{}, err
+		}
+		return logic.Mux(c, t, f).Resize(want), nil
+
+	case *verilog.Concat:
+		parts := make([]logic.Vector, len(x.Parts))
+		for i, p := range x.Parts {
+			v, err := evalExpr(p, en, 0)
+			if err != nil {
+				return logic.Vector{}, err
+			}
+			parts[i] = v
+		}
+		return logic.Concat(parts...).Resize(want), nil
+
+	case *verilog.Repl:
+		nV, err := evalExpr(x.Count, en, 0)
+		if err != nil {
+			return logic.Vector{}, err
+		}
+		n, ok := nV.Uint64()
+		if !ok || n < 1 || n > 4096 {
+			return logic.Vector{}, fmt.Errorf("invalid replication count")
+		}
+		v, err := evalExpr(x.Value, en, 0)
+		if err != nil {
+			return logic.Vector{}, err
+		}
+		return logic.Replicate(int(n), v).Resize(want), nil
+
+	case *verilog.Index:
+		base, err := evalExpr(x.X, en, 0)
+		if err != nil {
+			return logic.Vector{}, err
+		}
+		idxV, err := evalExpr(x.Index, en, 0)
+		if err != nil {
+			return logic.Vector{}, err
+		}
+		idx, ok := idxV.Uint64()
+		if !ok || idx >= uint64(base.Width()) {
+			return logic.AllX(1).Resize(want), nil
+		}
+		return logic.Slice(base, int(idx), int(idx)).Resize(want), nil
+
+	case *verilog.PartSelect:
+		base, err := evalExpr(x.X, en, 0)
+		if err != nil {
+			return logic.Vector{}, err
+		}
+		hiV, err := evalExpr(x.MSB, en, 0)
+		if err != nil {
+			return logic.Vector{}, err
+		}
+		loV, err := evalExpr(x.LSB, en, 0)
+		if err != nil {
+			return logic.Vector{}, err
+		}
+		hi, ok1 := hiV.Uint64()
+		lo, ok2 := loV.Uint64()
+		if !ok1 || !ok2 {
+			return logic.AllX(want), nil
+		}
+		return logic.Slice(base, int(hi), int(lo)).Resize(want), nil
+
+	default:
+		return logic.Vector{}, fmt.Errorf("unsupported expression %T", e)
+	}
+}
+
+func evalBinary(x *verilog.Binary, en env, want int) (logic.Vector, error) {
+	// Context-determined operands for arithmetic/bitwise; self-
+	// determined for comparisons, logical and shift amounts.
+	switch x.Op {
+	case "+", "-", "*", "/", "%", "&", "|", "^", "~^", "^~":
+		l, err := evalExpr(x.X, en, want)
+		if err != nil {
+			return logic.Vector{}, err
+		}
+		r, err := evalExpr(x.Y, en, want)
+		if err != nil {
+			return logic.Vector{}, err
+		}
+		var v logic.Vector
+		switch x.Op {
+		case "+":
+			v = logic.Add(l, r)
+		case "-":
+			v = logic.Sub(l, r)
+		case "*":
+			v = logic.Mul(l, r)
+		case "/":
+			v = logic.Div(l, r)
+		case "%":
+			v = logic.Mod(l, r)
+		case "&":
+			v = logic.And(l, r)
+		case "|":
+			v = logic.Or(l, r)
+		case "^":
+			v = logic.Xor(l, r)
+		default:
+			v = logic.Xnor(l, r)
+		}
+		return v.Resize(want), nil
+
+	case "<<", ">>", ">>>", "<<<":
+		l, err := evalExpr(x.X, en, want)
+		if err != nil {
+			return logic.Vector{}, err
+		}
+		amt, err := evalExpr(x.Y, en, 0)
+		if err != nil {
+			return logic.Vector{}, err
+		}
+		var v logic.Vector
+		switch x.Op {
+		case "<<", "<<<":
+			v = logic.Shl(l, amt)
+		case ">>":
+			v = logic.Shr(l, amt)
+		default:
+			v = logic.Sshr(l, amt)
+		}
+		return v.Resize(want), nil
+
+	case "**":
+		l, err := evalExpr(x.X, en, want)
+		if err != nil {
+			return logic.Vector{}, err
+		}
+		r, err := evalExpr(x.Y, en, 0)
+		if err != nil {
+			return logic.Vector{}, err
+		}
+		base, ok1 := l.Uint64()
+		exp, ok2 := r.Uint64()
+		if !ok1 || !ok2 || exp > 64 {
+			return logic.AllX(want), nil
+		}
+		acc := uint64(1)
+		for i := uint64(0); i < exp; i++ {
+			acc *= base
+		}
+		return logic.FromUint64(want, acc), nil
+
+	case "==", "!=", "===", "!==", "<", "<=", ">", ">=", "&&", "||":
+		l, err := evalExpr(x.X, en, 0)
+		if err != nil {
+			return logic.Vector{}, err
+		}
+		r, err := evalExpr(x.Y, en, 0)
+		if err != nil {
+			return logic.Vector{}, err
+		}
+		var v logic.Vector
+		switch x.Op {
+		case "==":
+			v = logic.Eq(l, r)
+		case "!=":
+			v = logic.Neq(l, r)
+		case "===":
+			v = logic.CaseEq(l, r)
+		case "!==":
+			v = logic.CaseNeq(l, r)
+		case "<":
+			v = logic.Lt(l, r)
+		case "<=":
+			v = logic.Lte(l, r)
+		case ">":
+			v = logic.Gt(l, r)
+		case ">=":
+			v = logic.Gte(l, r)
+		case "&&":
+			v = logic.LAnd(l, r)
+		default:
+			v = logic.LOr(l, r)
+		}
+		return v.Resize(want), nil
+
+	default:
+		return logic.Vector{}, fmt.Errorf("unsupported binary operator %q", x.Op)
+	}
+}

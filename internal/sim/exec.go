@@ -1,0 +1,450 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"correctbench/internal/logic"
+	"correctbench/internal/verilog"
+)
+
+// execError aborts statement execution.
+type execError struct{ err error }
+
+const maxLoopIterations = 1 << 17
+
+// finishRequest is panicked by $finish and recovered by the scheduler.
+type finishRequest struct{}
+
+// exec executes a statement against the instance. Blocking assignments
+// write through immediately; non-blocking assignments are queued on the
+// instance and applied by the caller at the end of the wave.
+func (in *Instance) exec(s verilog.Stmt) error {
+	switch x := s.(type) {
+	case nil, *verilog.Null:
+		return nil
+
+	case *verilog.Block:
+		for _, st := range x.Stmts {
+			if err := in.exec(st); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *verilog.Assign:
+		val, err := evalExpr(x.RHS, in, in.lhsWidth(x.LHS))
+		if err != nil {
+			return fmt.Errorf("%s: %v", x.Pos, err)
+		}
+		if x.NonBlocking {
+			return in.queueNBA(x.LHS, val, x.Pos)
+		}
+		return in.writeLValue(x.LHS, val, x.Pos)
+
+	case *verilog.If:
+		c, err := evalExpr(x.Cond, in, 0)
+		if err != nil {
+			return err
+		}
+		if logic.Truth(c) == logic.L1 {
+			return in.exec(x.Then)
+		}
+		// Unknown conditions take the else branch, per IEEE if-else
+		// semantics (condition must be true to take the then branch).
+		if x.Else != nil {
+			return in.exec(x.Else)
+		}
+		return nil
+
+	case *verilog.Case:
+		sel, err := evalExpr(x.Expr, in, 0)
+		if err != nil {
+			return err
+		}
+		var deflt verilog.Stmt
+		for _, item := range x.Items {
+			if item.Exprs == nil {
+				deflt = item.Body
+				continue
+			}
+			for _, le := range item.Exprs {
+				lv, err := evalExpr(le, in, 0)
+				if err != nil {
+					return err
+				}
+				var hit bool
+				switch x.Kind {
+				case verilog.CaseZ:
+					hit = logic.CaseZMatch(sel, lv)
+				case verilog.CaseX:
+					hit = logic.CaseXMatch(sel, lv)
+				default:
+					hit = sel.SameValue(lv)
+				}
+				if hit {
+					return in.exec(item.Body)
+				}
+			}
+		}
+		if deflt != nil {
+			return in.exec(deflt)
+		}
+		return nil
+
+	case *verilog.For:
+		if err := in.exec(x.Init); err != nil {
+			return err
+		}
+		for iter := 0; ; iter++ {
+			if iter > maxLoopIterations {
+				return fmt.Errorf("for loop exceeded %d iterations", maxLoopIterations)
+			}
+			c, err := evalExpr(x.Cond, in, 0)
+			if err != nil {
+				return err
+			}
+			if logic.Truth(c) != logic.L1 {
+				return nil
+			}
+			if err := in.exec(x.Body); err != nil {
+				return err
+			}
+			if err := in.exec(x.Step); err != nil {
+				return err
+			}
+		}
+
+	case *verilog.Repeat:
+		cv, err := evalExpr(x.Count, in, 0)
+		if err != nil {
+			return err
+		}
+		n, ok := cv.Uint64()
+		if !ok {
+			return nil // repeat (x) runs zero times
+		}
+		if n > maxLoopIterations {
+			return fmt.Errorf("repeat count %d too large", n)
+		}
+		for i := uint64(0); i < n; i++ {
+			if err := in.exec(x.Body); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *verilog.Delay:
+		if in.wait == nil {
+			return fmt.Errorf("delay control is only allowed in initial/timed processes")
+		}
+		av, err := evalExpr(x.Amount, in, 0)
+		if err != nil {
+			return err
+		}
+		n, _ := av.Uint64()
+		in.wait(n)
+		return in.exec(x.Body)
+
+	case *verilog.SysCall:
+		return in.sysCall(x)
+
+	default:
+		return fmt.Errorf("unsupported statement %T", s)
+	}
+}
+
+// lhsWidth computes the width of an assignment target, used as context
+// width of the RHS.
+func (in *Instance) lhsWidth(lhs verilog.Expr) int {
+	switch x := lhs.(type) {
+	case *verilog.Ident:
+		if w, ok := in.signalWidth(x.Name); ok {
+			return w
+		}
+		return 1
+	case *verilog.Index:
+		return 1
+	case *verilog.PartSelect:
+		hi, lo := constUint(x.MSB, in), constUint(x.LSB, in)
+		if hi < lo {
+			hi, lo = lo, hi
+		}
+		return int(hi-lo) + 1
+	case *verilog.Concat:
+		total := 0
+		for _, p := range x.Parts {
+			total += in.lhsWidth(p)
+		}
+		return total
+	default:
+		return 1
+	}
+}
+
+// resolvedWrite is a fully resolved assignment target span.
+type resolvedWrite struct {
+	sig    string
+	hi, lo int
+	val    logic.Vector
+	whole  bool
+}
+
+// resolveLValue flattens an lvalue expression into concrete writes.
+// Dynamic bit selects are resolved now (so NBA targets use the index at
+// assignment time, per Verilog). Writes through unknown indexes are
+// dropped.
+func (in *Instance) resolveLValue(lhs verilog.Expr, val logic.Vector, pos verilog.Pos) ([]resolvedWrite, error) {
+	switch x := lhs.(type) {
+	case *verilog.Ident:
+		sig, ok := in.design.Signals[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("%s: assignment to unknown signal %q", pos, x.Name)
+		}
+		return []resolvedWrite{{sig: x.Name, val: val.Resize(sig.Width), whole: true}}, nil
+
+	case *verilog.Index:
+		id, ok := x.X.(*verilog.Ident)
+		if !ok {
+			return nil, fmt.Errorf("%s: nested select on non-identifier", pos)
+		}
+		sig, ok2 := in.design.Signals[id.Name]
+		if !ok2 {
+			return nil, fmt.Errorf("%s: assignment to unknown signal %q", pos, id.Name)
+		}
+		idxV, err := evalExpr(x.Index, in, 0)
+		if err != nil {
+			return nil, err
+		}
+		idx, ok3 := idxV.Uint64()
+		if !ok3 || idx >= uint64(sig.Width) {
+			return nil, nil // write through unknown/out-of-range index: no-op
+		}
+		return []resolvedWrite{{sig: id.Name, hi: int(idx), lo: int(idx), val: val.Resize(1)}}, nil
+
+	case *verilog.PartSelect:
+		id, ok := x.X.(*verilog.Ident)
+		if !ok {
+			return nil, fmt.Errorf("%s: nested select on non-identifier", pos)
+		}
+		sig, ok2 := in.design.Signals[id.Name]
+		if !ok2 {
+			return nil, fmt.Errorf("%s: assignment to unknown signal %q", pos, id.Name)
+		}
+		hiV, err := evalExpr(x.MSB, in, 0)
+		if err != nil {
+			return nil, err
+		}
+		loV, err := evalExpr(x.LSB, in, 0)
+		if err != nil {
+			return nil, err
+		}
+		hi, ok3 := hiV.Uint64()
+		lo, ok4 := loV.Uint64()
+		if !ok3 || !ok4 {
+			return nil, nil
+		}
+		h, l := int(hi), int(lo)
+		if h < l {
+			h, l = l, h
+		}
+		if l >= sig.Width {
+			return nil, nil
+		}
+		if h >= sig.Width {
+			h = sig.Width - 1
+		}
+		return []resolvedWrite{{sig: id.Name, hi: h, lo: l, val: val.Resize(h - l + 1)}}, nil
+
+	case *verilog.Concat:
+		// {a, b} = val assigns the top bits to a, the low bits to b.
+		var out []resolvedWrite
+		offset := in.lhsWidth(lhs)
+		for _, p := range x.Parts {
+			w := in.lhsWidth(p)
+			offset -= w
+			part := logic.Slice(val.Resize(in.lhsWidth(lhs)), offset+w-1, offset)
+			ws, err := in.resolveLValue(p, part, pos)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ws...)
+		}
+		return out, nil
+
+	default:
+		return nil, fmt.Errorf("%s: invalid assignment target %T", pos, lhs)
+	}
+}
+
+// writeLValue performs a blocking write.
+func (in *Instance) writeLValue(lhs verilog.Expr, val logic.Vector, pos verilog.Pos) error {
+	writes, err := in.resolveLValue(lhs, val, pos)
+	if err != nil {
+		return err
+	}
+	for _, w := range writes {
+		in.applyWrite(w)
+	}
+	return nil
+}
+
+// queueNBA queues a non-blocking write.
+func (in *Instance) queueNBA(lhs verilog.Expr, val logic.Vector, pos verilog.Pos) error {
+	writes, err := in.resolveLValue(lhs, val, pos)
+	if err != nil {
+		return err
+	}
+	in.nba = append(in.nba, writes...)
+	return nil
+}
+
+func (in *Instance) applyWrite(w resolvedWrite) {
+	cur, ok := in.vals[w.sig]
+	if !ok {
+		return
+	}
+	var next logic.Vector
+	if w.whole {
+		next = w.val
+	} else {
+		next = cur.Resize(cur.Width())
+		next.SetSlice(w.hi, w.lo, w.val)
+	}
+	if !next.Equal(cur) {
+		in.vals[w.sig] = next
+		in.dirty[w.sig] = true
+	}
+}
+
+// sysCall implements the supported system tasks.
+func (in *Instance) sysCall(x *verilog.SysCall) error {
+	switch x.Name {
+	case "$finish", "$stop":
+		if in.wait != nil {
+			panic(finishRequest{})
+		}
+		in.Finished = true
+		return nil
+	case "$display", "$write", "$fdisplay", "$fwrite", "$strobe", "$monitor":
+		args := x.Args
+		if (x.Name == "$fdisplay" || x.Name == "$fwrite") && len(args) > 0 {
+			args = args[1:] // drop file descriptor
+		}
+		text, err := in.formatArgs(args)
+		if err != nil {
+			return err
+		}
+		if x.Name == "$write" || x.Name == "$fwrite" {
+			fmt.Fprint(in.Stdout, text)
+		} else {
+			fmt.Fprintln(in.Stdout, text)
+		}
+		return nil
+	case "$time", "$random", "$dumpfile", "$dumpvars", "$timeformat":
+		return nil // accepted, no effect in this simulator
+	default:
+		return fmt.Errorf("%s: unsupported system task %s", x.Pos, x.Name)
+	}
+}
+
+// formatArgs renders $display-style arguments: an optional leading
+// format string with %d/%b/%h/%0d/%t/%s verbs, remaining values
+// rendered as decimals.
+func (in *Instance) formatArgs(args []verilog.Expr) (string, error) {
+	if len(args) == 0 {
+		return "", nil
+	}
+	var sb strings.Builder
+	rest := args
+	if lit, ok := args[0].(*verilog.StringLit); ok {
+		rest = args[1:]
+		f := lit.Value
+		argi := 0
+		for i := 0; i < len(f); i++ {
+			c := f[i]
+			if c == '\\' && i+1 < len(f) {
+				i++
+				switch f[i] {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				default:
+					sb.WriteByte(f[i])
+				}
+				continue
+			}
+			if c != '%' {
+				sb.WriteByte(c)
+				continue
+			}
+			// Parse verb, skipping width/zero flags.
+			j := i + 1
+			for j < len(f) && (f[j] >= '0' && f[j] <= '9') {
+				j++
+			}
+			if j >= len(f) {
+				sb.WriteByte('%')
+				break
+			}
+			verb := f[j]
+			i = j
+			if verb == '%' {
+				sb.WriteByte('%')
+				continue
+			}
+			if verb == 't' || verb == 'T' {
+				sb.WriteString(fmt.Sprintf("%d", in.Now))
+				continue
+			}
+			if argi >= len(rest) {
+				sb.WriteString("<missing>")
+				continue
+			}
+			v, err := evalExpr(rest[argi], in, 0)
+			if err != nil {
+				return "", err
+			}
+			argi++
+			sb.WriteString(formatVector(v, verb))
+		}
+		for ; argi < len(rest); argi++ {
+			v, err := evalExpr(rest[argi], in, 0)
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(" " + formatVector(v, 'd'))
+		}
+		return sb.String(), nil
+	}
+	// No format string: print all values as decimals.
+	parts := make([]string, 0, len(rest))
+	for _, a := range rest {
+		v, err := evalExpr(a, in, 0)
+		if err != nil {
+			return "", err
+		}
+		parts = append(parts, formatVector(v, 'd'))
+	}
+	return strings.Join(parts, " "), nil
+}
+
+func formatVector(v logic.Vector, verb byte) string {
+	switch verb {
+	case 'b', 'B':
+		return v.String()
+	case 'h', 'H', 'x', 'X':
+		if u, ok := v.Uint64(); ok {
+			return fmt.Sprintf("%x", u)
+		}
+		return strings.Repeat("x", (v.Width()+3)/4)
+	case 'd', 'D', 's', 'S', 'c', 'C':
+		if u, ok := v.Uint64(); ok {
+			return fmt.Sprintf("%d", u)
+		}
+		return "x"
+	default:
+		return v.String()
+	}
+}

@@ -1,0 +1,339 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"correctbench/internal/logic"
+	"correctbench/internal/verilog"
+)
+
+// Instance is a simulatable instance of an elaborated design. All
+// signals start X; drive inputs with SetInput, propagate with Settle
+// or Tick, and read results with Get.
+type Instance struct {
+	design *Design
+	vals   map[string]logic.Vector
+	prev   map[string]logic.Vector // last seen values of edge-watched signals
+	dirty  map[string]bool
+	nba    []resolvedWrite
+
+	combBySig map[string][]*Process // level sensitivity index
+	seqProcs  []*Process
+	edgeSigs  []string
+
+	// Stdout receives $display output.
+	Stdout io.Writer
+	// Now is the current simulation time (cycle count ×10 under the
+	// cycle API; event time under Run).
+	Now uint64
+	// Finished is set by $finish under the cycle API.
+	Finished bool
+
+	// wait is non-nil while executing inside the timed scheduler; it
+	// suspends the current process for n time units.
+	wait func(n uint64)
+
+	// Stats counts work done, for benchmarks.
+	Stats Stats
+}
+
+// Stats counts simulator activity.
+type Stats struct {
+	ProcRuns   int
+	SettleIter int
+	Edges      int
+}
+
+// NewInstance creates a fresh instance with every signal X.
+func NewInstance(d *Design) *Instance {
+	in := &Instance{
+		design:    d,
+		vals:      make(map[string]logic.Vector, len(d.Signals)),
+		prev:      map[string]logic.Vector{},
+		dirty:     map[string]bool{},
+		combBySig: map[string][]*Process{},
+		Stdout:    io.Discard,
+	}
+	for _, name := range d.Order {
+		in.vals[name] = logic.AllX(d.Signals[name].Width)
+	}
+	edgeWatched := map[string]bool{}
+	for _, p := range d.Procs {
+		switch p.Kind {
+		case ProcComb:
+			for _, s := range p.Sens {
+				in.combBySig[s.Sig] = append(in.combBySig[s.Sig], p)
+			}
+		case ProcSeq:
+			in.seqProcs = append(in.seqProcs, p)
+			for _, s := range p.Sens {
+				edgeWatched[s.Sig] = true
+			}
+		}
+	}
+	for _, name := range d.Order {
+		if edgeWatched[name] {
+			in.edgeSigs = append(in.edgeSigs, name)
+			in.prev[name] = in.vals[name]
+		}
+	}
+	return in
+}
+
+// Design returns the elaborated design this instance simulates.
+func (in *Instance) Design() *Design { return in.design }
+
+// env interface ---------------------------------------------------------
+
+func (in *Instance) readSignal(name string) (logic.Vector, error) {
+	v, ok := in.vals[name]
+	if !ok {
+		return logic.Vector{}, fmt.Errorf("read of unknown signal %q", name)
+	}
+	return v, nil
+}
+
+func (in *Instance) signalWidth(name string) (int, bool) {
+	s, ok := in.design.Signals[name]
+	if !ok {
+		return 0, false
+	}
+	return s.Width, true
+}
+
+// ------------------------------------------------------------------------
+
+// SetInput drives a top-level input port. The change propagates through
+// combinational logic and fires any edge-sensitive processes watching
+// the signal (asynchronous set/reset), so no explicit Settle call is
+// required afterwards.
+func (in *Instance) SetInput(name string, v logic.Vector) error {
+	p := in.design.Port(name)
+	if p == nil || p.Dir == Out {
+		return fmt.Errorf("sim: %q is not an input port", name)
+	}
+	in.applyWrite(resolvedWrite{sig: name, val: v.Resize(p.Width), whole: true})
+	return in.propagate()
+}
+
+// SetInputUint is SetInput with a uint64 value.
+func (in *Instance) SetInputUint(name string, v uint64) error {
+	p := in.design.Port(name)
+	if p == nil {
+		return fmt.Errorf("sim: unknown port %q", name)
+	}
+	return in.SetInput(name, logic.FromUint64(p.Width, v))
+}
+
+// Get returns the current value of any signal (ports included).
+func (in *Instance) Get(name string) (logic.Vector, error) {
+	return in.readSignal(name)
+}
+
+// MustGet is Get for known-good names.
+func (in *Instance) MustGet(name string) logic.Vector {
+	v, err := in.Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Settle propagates combinational logic to a fixpoint and fires any
+// resulting edges.
+func (in *Instance) Settle() error { return in.propagate() }
+
+// Tick runs one full clock cycle on the named clock input: rising edge,
+// then falling edge, with NBA and combinational settling after each.
+func (in *Instance) Tick(clk string) error {
+	if err := in.SetInputUint(clk, 1); err != nil {
+		return err
+	}
+	in.Now += 5
+	if err := in.SetInputUint(clk, 0); err != nil {
+		return err
+	}
+	in.Now += 5
+	return nil
+}
+
+// TickN runs n clock cycles.
+func (in *Instance) TickN(clk string, n int) error {
+	for i := 0; i < n; i++ {
+		if err := in.Tick(clk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+const (
+	maxSettleIterations = 1000
+	maxEdgeWaves        = 64
+)
+
+// propagate settles combinational logic, then fires edge processes
+// whose watched signals changed, repeating until quiescent.
+func (in *Instance) propagate() error {
+	for wave := 0; wave < maxEdgeWaves; wave++ {
+		if err := in.settleComb(); err != nil {
+			return err
+		}
+		fired, err := in.fireEdges()
+		if err != nil {
+			return err
+		}
+		if !fired {
+			return nil
+		}
+	}
+	return fmt.Errorf("sim: edge cascade did not settle after %d waves", maxEdgeWaves)
+}
+
+// settleComb runs level-sensitive processes until no signal changes.
+func (in *Instance) settleComb() error {
+	// Initial run of every comb process the first time around.
+	pending := map[*Process]bool{}
+	for sig := range in.dirty {
+		for _, p := range in.combBySig[sig] {
+			pending[p] = true
+		}
+	}
+	if len(in.dirty) == 0 && in.Stats.ProcRuns == 0 {
+		for _, p := range in.design.Procs {
+			if p.Kind == ProcComb {
+				pending[p] = true
+			}
+		}
+	}
+	for sig := range in.dirty {
+		delete(in.dirty, sig)
+	}
+
+	for iter := 0; len(pending) > 0; iter++ {
+		if iter > maxSettleIterations {
+			return fmt.Errorf("sim: combinational logic did not settle (%d iterations); possible feedback loop", maxSettleIterations)
+		}
+		in.Stats.SettleIter++
+		// Deterministic order: design order of processes.
+		var run []*Process
+		for _, p := range in.design.Procs {
+			if pending[p] {
+				run = append(run, p)
+			}
+		}
+		pending = map[*Process]bool{}
+		for _, p := range run {
+			in.Stats.ProcRuns++
+			if err := in.exec(p.Body); err != nil {
+				return fmt.Errorf("sim: in %s: %v", p.Name, err)
+			}
+		}
+		for sig := range in.dirty {
+			for _, p := range in.combBySig[sig] {
+				pending[p] = true
+			}
+			delete(in.dirty, sig)
+		}
+	}
+	return nil
+}
+
+// fireEdges compares watched signals with their previous values, runs
+// matching edge processes, applies the NBA queue and reports whether
+// anything ran.
+func (in *Instance) fireEdges() (bool, error) {
+	type edge struct{ pos, neg bool }
+	edges := map[string]edge{}
+	for _, sig := range in.edgeSigs {
+		prev, now := in.prev[sig], in.vals[sig]
+		if prev.Equal(now) {
+			continue
+		}
+		pb, nb := prev.Bit(0), now.Bit(0)
+		e := edge{
+			pos: isPosedge(pb, nb),
+			neg: isNegedge(pb, nb),
+		}
+		edges[sig] = e
+		in.prev[sig] = now
+	}
+	if len(edges) == 0 {
+		return false, nil
+	}
+	var fired bool
+	for _, p := range in.seqProcs {
+		trigger := false
+		for _, s := range p.Sens {
+			e, ok := edges[s.Sig]
+			if !ok {
+				continue
+			}
+			if (s.Edge == verilog.EdgePos && e.pos) || (s.Edge == verilog.EdgeNeg && e.neg) {
+				trigger = true
+				break
+			}
+		}
+		if !trigger {
+			continue
+		}
+		fired = true
+		in.Stats.ProcRuns++
+		in.Stats.Edges++
+		if err := in.exec(p.Body); err != nil {
+			return false, fmt.Errorf("sim: in %s: %v", p.Name, err)
+		}
+	}
+	// NBA region: apply queued writes after all triggered processes ran.
+	nba := in.nba
+	in.nba = nil
+	for _, w := range nba {
+		in.applyWrite(w)
+	}
+	return fired, nil
+}
+
+// isPosedge implements the IEEE 1364 posedge transition table.
+func isPosedge(from, to logic.Bit) bool {
+	if from == to {
+		return false
+	}
+	switch from {
+	case logic.L0:
+		return true // 0 -> 1/x/z
+	case logic.X, logic.Z:
+		return to == logic.L1
+	default:
+		return false
+	}
+}
+
+// isNegedge implements the IEEE 1364 negedge transition table.
+func isNegedge(from, to logic.Bit) bool {
+	if from == to {
+		return false
+	}
+	switch from {
+	case logic.L1:
+		return true // 1 -> 0/x/z
+	case logic.X, logic.Z:
+		return to == logic.L0
+	default:
+		return false
+	}
+}
+
+// ZeroInputs drives every input port (including clocks) to zero, the
+// canonical starting state used by the testbench framework.
+func (in *Instance) ZeroInputs() error {
+	for _, p := range in.design.Ports {
+		if p.Dir == Out {
+			continue
+		}
+		if err := in.SetInput(p.Name, logic.New(p.Width)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package testbench
+
+import (
+	"fmt"
+	"strings"
+
+	"correctbench/internal/dataset"
+	"correctbench/internal/sim"
+)
+
+// EmitDriver renders the Verilog driver track from the scenario list,
+// in the style of AutoBench's generated drivers (Fig. 3 of the paper):
+// a testbench module that instantiates the DUT, applies each scenario's
+// stimuli and $displays the sampled signals. The emitted text is what
+// Eval0 parses for the driver track, and it runs under cmd/vsim's timed
+// scheduler.
+func EmitDriver(tb *Testbench) string {
+	p := tb.Problem
+	d, err := p.Elaborate()
+	if err != nil {
+		// The golden source always elaborates (dataset invariant); a
+		// failure here is a programming error upstream.
+		return "// driver emission failed: " + err.Error()
+	}
+	var sb strings.Builder
+	sb.WriteString("// Auto-generated driver for " + p.Name + "\n")
+	sb.WriteString("module " + p.Name + "_tb;\n")
+
+	var ins, outs []sim.Port
+	for _, pt := range d.Ports {
+		if pt.Dir == sim.Out {
+			outs = append(outs, pt)
+		} else {
+			ins = append(ins, pt)
+		}
+	}
+	for _, pt := range ins {
+		fmt.Fprintf(&sb, "    reg %s%s;\n", widthPrefix(pt.Width), pt.Name)
+	}
+	for _, pt := range outs {
+		fmt.Fprintf(&sb, "    wire %s%s;\n", widthPrefix(pt.Width), pt.Name)
+	}
+	sb.WriteString("    integer scenario;\n")
+
+	// DUT instantiation.
+	var conns []string
+	for _, pt := range d.Ports {
+		conns = append(conns, fmt.Sprintf(".%s(%s)", pt.Name, pt.Name))
+	}
+	fmt.Fprintf(&sb, "    %s dut(%s);\n", p.Top, strings.Join(conns, ", "))
+
+	if p.Kind == dataset.SEQ {
+		sb.WriteString("    always #5 clk = ~clk;\n")
+	}
+
+	sb.WriteString("    initial begin\n")
+	if p.Kind == dataset.SEQ {
+		sb.WriteString("        clk = 0;\n")
+	}
+	display := displayStatement(p, ins, outs)
+	for _, sc := range tb.Scenarios {
+		fmt.Fprintf(&sb, "        // Scenario %d: %s\n", sc.Index, sc.Name)
+		fmt.Fprintf(&sb, "        scenario = %d;\n", sc.Index)
+		if p.Kind == dataset.SEQ && p.Reset != "" {
+			fmt.Fprintf(&sb, "        %s = 1; #10 %s = 0;\n", p.Reset, p.Reset)
+		}
+		for _, st := range sc.Steps {
+			var assigns []string
+			for _, pt := range ins {
+				if p.Kind == dataset.SEQ && (pt.Name == p.Clock || pt.Name == p.Reset) {
+					continue
+				}
+				v, ok := st.Inputs[pt.Name]
+				if !ok {
+					continue
+				}
+				assigns = append(assigns, fmt.Sprintf("%s = %d'd%d", pt.Name, pt.Width, v))
+			}
+			if len(assigns) > 0 {
+				fmt.Fprintf(&sb, "        %s;\n", strings.Join(assigns, "; "))
+			}
+			fmt.Fprintf(&sb, "        #10 %s\n", display)
+		}
+	}
+	sb.WriteString("        $finish;\n")
+	sb.WriteString("    end\nendmodule\n")
+	return sb.String()
+}
+
+func widthPrefix(w int) string {
+	if w <= 1 {
+		return ""
+	}
+	return fmt.Sprintf("[%d:0] ", w-1)
+}
+
+func displayStatement(p *dataset.Problem, ins, outs []sim.Port) string {
+	var fields, args []string
+	fields = append(fields, "scenario: %d")
+	args = append(args, "scenario")
+	for _, pt := range ins {
+		if pt.Name == p.Clock {
+			continue
+		}
+		fields = append(fields, pt.Name+" = %d")
+		args = append(args, pt.Name)
+	}
+	for _, pt := range outs {
+		fields = append(fields, pt.Name+" = %d")
+		args = append(args, pt.Name)
+	}
+	return fmt.Sprintf("$display(\"%s\", %s);", strings.Join(fields, ", "), strings.Join(args, ", "))
+}

@@ -1,0 +1,285 @@
+// Package testbench defines the hybrid testbench artifact produced by
+// the generators and consumed by the validator, corrector and AutoEval:
+// a list of test scenarios (stimuli for the Verilog driver track) plus
+// a checker (the reference-model track).
+//
+// Substitution note (see DESIGN.md): AutoBench's checker track is a
+// Python program that recomputes reference outputs. Here the checker is
+// a Verilog reference module simulated by internal/sim; it produces
+// exactly the same information (expected outputs per scenario step),
+// and LLM checker bugs are modelled as AST mutations of that module,
+// recorded in CheckerPlan. The plan is framework-private bookkeeping —
+// the validator never reads it; only the corrector model uses it as the
+// stand-in for LLM reasoning about its own code.
+package testbench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"correctbench/internal/dataset"
+	"correctbench/internal/logic"
+	"correctbench/internal/mutate"
+	"correctbench/internal/sim"
+	"correctbench/internal/verilog"
+)
+
+// Step is one stimulus application: drive the data inputs, settle (and
+// clock once for sequential DUTs), then sample all outputs.
+type Step struct {
+	Inputs map[string]uint64
+}
+
+// Scenario is a named group of steps, the unit of the paper's RS-matrix
+// columns. Each scenario starts from a freshly reset DUT/checker pair.
+type Scenario struct {
+	Index int // 1-based, as reported in bug info
+	Name  string
+	Steps []Step
+}
+
+// Testbench is the hybrid testbench.
+type Testbench struct {
+	Problem   *dataset.Problem
+	Scenarios []Scenario
+
+	// DriverSource is the generated Verilog driver text. It is emitted
+	// from the scenario list (as AutoBench emits its driver) and is
+	// what Eval0 checks for the driver track.
+	DriverSource string
+
+	// CheckerSource is the checker module text (Eval0's checker track
+	// and the simulation source for reference outputs).
+	CheckerSource string
+	// CheckerTop is the checker module name.
+	CheckerTop string
+
+	// CheckerPlan records the faults injected into the checker
+	// (empty plan = clean checker). Framework-private.
+	CheckerPlan mutate.Plan
+	// CheckerSticky is the plan site index of the task's systematic
+	// ("misunderstood specification") fault, or -1 when absent.
+	CheckerSticky int
+
+	// Tokens spent generating this testbench (filled by generators).
+	TokensIn, TokensOut int
+
+	cachedChecker    *sim.Design
+	cachedCheckerSrc string
+}
+
+// ScenarioCount returns the number of scenarios.
+func (tb *Testbench) ScenarioCount() int { return len(tb.Scenarios) }
+
+// RunResult reports a DUT simulation against the testbench.
+type RunResult struct {
+	// ScenarioPass[i] is true when scenario i+1 produced outputs equal
+	// to the checker's on every step.
+	ScenarioPass []bool
+}
+
+// Pass reports whether every scenario passed.
+func (r *RunResult) Pass() bool {
+	for _, ok := range r.ScenarioPass {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// FailedScenarios returns the 1-based indexes of failing scenarios.
+func (r *RunResult) FailedScenarios() []int {
+	var out []int
+	for i, ok := range r.ScenarioPass {
+		if !ok {
+			out = append(out, i+1)
+		}
+	}
+	return out
+}
+
+// SyntaxOK reports whether both testbench tracks parse, the Eval0
+// criterion for the testbench artifact itself.
+func (tb *Testbench) SyntaxOK() bool {
+	if _, err := verilog.Parse(tb.DriverSource); err != nil {
+		return false
+	}
+	if _, err := verilog.Parse(tb.CheckerSource); err != nil {
+		return false
+	}
+	return true
+}
+
+// checkerDesign elaborates the checker track, caching the result until
+// CheckerSource changes (the validator simulates the same checker
+// against N_R RTLs).
+func (tb *Testbench) checkerDesign() (*sim.Design, error) {
+	if tb.cachedChecker != nil && tb.cachedCheckerSrc == tb.CheckerSource {
+		return tb.cachedChecker, nil
+	}
+	d, err := sim.ElaborateSource(tb.CheckerSource, tb.CheckerTop)
+	if err != nil {
+		return nil, err
+	}
+	tb.cachedChecker = d
+	tb.cachedCheckerSrc = tb.CheckerSource
+	return d, nil
+}
+
+// RunAgainstSource simulates the DUT given as Verilog source against
+// the testbench. A DUT-side parse/elaboration/simulation failure is
+// returned as an error (the caller decides whether that means "discard
+// this RTL" — validator rows — or "testbench failed").
+func (tb *Testbench) RunAgainstSource(dutSrc, dutTop string) (*RunResult, error) {
+	dutDesign, err := sim.ElaborateSource(dutSrc, dutTop)
+	if err != nil {
+		return nil, fmt.Errorf("dut: %w", err)
+	}
+	return tb.RunAgainstDesign(dutDesign)
+}
+
+// RunAgainstDesign is RunAgainstSource for a pre-elaborated DUT.
+func (tb *Testbench) RunAgainstDesign(dutDesign *sim.Design) (*RunResult, error) {
+	checkerDesign, err := tb.checkerDesign()
+	if err != nil {
+		return nil, fmt.Errorf("checker: %w", err)
+	}
+	res := &RunResult{ScenarioPass: make([]bool, len(tb.Scenarios))}
+	outs := outputPorts(dutDesign)
+	for i, sc := range tb.Scenarios {
+		pass, err := tb.runScenario(sc, dutDesign, checkerDesign, outs)
+		if err != nil {
+			return nil, err
+		}
+		res.ScenarioPass[i] = pass
+	}
+	return res, nil
+}
+
+func outputPorts(d *sim.Design) []string {
+	var out []string
+	for _, p := range d.Ports {
+		if p.Dir == sim.Out {
+			out = append(out, p.Name)
+		}
+	}
+	return out
+}
+
+// runScenario runs one scenario on fresh DUT and checker instances and
+// compares sampled outputs step by step. Errors are prefixed "dut:" or
+// "checker:" so the validator can attribute simulation failures to the
+// right side.
+func (tb *Testbench) runScenario(sc Scenario, dutDesign, checkerDesign *sim.Design, outs []string) (bool, error) {
+	p := tb.Problem
+	dut := sim.NewInstance(dutDesign)
+	chk := sim.NewInstance(checkerDesign)
+	sides := []struct {
+		label string
+		inst  *sim.Instance
+	}{{"dut", dut}, {"checker", chk}}
+
+	for _, side := range sides {
+		if err := tb.initScenario(side.inst); err != nil {
+			return false, fmt.Errorf("%s: scenario %d init: %w", side.label, sc.Index, err)
+		}
+	}
+	pass := true
+	for si, st := range sc.Steps {
+		for _, side := range sides {
+			if err := applyStep(side.inst, st); err != nil {
+				return false, fmt.Errorf("%s: scenario %d step %d: %w", side.label, sc.Index, si, err)
+			}
+		}
+		// Sample combinational/Mealy outputs before the clock edge.
+		if !sameOutputs(dut, chk, outs) {
+			pass = false
+		}
+		if p.Kind == dataset.SEQ {
+			for _, side := range sides {
+				if err := side.inst.Tick(p.Clock); err != nil {
+					return false, fmt.Errorf("%s: scenario %d step %d tick: %w", side.label, sc.Index, si, err)
+				}
+			}
+			// Sample registered outputs after the edge as well.
+			if !sameOutputs(dut, chk, outs) {
+				pass = false
+			}
+		}
+	}
+	return pass, nil
+}
+
+func (tb *Testbench) initScenario(inst *sim.Instance) error {
+	p := tb.Problem
+	if err := inst.ZeroInputs(); err != nil {
+		return err
+	}
+	if p.Kind == dataset.SEQ && p.Reset != "" {
+		if err := inst.SetInputUint(p.Reset, 1); err != nil {
+			return err
+		}
+		if err := inst.Tick(p.Clock); err != nil {
+			return err
+		}
+		if err := inst.SetInputUint(p.Reset, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func applyStep(inst *sim.Instance, st Step) error {
+	for name, val := range st.Inputs {
+		port := inst.Design().Port(name)
+		if port == nil {
+			return fmt.Errorf("stimulus for unknown port %q", name)
+		}
+		if err := inst.SetInput(name, logic.FromUint64(port.Width, val)); err != nil {
+			return err
+		}
+	}
+	return inst.Settle()
+}
+
+func sameOutputs(dut, chk *sim.Instance, outs []string) bool {
+	for _, o := range outs {
+		dv, err1 := dut.Get(o)
+		cv, err2 := chk.Get(o)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if !dv.SameValue(cv) {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- golden testbench ----
+
+// Golden builds the reference testbench for a problem: thorough
+// stimuli (exhaustive for small combinational input spaces) and the
+// unmutated golden checker. AutoEval compares candidate verdicts
+// against this testbench's verdicts.
+func Golden(p *dataset.Problem, rng *rand.Rand) (*Testbench, error) {
+	scenarios, err := GenerateScenarios(p, rng, Coverage{
+		Scenarios:  12,
+		Steps:      16,
+		Corners:    true,
+		Exhaustive: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := &Testbench{
+		Problem:       p,
+		Scenarios:     scenarios,
+		CheckerSource: p.Source,
+		CheckerTop:    p.Top,
+		CheckerSticky: -1,
+	}
+	tb.DriverSource = EmitDriver(tb)
+	return tb, nil
+}

@@ -1,0 +1,189 @@
+package testbench
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"correctbench/internal/dataset"
+	"correctbench/internal/mutate"
+	"correctbench/internal/sim"
+	"correctbench/internal/verilog"
+)
+
+func golden(t *testing.T, name string) *Testbench {
+	t.Helper()
+	p := dataset.ByName(name)
+	if p == nil {
+		t.Fatalf("problem %s not found", name)
+	}
+	tb, err := Golden(p, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestGoldenTBPassesGoldenRTL(t *testing.T) {
+	for _, name := range []string{"mux2_w4", "adder8", "cnt8", "det101", "shift18", "fifo2", "sevenseg", "prio_enc8"} {
+		tb := golden(t, name)
+		res, err := tb.RunAgainstSource(tb.Problem.Source, tb.Problem.Top)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Pass() {
+			t.Errorf("%s: golden TB fails golden RTL; failing scenarios %v", name, res.FailedScenarios())
+		}
+	}
+}
+
+func TestAllGoldenTBsPassGoldenRTL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full dataset sweep")
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, p := range dataset.All() {
+		tb, err := Golden(p, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		res, err := tb.RunAgainstSource(p.Source, p.Top)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if !res.Pass() {
+			t.Errorf("%s: golden TB rejects golden RTL (scenarios %v)", p.Name, res.FailedScenarios())
+		}
+	}
+}
+
+func TestMutantFailsGoldenTB(t *testing.T) {
+	tb := golden(t, "adder8")
+	mod, err := tb.Problem.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	killed := 0
+	for i := 0; i < 10; i++ {
+		mut, muts := mutate.Mutate(mod, rng, 1)
+		if len(muts) == 0 {
+			t.Fatal("no mutation applied")
+		}
+		res, err := tb.RunAgainstSource(verilog.PrintModule(mut), tb.Problem.Top)
+		if err != nil {
+			continue // mutants that break simulation count as caught
+		}
+		if !res.Pass() {
+			killed++
+		}
+	}
+	if killed < 6 {
+		t.Errorf("golden TB killed only %d/10 adder mutants", killed)
+	}
+}
+
+func TestFaultyCheckerFailsGoldenRTL(t *testing.T) {
+	tb := golden(t, "cnt8")
+	mod, err := tb.Problem.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	plan := mutate.NewPlan(mod, rng, 1)
+	faulty, muts := plan.Build(mod)
+	if len(muts) == 0 {
+		t.Fatal("no checker fault injected")
+	}
+	tb.CheckerSource = verilog.PrintModule(faulty)
+	tb.CheckerPlan = plan
+	res, err := tb.RunAgainstSource(tb.Problem.Source, tb.Problem.Top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass() {
+		t.Errorf("golden RTL passed against faulty checker (%v) — fault is behaviourally equivalent?", muts)
+	}
+}
+
+func TestExhaustiveCoverageForSmallCMB(t *testing.T) {
+	p := dataset.ByName("fulladd") // 3 input bits
+	scs, err := GenerateScenarios(p, rand.New(rand.NewSource(2)), Coverage{Scenarios: 4, Steps: 4, Exhaustive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	seen := map[uint64]bool{}
+	for _, sc := range scs {
+		for _, st := range sc.Steps {
+			total++
+			key := st.Inputs["a"]<<2 | st.Inputs["b"]<<1 | st.Inputs["cin"]
+			seen[key] = true
+		}
+	}
+	if total != 8 || len(seen) != 8 {
+		t.Errorf("exhaustive enumeration wrong: %d steps, %d distinct", total, len(seen))
+	}
+}
+
+func TestScenarioIndexesAreOneBased(t *testing.T) {
+	tb := golden(t, "alu8")
+	for i, sc := range tb.Scenarios {
+		if sc.Index != i+1 {
+			t.Fatalf("scenario %d has index %d", i, sc.Index)
+		}
+	}
+	if tb.ScenarioCount() < 2 {
+		t.Error("too few scenarios")
+	}
+}
+
+func TestResetlessSEQFlushedByLoad(t *testing.T) {
+	p := dataset.ByName("shift18") // reset-less, load-based
+	scs, err := GenerateScenarios(p, rand.New(rand.NewSource(3)), Coverage{Scenarios: 4, Steps: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scs {
+		if v := sc.Steps[0].Inputs["load"]; v != 1 {
+			t.Errorf("scenario %q step 0 load = %d, want 1", sc.Name, v)
+		}
+	}
+}
+
+func TestDriverEmissionParsesAndRuns(t *testing.T) {
+	for _, name := range []string{"mux2_w4", "cnt4"} {
+		tb := golden(t, name)
+		if tb.DriverSource == "" {
+			t.Fatalf("%s: empty driver", name)
+		}
+		f, err := verilog.Parse(tb.DriverSource + "\n" + tb.Problem.Source)
+		if err != nil {
+			t.Fatalf("%s: driver does not parse: %v\n%s", name, err, tb.DriverSource)
+		}
+		d, err := sim.Elaborate(f, tb.Problem.Name+"_tb")
+		if err != nil {
+			t.Fatalf("%s: driver does not elaborate: %v", name, err)
+		}
+		in := sim.NewInstance(d)
+		var out strings.Builder
+		in.Stdout = &out
+		if err := sim.Run(in, 1000000); err != nil {
+			t.Fatalf("%s: driver run: %v", name, err)
+		}
+		if !strings.Contains(out.String(), "scenario: 1") {
+			t.Errorf("%s: driver output missing scenario display:\n%.300s", name, out.String())
+		}
+	}
+}
+
+func TestSyntaxOK(t *testing.T) {
+	tb := golden(t, "mux2_w4")
+	if !tb.SyntaxOK() {
+		t.Fatal("golden TB reports syntax error")
+	}
+	tb.DriverSource = tb.DriverSource[:len(tb.DriverSource)/2]
+	if tb.SyntaxOK() {
+		t.Error("truncated driver reported as OK")
+	}
+}

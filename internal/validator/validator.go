@@ -1,0 +1,269 @@
+// Package validator implements CorrectBench's scenario-based testbench
+// self-validator: it asks the LLM for a group of N_R "imperfect" RTL
+// implementations of the same specification, simulates each against the
+// candidate testbench, assembles the RTL-Scenario (RS) boolean matrix,
+// and judges the testbench with a column/row criterion (Section III-B
+// of the paper). Because the imperfect RTLs' faults are (approximately)
+// independent, a column that is red for most RTLs indicts the testbench
+// rather than the RTLs.
+package validator
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"correctbench/internal/dataset"
+	"correctbench/internal/llm"
+	"correctbench/internal/mutate"
+	"correctbench/internal/testbench"
+	"correctbench/internal/verilog"
+)
+
+// Criterion is a validation rule over the RS matrix.
+type Criterion struct {
+	Name string
+	// WrongFrac is the fraction of valid rows that must be red in a
+	// column for the scenario to be flagged wrong (1.0, 0.7, 0.5).
+	WrongFrac float64
+	// GreenRowFrac, when positive, applies the paper's override: if
+	// more than this fraction of RTLs match the testbench on every
+	// scenario (fully green rows), the testbench is deemed correct.
+	GreenRowFrac float64
+}
+
+// The three criteria studied in Section IV-C.
+var (
+	Wrong100 = Criterion{Name: "100%-wrong", WrongFrac: 1.0}
+	Wrong70  = Criterion{Name: "70%-wrong", WrongFrac: 0.7, GreenRowFrac: 0.25}
+	Wrong50  = Criterion{Name: "50%-wrong", WrongFrac: 0.5, GreenRowFrac: 0.25}
+)
+
+// Criteria lists the studied criteria in paper order.
+func Criteria() []Criterion { return []Criterion{Wrong100, Wrong70, Wrong50} }
+
+// CriterionByName resolves a criterion name.
+func CriterionByName(name string) (Criterion, error) {
+	for _, c := range Criteria() {
+		if c.Name == name || strings.TrimSuffix(c.Name, "-wrong") == name {
+			return c, nil
+		}
+	}
+	return Criterion{}, fmt.Errorf("validator: unknown criterion %q", name)
+}
+
+// Matrix is the RS matrix: Rows[i][j] is true (green) when RTL i agrees
+// with the testbench on scenario j.
+type Matrix struct {
+	Rows      [][]bool
+	Discarded int // RTLs dropped for syntax/simulation failures
+}
+
+// NR returns the number of valid rows.
+func (m *Matrix) NR() int { return len(m.Rows) }
+
+// NS returns the number of scenarios (columns).
+func (m *Matrix) NS() int {
+	if len(m.Rows) == 0 {
+		return 0
+	}
+	return len(m.Rows[0])
+}
+
+// ColumnRedFrac returns the fraction of rows that are red in column j.
+func (m *Matrix) ColumnRedFrac(j int) float64 {
+	if m.NR() == 0 {
+		return 0
+	}
+	red := 0
+	for _, row := range m.Rows {
+		if !row[j] {
+			red++
+		}
+	}
+	return float64(red) / float64(m.NR())
+}
+
+// GreenRowFrac returns the fraction of rows that are fully green.
+func (m *Matrix) GreenRowFrac() float64 {
+	if m.NR() == 0 {
+		return 0
+	}
+	green := 0
+	for _, row := range m.Rows {
+		all := true
+		for _, ok := range row {
+			if !ok {
+				all = false
+				break
+			}
+		}
+		if all {
+			green++
+		}
+	}
+	return float64(green) / float64(m.NR())
+}
+
+// Render draws the matrix as ASCII art (Fig. 4): '#' red, '.' green.
+func (m *Matrix) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "RS matrix: %d RTLs x %d scenarios (%d discarded)\n", m.NR(), m.NS(), m.Discarded)
+	sb.WriteString("      scenario ")
+	for j := 1; j <= m.NS(); j++ {
+		sb.WriteString(fmt.Sprintf("%2d", j%100))
+	}
+	sb.WriteString("\n")
+	for i, row := range m.Rows {
+		fmt.Fprintf(&sb, "rtl %2d         ", i+1)
+		for _, green := range row {
+			if green {
+				sb.WriteString(" .")
+			} else {
+				sb.WriteString(" #")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Report is the validator's verdict plus the bug information handed to
+// the corrector.
+type Report struct {
+	Correct bool
+	// Wrong, CorrectScenarios and Uncertain are 1-based scenario
+	// indexes classified by the criterion.
+	Wrong            []int
+	CorrectScenarios []int
+	Uncertain        []int
+	Matrix           *Matrix
+	// SimulationBroken is set when the testbench itself cannot be
+	// parsed or simulated; no scenario information is available.
+	SimulationBroken bool
+}
+
+// RTLCandidate is one generated imperfect RTL.
+type RTLCandidate struct {
+	Source string
+	// Correct marks candidates generated without injected faults
+	// (known only to the experiment harness, never the criterion).
+	Correct bool
+	// SyntaxBad marks candidates whose text was corrupted.
+	SyntaxBad bool
+}
+
+// GenerateRTLGroup produces the validator's N_R imperfect RTL designs
+// per the paper's regeneration rule: candidates with syntax errors are
+// kept (their rows will be discarded), but if more than half of the
+// group is syntax-broken, broken entries are regenerated until at least
+// half are clean.
+func GenerateRTLGroup(p *dataset.Problem, prof *llm.Profile, nr int, rng *rand.Rand, acct *llm.Accountant) ([]RTLCandidate, error) {
+	golden, err := p.Module()
+	if err != nil {
+		return nil, err
+	}
+	gen := func() RTLCandidate {
+		acct.Charge(rng, prof.TokensRTLIn+len(p.Spec)/4, prof.TokensRTLOut)
+		if rng.Float64() < prof.RTLSyntax {
+			return RTLCandidate{Source: mutate.CorruptSyntax(verilog.PrintModule(golden), rng), SyntaxBad: true}
+		}
+		if rng.Float64() < prof.RTLCorrect {
+			return RTLCandidate{Source: verilog.PrintModule(golden), Correct: true}
+		}
+		mut, _ := mutate.Mutate(golden, rng, prof.SampleRTLFaultCount(rng))
+		return RTLCandidate{Source: verilog.PrintModule(mut)}
+	}
+	out := make([]RTLCandidate, nr)
+	for i := range out {
+		out[i] = gen()
+	}
+	for attempts := 0; attempts < 8; attempts++ {
+		bad := 0
+		for _, c := range out {
+			if c.SyntaxBad {
+				bad++
+			}
+		}
+		if bad*2 <= nr {
+			break
+		}
+		for i := range out {
+			if out[i].SyntaxBad {
+				out[i] = gen()
+			}
+		}
+	}
+	return out, nil
+}
+
+// Validator validates testbenches against an RTL group.
+type Validator struct {
+	Criterion Criterion
+}
+
+// BuildMatrix simulates every RTL candidate against the testbench.
+// Rows for syntax-broken or unsimulatable RTLs are discarded. A broken
+// testbench (parse/elaboration/checker failure) yields a Report with
+// SimulationBroken set instead of a matrix.
+func (v *Validator) BuildMatrix(tb *testbench.Testbench, group []RTLCandidate) (*Matrix, bool) {
+	if !tb.SyntaxOK() {
+		return nil, false
+	}
+	m := &Matrix{}
+	for _, cand := range group {
+		res, err := tb.RunAgainstSource(cand.Source, tb.Problem.Top)
+		if err != nil {
+			if strings.HasPrefix(err.Error(), "checker:") {
+				// The testbench's own checker is broken.
+				return nil, false
+			}
+			m.Discarded++
+			continue
+		}
+		m.Rows = append(m.Rows, res.ScenarioPass)
+	}
+	return m, true
+}
+
+// Judge applies the criterion to a matrix.
+func (v *Validator) Judge(m *Matrix) *Report {
+	rep := &Report{Matrix: m, Correct: true}
+	if m.NR() == 0 {
+		// No information: treat as wrong with no bug info, forcing a
+		// reboot rather than a blind pass.
+		rep.Correct = false
+		rep.SimulationBroken = true
+		return rep
+	}
+	if v.Criterion.GreenRowFrac > 0 && m.GreenRowFrac() > v.Criterion.GreenRowFrac {
+		// Green-row override: enough RTLs match the testbench on every
+		// scenario, so the testbench is deemed correct.
+		for j := 0; j < m.NS(); j++ {
+			rep.CorrectScenarios = append(rep.CorrectScenarios, j+1)
+		}
+		return rep
+	}
+	for j := 0; j < m.NS(); j++ {
+		red := m.ColumnRedFrac(j)
+		switch {
+		case red >= v.Criterion.WrongFrac:
+			rep.Wrong = append(rep.Wrong, j+1)
+			rep.Correct = false
+		case red == 0:
+			rep.CorrectScenarios = append(rep.CorrectScenarios, j+1)
+		default:
+			rep.Uncertain = append(rep.Uncertain, j+1)
+		}
+	}
+	return rep
+}
+
+// Validate runs the full validation of one testbench.
+func (v *Validator) Validate(tb *testbench.Testbench, group []RTLCandidate) *Report {
+	m, ok := v.BuildMatrix(tb, group)
+	if !ok {
+		return &Report{Correct: false, SimulationBroken: true}
+	}
+	return v.Judge(m)
+}

@@ -1,0 +1,21 @@
+package verilog
+
+// CloneFile returns a deep copy of the file by printing and re-parsing
+// it. The printer/parser pair is round-trip stable (property-tested),
+// which makes this the simplest correct deep copy and keeps the AST
+// free of per-node Clone methods.
+func CloneFile(f *SourceFile) *SourceFile {
+	c, err := Parse(Print(f))
+	if err != nil {
+		// Printing a valid AST always reparses; reaching here is a bug
+		// in the printer, not a user error.
+		panic("verilog: clone round-trip failed: " + err.Error())
+	}
+	return c
+}
+
+// CloneModule returns a deep copy of a single module.
+func CloneModule(m *Module) *Module {
+	f := CloneFile(&SourceFile{Modules: []*Module{m}})
+	return f.Modules[0]
+}

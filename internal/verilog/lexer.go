@@ -1,0 +1,248 @@
+package verilog
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Lexer turns Verilog source text into a token stream.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokens lexes the whole input, stopping after the first TokError or at
+// EOF. The returned slice always ends with a TokEOF or TokError token.
+func Tokens(src string) []Token {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		t := lx.Next()
+		out = append(out, t)
+		if t.Kind == TokEOF || t.Kind == TokError {
+			return out
+		}
+	}
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) errorf(pos Pos, format string, args ...interface{}) Token {
+	return Token{Kind: TokError, Pos: pos, Text: fmt.Sprintf(format, args...)}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '$' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isBaseDigit(c byte, base byte) bool {
+	c = lower(c)
+	switch base {
+	case 'b':
+		return c == '0' || c == '1' || c == 'x' || c == 'z' || c == '?' || c == '_'
+	case 'o':
+		return (c >= '0' && c <= '7') || c == 'x' || c == 'z' || c == '?' || c == '_'
+	case 'd':
+		return isDigit(c) || c == '_'
+	case 'h':
+		return isDigit(c) || (c >= 'a' && c <= 'f') || c == 'x' || c == 'z' || c == '?' || c == '_'
+	}
+	return false
+}
+
+func lower(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		return c + 'a' - 'A'
+	}
+	return c
+}
+
+// skipSpace consumes whitespace and comments; it returns a lexical
+// error token for unterminated block comments, else a zero Token.
+func (lx *Lexer) skipSpace() (Token, bool) {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			pos := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return lx.errorf(pos, "unterminated block comment"), true
+			}
+		default:
+			return Token{}, false
+		}
+	}
+	return Token{}, false
+}
+
+// multi-character operators, longest first.
+var multiOps = []string{
+	"<<<", ">>>", "===", "!==",
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"~&", "~|", "~^", "^~", "+:", "-:", "**",
+}
+
+var singleOps = "+-*/%&|^~!<>=?:;,.()[]{}#@"
+
+// Next returns the next token.
+func (lx *Lexer) Next() Token {
+	if t, isErr := lx.skipSpace(); isErr {
+		return t
+	}
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: pos}
+	}
+	c := lx.peek()
+
+	switch {
+	case isIdentStart(c):
+		start := lx.off
+		for lx.off < len(lx.src) && isIdentPart(lx.peek()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		if IsKeyword(text) {
+			return Token{Kind: TokKeyword, Text: text, Pos: pos}
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: pos}
+
+	case c == '$':
+		start := lx.off
+		lx.advance()
+		for lx.off < len(lx.src) && isIdentPart(lx.peek()) {
+			lx.advance()
+		}
+		if lx.off-start == 1 {
+			return lx.errorf(pos, "bare '$'")
+		}
+		return Token{Kind: TokSysIdent, Text: lx.src[start:lx.off], Pos: pos}
+
+	case isDigit(c) || c == '\'':
+		return lx.lexNumber(pos)
+
+	case c == '"':
+		lx.advance()
+		start := lx.off
+		for lx.off < len(lx.src) && lx.peek() != '"' && lx.peek() != '\n' {
+			if lx.peek() == '\\' {
+				lx.advance()
+			}
+			if lx.off < len(lx.src) {
+				lx.advance()
+			}
+		}
+		if lx.off >= len(lx.src) || lx.peek() != '"' {
+			return lx.errorf(pos, "unterminated string")
+		}
+		text := lx.src[start:lx.off]
+		lx.advance()
+		return Token{Kind: TokString, Text: text, Pos: pos}
+	}
+
+	// Operators.
+	rest := lx.src[lx.off:]
+	for _, op := range multiOps {
+		if strings.HasPrefix(rest, op) {
+			for range op {
+				lx.advance()
+			}
+			return Token{Kind: TokOp, Text: op, Pos: pos}
+		}
+	}
+	if strings.IndexByte(singleOps, c) >= 0 {
+		lx.advance()
+		return Token{Kind: TokOp, Text: string(c), Pos: pos}
+	}
+	return lx.errorf(pos, "unexpected character %q", string(c))
+}
+
+// lexNumber lexes decimal and based literals: 12, 4'b10x0, 'hff, 16'd9.
+// A leading size may already have been consumed as part of this call
+// (the number starts at a digit or at the base quote).
+func (lx *Lexer) lexNumber(pos Pos) Token {
+	start := lx.off
+	for lx.off < len(lx.src) && (isDigit(lx.peek()) || lx.peek() == '_') {
+		lx.advance()
+	}
+	if lx.off < len(lx.src) && lx.peek() == '\'' {
+		lx.advance()
+		if lx.off < len(lx.src) && (lower(lx.peek()) == 's') {
+			lx.advance() // signed marker, accepted and ignored
+		}
+		if lx.off >= len(lx.src) {
+			return lx.errorf(pos, "truncated based literal")
+		}
+		base := lower(lx.peek())
+		if base != 'b' && base != 'o' && base != 'd' && base != 'h' {
+			return lx.errorf(pos, "invalid number base %q", string(lx.peek()))
+		}
+		lx.advance()
+		digStart := lx.off
+		for lx.off < len(lx.src) && isBaseDigit(lx.peek(), base) {
+			lx.advance()
+		}
+		if lx.off == digStart {
+			return lx.errorf(pos, "based literal with no digits")
+		}
+	}
+	return Token{Kind: TokNumber, Text: lx.src[start:lx.off], Pos: pos}
+}

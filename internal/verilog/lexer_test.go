@@ -1,0 +1,99 @@
+package verilog
+
+import "testing"
+
+func kinds(ts []Token) []TokenKind {
+	out := make([]TokenKind, len(ts))
+	for i, t := range ts {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	ts := Tokens("module m; endmodule")
+	want := []struct {
+		kind TokenKind
+		text string
+	}{
+		{TokKeyword, "module"},
+		{TokIdent, "m"},
+		{TokOp, ";"},
+		{TokKeyword, "endmodule"},
+		{TokEOF, ""},
+	}
+	if len(ts) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(ts), len(want), ts)
+	}
+	for i, w := range want {
+		if ts[i].Kind != w.kind || ts[i].Text != w.text {
+			t.Errorf("token %d = {%v %q}, want {%v %q}", i, ts[i].Kind, ts[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	for _, src := range []string{"12", "4'b10x0", "8'hff", "'d42", "16'd65535", "3'o7", "4'b1_0_1_0", "8'shff"} {
+		ts := Tokens(src)
+		if len(ts) != 2 || ts[0].Kind != TokNumber || ts[0].Text != src {
+			t.Errorf("lex %q -> %v", src, ts)
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	src := "<= >= == != === !== << >> >>> && || ~& ~| ~^ ^~ + - * / % ? : # @"
+	ts := Tokens(src)
+	wantTexts := []string{"<=", ">=", "==", "!=", "===", "!==", "<<", ">>", ">>>", "&&", "||",
+		"~&", "~|", "~^", "^~", "+", "-", "*", "/", "%", "?", ":", "#", "@"}
+	if len(ts) != len(wantTexts)+1 {
+		t.Fatalf("token count = %d, want %d", len(ts), len(wantTexts)+1)
+	}
+	for i, w := range wantTexts {
+		if ts[i].Kind != TokOp || ts[i].Text != w {
+			t.Errorf("op %d = %q, want %q", i, ts[i].Text, w)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	ts := Tokens("a // comment\n b /* block\nspans */ c")
+	var idents []string
+	for _, tok := range ts {
+		if tok.Kind == TokIdent {
+			idents = append(idents, tok.Text)
+		}
+	}
+	if len(idents) != 3 || idents[0] != "a" || idents[1] != "b" || idents[2] != "c" {
+		t.Errorf("idents = %v", idents)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"/* open", "\"open string", "4'q10", "`tick"} {
+		ts := Tokens(src)
+		if ts[len(ts)-1].Kind != TokError {
+			t.Errorf("lex %q did not error: %v", src, kinds(ts))
+		}
+	}
+}
+
+func TestLexSysIdentAndString(t *testing.T) {
+	ts := Tokens(`$display("hi %d", x)`)
+	if ts[0].Kind != TokSysIdent || ts[0].Text != "$display" {
+		t.Errorf("sysident = %v", ts[0])
+	}
+	if ts[2].Kind != TokString || ts[2].Text != "hi %d" {
+		t.Errorf("string = %v", ts[2])
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	ts := Tokens("a\n  b")
+	if ts[0].Pos.Line != 1 || ts[0].Pos.Col != 1 {
+		t.Errorf("a pos = %v", ts[0].Pos)
+	}
+	if ts[1].Pos.Line != 2 || ts[1].Pos.Col != 3 {
+		t.Errorf("b pos = %v", ts[1].Pos)
+	}
+}

@@ -1,0 +1,87 @@
+// Package verilog implements a lexer, parser, AST and printer for the
+// synthesizable Verilog-2005 subset used throughout this repository:
+// modules with ANSI or classic port lists, parameters, wire/reg/integer
+// declarations, continuous assignments, always/initial blocks with
+// blocking and non-blocking assignment, if/case/casez/casex/for, module
+// instantiation, the full expression operator set, bit/part selects,
+// concatenation and replication, and the $display family of system
+// tasks. It is the front end of the Icarus-Verilog stand-in simulator
+// in internal/sim.
+package verilog
+
+import "fmt"
+
+// TokenKind enumerates lexical token categories.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokSysIdent // $display, $finish, ...
+	TokNumber   // 12, 4'b1010, 8'hff, 'd3
+	TokString   // "..."
+	TokKeyword
+	TokOp    // operators and separators
+	TokError // lexical error; Text holds the message
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokSysIdent:
+		return "system identifier"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokKeyword:
+		return "keyword"
+	case TokOp:
+		return "operator"
+	default:
+		return "error"
+	}
+}
+
+// Pos is a position in the source text.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical token.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  Pos
+}
+
+// Is reports whether the token is an operator or keyword with the given
+// text.
+func (t Token) Is(text string) bool {
+	return (t.Kind == TokOp || t.Kind == TokKeyword) && t.Text == text
+}
+
+var keywords = map[string]bool{
+	"module": true, "endmodule": true,
+	"input": true, "output": true, "inout": true,
+	"wire": true, "reg": true, "integer": true,
+	"parameter": true, "localparam": true,
+	"assign": true, "always": true, "initial": true,
+	"begin": true, "end": true,
+	"if": true, "else": true,
+	"case": true, "casez": true, "casex": true, "endcase": true, "default": true,
+	"for": true, "while": true, "repeat": true,
+	"posedge": true, "negedge": true, "or": true,
+	"signed": true, "unsigned": true,
+	"function": true, "endfunction": true,
+	"generate": true, "endgenerate": true, "genvar": true,
+}
+
+// IsKeyword reports whether s is a reserved word of the subset.
+func IsKeyword(s string) bool { return keywords[s] }
