@@ -8,7 +8,9 @@ package correctbench
 // 5 repetitions) and EXPERIMENTS.md records their output.
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"correctbench/internal/autoeval"
@@ -21,23 +23,11 @@ import (
 	"correctbench/internal/verilog"
 )
 
-// benchProblems is a fixed CMB/SEQ mix used by the experiment-scale
-// benchmarks.
+// benchProblems is the fixed CMB/SEQ mix used by the experiment-scale
+// benchmarks (shared with cmd/benchjson via dataset.BenchmarkMix).
 func benchProblems(b *testing.B) []*dataset.Problem {
 	b.Helper()
-	names := []string{
-		"mux4_w4", "adder8", "alu4", "prio_enc8", "sevenseg", "parity_even8",
-		"cnt8", "det101", "sipo8", "shift18", "timer8", "lfsr8",
-	}
-	out := make([]*dataset.Problem, 0, len(names))
-	for _, n := range names {
-		p := dataset.ByName(n)
-		if p == nil {
-			b.Fatalf("problem %s missing", n)
-		}
-		out = append(out, p)
-	}
-	return out
+	return dataset.BenchmarkMix()
 }
 
 // BenchmarkTable1MainResults regenerates Table I (three methods,
@@ -50,6 +40,44 @@ func BenchmarkTable1MainResults(b *testing.B) {
 			b.Fatal(err)
 		}
 		_ = res.Table1()
+	}
+}
+
+// BenchmarkTable1Workers regenerates Table I at several worker-pool
+// widths. Results are identical at every width (the harness derives
+// per-cell random streams), so the sub-benchmarks measure pure
+// scheduling gain; cmd/benchjson records the same numbers as JSON for
+// the perf trajectory.
+func BenchmarkTable1Workers(b *testing.B) {
+	probs := benchProblems(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := harness.Run(harness.Config{
+					Reps: 1, Seed: int64(i) + 1, Problems: probs, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = res.Table1()
+			}
+		})
+	}
+}
+
+// BenchmarkTable3AttributionParallel is BenchmarkTable3Attribution
+// over a full-width worker pool.
+func BenchmarkTable3AttributionParallel(b *testing.B) {
+	probs := benchProblems(b)
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Run(harness.Config{
+			Reps: 1, Seed: int64(i) + 10, Problems: probs, Workers: runtime.GOMAXPROCS(0),
+			Methods: []harness.Method{harness.MethodCorrectBench, harness.MethodAutoBench},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Table3()
 	}
 }
 

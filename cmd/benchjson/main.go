@@ -1,0 +1,162 @@
+// Command benchjson measures harness wall-clock at several worker
+// counts and writes the numbers as JSON, so the performance
+// trajectory of the experiment pipeline is tracked from PR to PR in a
+// machine-readable artifact.
+//
+// It runs the Table-I code path (three methods over a fixed CMB/SEQ
+// problem mix) once per worker count, verifies that every run
+// produced byte-identical tables (the harness's determinism
+// guarantee), and records seconds plus speedup over workers=1.
+//
+// Usage:
+//
+//	benchjson                      # writes BENCH_harness.json
+//	benchjson -o - -reps 2         # print to stdout, heavier run
+//	benchjson -workers 1,2,4,8
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"correctbench/internal/dataset"
+	"correctbench/internal/harness"
+)
+
+type measurement struct {
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+	Speedup float64 `json:"speedup_vs_sequential"`
+}
+
+type report struct {
+	Bench      string        `json:"bench"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Problems   int           `json:"problems"`
+	Methods    int           `json:"methods"`
+	Reps       int           `json:"reps"`
+	Seed       int64         `json:"seed"`
+	Identical  bool          `json:"tables_identical_across_workers"`
+	Runs       []measurement `json:"runs"`
+}
+
+func main() {
+	var (
+		out        = flag.String("o", "BENCH_harness.json", "output path ('-' for stdout)")
+		reps       = flag.Int("reps", 1, "experiment repetitions per run")
+		seed       = flag.Int64("seed", 42, "master random seed")
+		workersCSV = flag.String("workers", "", "comma-separated worker counts (default: 1,2,4,...,GOMAXPROCS)")
+		full       = flag.Bool("full", false, "use all 156 problems instead of the 12-problem benchmark mix")
+	)
+	flag.Parse()
+
+	counts, err := workerCounts(*workersCSV)
+	exitOn(err)
+	probs := benchProblems(*full)
+
+	rep := report{
+		Bench:      "harness.Run/table1",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Problems:   len(probs),
+		Methods:    len(harness.AllMethods()),
+		Reps:       *reps,
+		Seed:       *seed,
+		Identical:  true,
+	}
+	var refTable string
+	for i, w := range counts {
+		start := time.Now()
+		res, err := harness.Run(harness.Config{
+			Reps: *reps, Seed: *seed, Problems: probs, Workers: w,
+		})
+		exitOn(err)
+		secs := time.Since(start).Seconds()
+		table := res.Table1()
+		if i == 0 {
+			refTable = table
+		} else if table != refTable {
+			rep.Identical = false
+		}
+		rep.Runs = append(rep.Runs, measurement{Workers: w, Seconds: round3(secs)})
+		fmt.Fprintf(os.Stderr, "benchjson: workers=%d %.2fs\n", w, secs)
+	}
+	// Speedups are relative to the workers=1 run; without one the
+	// field stays 0 rather than misnaming some other baseline.
+	var baseline float64
+	for _, m := range rep.Runs {
+		if m.Workers == 1 {
+			baseline = m.Seconds
+			break
+		}
+	}
+	if baseline > 0 {
+		for i := range rep.Runs {
+			if rep.Runs[i].Seconds > 0 {
+				rep.Runs[i].Speedup = round3(baseline / rep.Runs[i].Seconds)
+			}
+		}
+	}
+	if !rep.Identical {
+		fmt.Fprintln(os.Stderr, "benchjson: WARNING: tables differ across worker counts — determinism regression")
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	exitOn(err)
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	exitOn(os.WriteFile(*out, enc, 0o644))
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s\n", *out)
+}
+
+// workerCounts parses -workers, defaulting to powers of two up to and
+// always including GOMAXPROCS (and always starting at 1, the speedup
+// baseline).
+func workerCounts(csv string) ([]int, error) {
+	if csv == "" {
+		max := runtime.GOMAXPROCS(0)
+		counts := []int{1}
+		for w := 2; w <= max; w *= 2 {
+			counts = append(counts, w)
+		}
+		if counts[len(counts)-1] != max {
+			counts = append(counts, max)
+		}
+		return counts, nil
+	}
+	var counts []int
+	for _, f := range strings.Split(csv, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q", f)
+		}
+		counts = append(counts, w)
+	}
+	return counts, nil
+}
+
+// benchProblems is the fixed CMB/SEQ mix of the repo's Go benchmarks
+// (dataset.BenchmarkMix), so the JSON numbers track the same workload.
+func benchProblems(full bool) []*dataset.Problem {
+	if full {
+		return dataset.All()
+	}
+	return dataset.BenchmarkMix()
+}
+
+func round3(v float64) float64 { return float64(int(v*1000+0.5)) / 1000 }
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -29,6 +29,7 @@ func main() {
 		seed      = flag.Int64("seed", 42, "master random seed")
 		llmName   = flag.String("llm", "gpt-4o", "LLM profile: gpt-4o | claude-3.5-sonnet | gpt-4o-mini")
 		criterion = flag.String("criterion", "70%-wrong", "validation criterion")
+		workers   = flag.Int("workers", 0, "concurrent experiment cells (0: all CPUs, 1: sequential; results are identical either way)")
 		csvPath   = flag.String("csv", "", "also write per-task outcomes as CSV to this path")
 		quiet     = flag.Bool("q", false, "suppress progress output")
 	)
@@ -57,7 +58,7 @@ func main() {
 		}
 		exp, err := correctbench.RunExperiment(correctbench.ExperimentConfig{
 			Seed: *seed, Reps: *reps, LLM: *llmName, Criterion: *criterion,
-			Progress: progress,
+			Workers: *workers, Progress: progress,
 		})
 		exitOn(err)
 		if *table1 {

@@ -24,6 +24,7 @@ func main() {
 		perTask = flag.Int("pertask", 10, "testbenches per task for fig6a (paper: 10, i.e. 1560 total)")
 		reps    = flag.Int("reps", 1, "repetitions for fig6b")
 		seed    = flag.Int64("seed", 42, "master random seed")
+		workers = flag.Int("workers", 0, "concurrent cells/problems (0: all CPUs, 1: sequential; results are identical either way)")
 		quiet   = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -37,14 +38,14 @@ func main() {
 	}
 	if *fig6a {
 		rows, err := harness.CriteriaAccuracy(harness.CriteriaAccuracyConfig{
-			PerTask: *perTask, Seed: *seed, Progress: progress,
+			PerTask: *perTask, Seed: *seed, Workers: *workers, Progress: progress,
 		})
 		exitOn(err)
 		fmt.Println(harness.RenderFig6a(rows))
 	}
 	if *fig6b {
 		rows, err := harness.CriteriaPipeline(harness.Config{
-			Reps: *reps, Seed: *seed, Progress: progress,
+			Reps: *reps, Seed: *seed, Workers: *workers, Progress: progress,
 		})
 		exitOn(err)
 		fmt.Println(harness.RenderFig6b(rows))

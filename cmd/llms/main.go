@@ -18,9 +18,10 @@ import (
 
 func main() {
 	var (
-		reps  = flag.Int("reps", 1, "repetitions per profile (the paper ran Claude once)")
-		seed  = flag.Int64("seed", 42, "master random seed")
-		quiet = flag.Bool("q", false, "suppress progress output")
+		reps    = flag.Int("reps", 1, "repetitions per profile (the paper ran Claude once)")
+		seed    = flag.Int64("seed", 42, "master random seed")
+		workers = flag.Int("workers", 0, "concurrent experiment cells (0: all CPUs, 1: sequential; results are identical either way)")
+		quiet   = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
 	progress := os.Stderr
@@ -29,7 +30,7 @@ func main() {
 	}
 	for _, prof := range llm.Profiles() {
 		res, err := harness.Run(harness.Config{
-			Profile: prof, Reps: *reps, Seed: *seed, Progress: progress,
+			Profile: prof, Reps: *reps, Seed: *seed, Workers: *workers, Progress: progress,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "llms:", err)

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"sync"
 
 	"correctbench/internal/dataset"
 	"correctbench/internal/llm"
@@ -27,6 +29,7 @@ func main() {
 		taskName = flag.String("task", "cnt8", "dataset task")
 		seed     = flag.Int64("seed", 7, "random seed")
 		nr       = flag.Int("nr", 20, "imperfect RTL group size (paper: 20)")
+		workers  = flag.Int("workers", 0, "concurrent checker-fault probes (0: all CPUs; the same fault is found either way)")
 	)
 	flag.Parse()
 	p := dataset.ByName(*taskName)
@@ -53,20 +56,57 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	for attempt := int64(0); attempt < 50; attempt++ {
+	// Probe candidate checker faults in waves of one attempt per
+	// worker, stopping at the first wave containing a hit. Each
+	// attempt is an independent seeded derivation, so the winner — the
+	// lowest attempt index whose fault is observable — is the same for
+	// any worker count; with -workers 1 this degenerates to the
+	// original sequential early-exit scan.
+	const attempts = 50
+	type found struct {
+		tb   *testbench.Testbench
+		muts []mutate.Mutation
+	}
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	probe := func(attempt int64) *found {
 		plan := mutate.NewPlan(golden, rand.New(rand.NewSource(*seed+attempt)), 1)
 		mod, muts := plan.Build(golden)
 		if len(muts) == 0 {
-			continue
+			return nil
 		}
 		tb := &testbench.Testbench{Problem: p, Scenarios: scs, CheckerSource: verilog.PrintModule(mod), CheckerTop: p.Top, CheckerSticky: -1}
 		tb.DriverSource = testbench.EmitDriver(tb)
 		if res, err := tb.RunAgainstSource(p.Source, p.Top); err != nil || res.Pass() {
-			continue // fault not observable; try another
+			return nil // fault not observable
 		}
-		fmt.Printf("\nWRONG testbench: checker fault %v\n", muts)
-		show("WRONG testbench", tb, group)
-		return
+		return &found{tb: tb, muts: muts}
+	}
+	for base := int64(0); base < attempts; base += int64(w) {
+		end := base + int64(w)
+		if end > attempts {
+			end = attempts
+		}
+		wave := make([]*found, end-base)
+		var wg sync.WaitGroup
+		for i := range wave {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				wave[i] = probe(base + int64(i))
+			}(i)
+		}
+		wg.Wait()
+		for _, f := range wave {
+			if f == nil {
+				continue
+			}
+			fmt.Printf("\nWRONG testbench: checker fault %v\n", f.muts)
+			show("WRONG testbench", f.tb, group)
+			return
+		}
 	}
 	fmt.Fprintln(os.Stderr, "rsmatrix: no observable checker fault found")
 }

@@ -193,7 +193,13 @@ type ExperimentConfig struct {
 	Criterion string
 	// Problems restricts the task set (default: all 156).
 	ProblemNames []string
-	// Progress receives one line per finished (method, repetition).
+	// Workers bounds how many (method, rep, problem) cells run
+	// concurrently: 0 uses all CPUs, 1 forces a sequential run. Every
+	// setting produces identical results for a given Seed — each cell
+	// draws from its own hierarchically derived random stream.
+	Workers int
+	// Progress receives one line per finished (method, repetition),
+	// in canonical order regardless of Workers.
 	Progress io.Writer
 }
 
@@ -205,7 +211,7 @@ type Experiment struct {
 // RunExperiment runs the three methods over the dataset and returns
 // the aggregated results (Table I / Table III / Fig. 7 panel).
 func RunExperiment(cfg ExperimentConfig) (*Experiment, error) {
-	hcfg := harness.Config{Seed: cfg.Seed, Reps: cfg.Reps, Progress: cfg.Progress}
+	hcfg := harness.Config{Seed: cfg.Seed, Reps: cfg.Reps, Workers: cfg.Workers, Progress: cfg.Progress}
 	if cfg.LLM != "" {
 		prof := llm.ByName(cfg.LLM)
 		if prof == nil {

@@ -1,0 +1,3 @@
+module correctbench
+
+go 1.24

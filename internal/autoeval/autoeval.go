@@ -61,6 +61,11 @@ func Definitions() map[Grade]string {
 // Evaluator grades testbenches. It caches per-problem fixtures (golden
 // testbench, mutant designs, golden verdicts), so one Evaluator should
 // be shared across an experiment.
+//
+// Evaluator is safe for concurrent use. Fixture construction is
+// locked per fixture, not globally: two goroutines evaluating
+// different problems build their fixtures in parallel, while two
+// goroutines racing on the same problem build it exactly once.
 type Evaluator struct {
 	// Mutants is the number of golden-RTL mutants (paper: 10).
 	Mutants int
@@ -69,8 +74,8 @@ type Evaluator struct {
 	// Seed makes fixture construction deterministic.
 	Seed int64
 
-	mu       sync.Mutex
-	fixtures map[string]*fixture
+	mu       sync.Mutex // guards the fixtures map only, never held during builds
+	fixtures map[string]*fixtureEntry
 }
 
 // NewEvaluator returns an evaluator with the paper's configuration.
@@ -85,16 +90,37 @@ type fixture struct {
 	goldenVerdict []bool // golden TB's pass verdict per mutant
 }
 
-// fixtureFor builds (or retrieves) the per-problem fixture.
+// fixtureEntry is the per-problem build lock: the entry is installed
+// in the map under e.mu, but the expensive build runs under the
+// entry's own once, outside the map lock.
+type fixtureEntry struct {
+	once sync.Once
+	f    *fixture
+	err  error
+}
+
+// fixtureFor builds (or retrieves) the per-problem fixture. The
+// fixture's random stream is derived from (evaluator seed, problem
+// name) alone, so fixtures are identical whatever order — or
+// concurrency — problems are first evaluated in.
 func (e *Evaluator) fixtureFor(p *dataset.Problem) (*fixture, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.fixtures == nil {
-		e.fixtures = map[string]*fixture{}
+		e.fixtures = map[string]*fixtureEntry{}
 	}
-	if f, ok := e.fixtures[p.Name]; ok {
-		return f, nil
+	ent, ok := e.fixtures[p.Name]
+	if !ok {
+		ent = &fixtureEntry{}
+		e.fixtures[p.Name] = ent
 	}
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		ent.f, ent.err = e.buildFixture(p)
+	})
+	return ent.f, ent.err
+}
+
+func (e *Evaluator) buildFixture(p *dataset.Problem) (*fixture, error) {
 	rng := rand.New(rand.NewSource(e.Seed ^ int64(len(p.Name))<<32 ^ hashName(p.Name)))
 	gtb, err := testbench.Golden(p, rng)
 	if err != nil {
@@ -175,6 +201,13 @@ func (e *Evaluator) fixtureFor(p *dataset.Problem) (*fixture, error) {
 			mutants = append(mutants, m)
 		}
 	}
+	// Warm the golden testbench's checker cache while still inside the
+	// once-guarded build: afterwards the shared golden testbench is
+	// only ever read, so GoldenTestbench callers may run it from many
+	// goroutines.
+	if err := gtb.ElaborateChecker(); err != nil {
+		return nil, err
+	}
 	f := &fixture{golden: gtb, goldenDesign: goldenDesign}
 	for _, m := range mutants {
 		d, err := sim.ElaborateSource(verilog.PrintModule(m), p.Top)
@@ -187,7 +220,6 @@ func (e *Evaluator) fixtureFor(p *dataset.Problem) (*fixture, error) {
 	if len(f.mutantDesigns) == 0 {
 		return nil, fmt.Errorf("autoeval: no usable mutants for %s", p.Name)
 	}
-	e.fixtures[p.Name] = f
 	return f, nil
 }
 

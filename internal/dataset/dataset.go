@@ -51,46 +51,46 @@ type Problem struct {
 	// problems are systematically harder, as in the paper.
 	Difficulty int
 
-	mu           sync.Mutex
+	// The golden module/design caches are built at most once each,
+	// under their own once-guards: concurrent first callers block only
+	// on the problem being built (not on a shared lock), and every
+	// later call is a contention-free read. Source and Top must not be
+	// mutated after the first Module/Elaborate call.
+	moduleOnce   sync.Once
 	cachedModule *verilog.Module
+	moduleErr    error
+	designOnce   sync.Once
 	cachedDesign *sim.Design
+	designErr    error
 }
 
 // Module parses the golden source and returns its top module. The
 // result is cached and shared: callers must treat it as read-only
 // (mutation always goes through verilog.CloneModule).
 func (p *Problem) Module() (*verilog.Module, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.cachedModule != nil {
-		return p.cachedModule, nil
-	}
-	f, err := verilog.Parse(p.Source)
-	if err != nil {
-		return nil, fmt.Errorf("dataset %s: %v", p.Name, err)
-	}
-	m := f.Module(p.Top)
-	if m == nil {
-		return nil, fmt.Errorf("dataset %s: top module %q missing", p.Name, p.Top)
-	}
-	p.cachedModule = m
-	return m, nil
+	p.moduleOnce.Do(func() {
+		f, err := verilog.Parse(p.Source)
+		if err != nil {
+			p.moduleErr = fmt.Errorf("dataset %s: %v", p.Name, err)
+			return
+		}
+		m := f.Module(p.Top)
+		if m == nil {
+			p.moduleErr = fmt.Errorf("dataset %s: top module %q missing", p.Name, p.Top)
+			return
+		}
+		p.cachedModule = m
+	})
+	return p.cachedModule, p.moduleErr
 }
 
 // Elaborate parses and elaborates the golden source. The design is
 // cached and shared; sim.Design is read-only during simulation.
 func (p *Problem) Elaborate() (*sim.Design, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.cachedDesign != nil {
-		return p.cachedDesign, nil
-	}
-	d, err := sim.ElaborateSource(p.Source, p.Top)
-	if err != nil {
-		return nil, err
-	}
-	p.cachedDesign = d
-	return d, nil
+	p.designOnce.Do(func() {
+		p.cachedDesign, p.designErr = sim.ElaborateSource(p.Source, p.Top)
+	})
+	return p.cachedDesign, p.designErr
 }
 
 // DataInputs lists input ports excluding clock and reset, in
@@ -155,6 +155,25 @@ func All() []*Problem {
 func ByName(name string) *Problem {
 	build()
 	return byName[name]
+}
+
+// BenchmarkMix returns the fixed 12-problem CMB/SEQ mix used by the
+// repo's experiment-scale benchmarks (bench_test.go) and by
+// cmd/benchjson, so both measure the same workload.
+func BenchmarkMix() []*Problem {
+	names := []string{
+		"mux4_w4", "adder8", "alu4", "prio_enc8", "sevenseg", "parity_even8",
+		"cnt8", "det101", "sipo8", "shift18", "timer8", "lfsr8",
+	}
+	out := make([]*Problem, 0, len(names))
+	for _, n := range names {
+		p := ByName(n)
+		if p == nil {
+			panic("dataset: benchmark problem " + n + " missing")
+		}
+		out = append(out, p)
+	}
+	return out
 }
 
 // OfKind returns all problems of the given kind.

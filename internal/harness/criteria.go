@@ -3,13 +3,15 @@ package harness
 import (
 	"fmt"
 	"io"
-	"math/rand"
+	"runtime"
 	"strings"
+	"sync"
 
 	"correctbench/internal/autobench"
 	"correctbench/internal/autoeval"
 	"correctbench/internal/dataset"
 	"correctbench/internal/llm"
+	"correctbench/internal/rng"
 	"correctbench/internal/validator"
 )
 
@@ -20,9 +22,13 @@ type CriteriaAccuracyConfig struct {
 	Profile *llm.Profile
 	// PerTask is the number of testbenches collected per problem
 	// (paper: 1560 total = 156 x 10).
-	PerTask  int
-	NR       int
-	Seed     int64
+	PerTask int
+	NR      int
+	Seed    int64
+	// Workers bounds per-problem concurrency (0: GOMAXPROCS). Any
+	// value produces the identical corpus: each problem's testbenches
+	// come from a stream derived from (Seed, problem name) alone.
+	Workers  int
 	Problems []*dataset.Problem
 	Progress io.Writer
 }
@@ -60,15 +66,17 @@ func CriteriaAccuracy(cfg CriteriaAccuracyConfig) ([]CriterionAccuracy, error) {
 		verdicts map[string]bool // criterion -> "correct"
 		correct  bool
 	}
-	var corpus []labeled
 
+	// labelProblem builds one problem's corpus slice. Its randomness is
+	// a private stream derived from (Seed, problem name), so problems
+	// can be labeled concurrently, in any order, with identical output.
 	gen := &autobench.AutoBench{Profile: cfg.Profile}
-	for pi, p := range cfg.Problems {
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(pi)*613))
+	labelProblem := func(p *dataset.Problem) ([]labeled, error) {
+		r := rng.New(cfg.Seed).Child("criteria", p.Name).Rand()
 		var acct llm.Accountant
 		// One RTL group per task, shared by all criteria (as in the
 		// paper's study).
-		group, err := validator.GenerateRTLGroup(p, cfg.Profile, cfg.NR, rng, &acct)
+		group, err := validator.GenerateRTLGroup(p, cfg.Profile, cfg.NR, r, &acct)
 		if err != nil {
 			return nil, err
 		}
@@ -76,11 +84,12 @@ func CriteriaAccuracy(cfg CriteriaAccuracyConfig) ([]CriterionAccuracy, error) {
 		if err != nil {
 			return nil, err
 		}
+		out := make([]labeled, 0, cfg.PerTask)
 		for k := 0; k < cfg.PerTask; k++ {
 			// Each corpus entry draws fresh traits: the corpus spans
 			// many independent AutoBench runs, as in the paper.
-			trait := cfg.Profile.SampleTrait(p.Difficulty, p.Kind == dataset.SEQ, rng)
-			tb, err := gen.Generate(p, trait, rng, &acct)
+			trait := cfg.Profile.SampleTrait(p.Difficulty, p.Kind == dataset.SEQ, r)
+			tb, err := gen.Generate(p, trait, r, &acct)
 			if err != nil {
 				return nil, err
 			}
@@ -102,11 +111,63 @@ func CriteriaAccuracy(cfg CriteriaAccuracyConfig) ([]CriterionAccuracy, error) {
 				v := &validator.Validator{Criterion: c}
 				lab.verdicts[c.Name] = v.Judge(m).Correct
 			}
-			corpus = append(corpus, lab)
+			out = append(out, lab)
 		}
-		if cfg.Progress != nil && (pi+1)%26 == 0 {
-			fmt.Fprintf(cfg.Progress, "criteria accuracy: %d/%d problems\n", pi+1, len(cfg.Problems))
+		return out, nil
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfg.Problems) {
+		workers = len(cfg.Problems)
+	}
+	var (
+		perProblem = make([][]labeled, len(cfg.Problems))
+		errs       = newErrorCollector()
+		jobs       = make(chan int)
+		doneCount  int
+		progressMu sync.Mutex
+		wg         sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pi := range jobs {
+				labs, err := labelProblem(cfg.Problems[pi])
+				if err != nil {
+					errs.record(pi, err)
+					continue
+				}
+				perProblem[pi] = labs
+				if cfg.Progress != nil {
+					progressMu.Lock()
+					doneCount++
+					if doneCount%26 == 0 {
+						fmt.Fprintf(cfg.Progress, "criteria accuracy: %d/%d problems\n", doneCount, len(cfg.Problems))
+					}
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	for pi := range cfg.Problems {
+		if errs.failed() {
+			break
 		}
+		jobs <- pi
+	}
+	close(jobs)
+	wg.Wait()
+	if err := errs.first(); err != nil {
+		return nil, err
+	}
+	// Deterministic assembly: concatenate in problem order.
+	var corpus []labeled
+	for _, labs := range perProblem {
+		corpus = append(corpus, labs...)
 	}
 
 	var out []CriterionAccuracy

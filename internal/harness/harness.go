@@ -10,12 +10,15 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"correctbench/internal/autobench"
 	"correctbench/internal/autoeval"
 	"correctbench/internal/core"
 	"correctbench/internal/dataset"
 	"correctbench/internal/llm"
+	"correctbench/internal/rng"
 	"correctbench/internal/testbench"
 	"correctbench/internal/validator"
 )
@@ -57,7 +60,15 @@ type Config struct {
 	Seed      int64
 	Problems  []*dataset.Problem
 	Methods   []Method
+	// Workers bounds the number of (method, rep, problem) cells
+	// executed concurrently. 0 (the default) uses GOMAXPROCS; 1 runs
+	// strictly sequentially. Any value produces identical Results:
+	// every cell draws from its own hierarchically derived random
+	// stream (see internal/rng), so scheduling order cannot leak into
+	// outcomes.
+	Workers int
 	// Progress, when non-nil, receives one line per (method, rep).
+	// Lines are emitted in canonical order regardless of Workers.
 	Progress io.Writer
 }
 
@@ -85,29 +96,179 @@ type Results struct {
 	Outcomes map[Method][][]TaskOutcome // method -> rep -> tasks
 }
 
-// Run executes the configured experiment.
+// CellStream derives the private random stream of one experiment
+// cell. The path is (seed → method → rep → problem): every cell's
+// randomness is a pure function of those coordinates, never of how
+// many draws other cells made, which is what makes cells schedulable
+// in any order. Exposed so studies outside Run (and tests) derive
+// streams the same way.
+func CellStream(seed int64, method Method, rep int, problem string) rng.Stream {
+	return rng.New(seed).
+		Child("method", string(method)).
+		ChildN("rep", rep).
+		Child("problem", problem)
+}
+
+// cell is one unit of harness work. Cells are numbered in canonical
+// (method, rep, problem) iteration order; the index makes error
+// selection and progress reporting deterministic under concurrency.
+type cell struct {
+	idx        int
+	mi, ri, pi int
+}
+
+// Run executes the configured experiment over a bounded worker pool.
+//
+// Determinism: each cell draws from its own derived stream and writes
+// into its own pre-allocated result slot, so Workers: 1 and
+// Workers: 8 produce identical Results. On failure the error of the
+// canonically earliest failing cell is returned (the same error a
+// sequential run would hit first).
 func Run(cfg Config) (*Results, error) {
 	cfg.fill()
 	eval := autoeval.NewEvaluator(cfg.Seed ^ 0x5eed)
 	res := &Results{Config: cfg, Outcomes: map[Method][][]TaskOutcome{}}
-	for _, method := range cfg.Methods {
-		for rep := 0; rep < cfg.Reps; rep++ {
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)*7919 + int64(len(method))*104729))
-			var outcomes []TaskOutcome
-			for _, p := range cfg.Problems {
-				o, err := runTask(method, p, cfg, eval, rng)
+
+	// Pre-allocate every result slot: workers write disjoint elements
+	// and never touch the map, so assembly needs no locks and the
+	// final layout is independent of completion order.
+	for _, m := range cfg.Methods {
+		reps := make([][]TaskOutcome, cfg.Reps)
+		for r := range reps {
+			reps[r] = make([]TaskOutcome, len(cfg.Problems))
+		}
+		res.Outcomes[m] = reps
+	}
+
+	total := len(cfg.Methods) * cfg.Reps * len(cfg.Problems)
+	if total == 0 {
+		return res, nil
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+
+	var (
+		prog = newProgressTracker(cfg)
+		errs = newErrorCollector()
+		jobs = make(chan cell)
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				method, p := cfg.Methods[c.mi], cfg.Problems[c.pi]
+				r := CellStream(cfg.Seed, method, c.ri, p.Name).Rand()
+				o, err := runTask(method, p, cfg, eval, r)
 				if err != nil {
-					return nil, fmt.Errorf("%s/%s rep %d: %w", method, p.Name, rep, err)
+					errs.record(c.idx, fmt.Errorf("%s/%s rep %d: %w", method, p.Name, c.ri, err))
+					continue
 				}
-				outcomes = append(outcomes, o)
+				res.Outcomes[method][c.ri][c.pi] = o
+				prog.taskDone(c.mi, c.ri)
 			}
-			res.Outcomes[method] = append(res.Outcomes[method], outcomes)
-			if cfg.Progress != nil {
-				fmt.Fprintf(cfg.Progress, "%s rep %d/%d done (%d tasks)\n", method, rep+1, cfg.Reps, len(outcomes))
+		}()
+	}
+
+	// Feed cells in canonical order; stop scheduling new cells once
+	// any worker has failed. Already-queued cells still run, so every
+	// cell ordered before a failure executes — which is what makes the
+	// min-index error below the sequential run's first error.
+	idx := 0
+feed:
+	for mi := range cfg.Methods {
+		for ri := 0; ri < cfg.Reps; ri++ {
+			for pi := range cfg.Problems {
+				if errs.failed() {
+					break feed
+				}
+				jobs <- cell{idx: idx, mi: mi, ri: ri, pi: pi}
+				idx++
 			}
 		}
 	}
+	close(jobs)
+	wg.Wait()
+
+	if err := errs.first(); err != nil {
+		return nil, err
+	}
 	return res, nil
+}
+
+// errorCollector keeps the error of the canonically earliest failing
+// cell, so parallel runs report the same error a sequential run
+// would.
+type errorCollector struct {
+	mu     sync.Mutex
+	minIdx int
+	err    error
+}
+
+func newErrorCollector() *errorCollector { return &errorCollector{minIdx: -1} }
+
+func (e *errorCollector) record(idx int, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err == nil || idx < e.minIdx {
+		e.minIdx, e.err = idx, err
+	}
+}
+
+func (e *errorCollector) failed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err != nil
+}
+
+func (e *errorCollector) first() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// progressTracker counts finished tasks per (method, rep) group and
+// emits the group's completion line once all its tasks are done.
+// Groups are reported in canonical order — out-of-order completions
+// are buffered — so the progress text is byte-identical for any
+// worker count.
+type progressTracker struct {
+	mu      sync.Mutex
+	cfg     *Config
+	done    []int // finished tasks per group, groups = mi*Reps + ri
+	next    int   // next group to report
+	perGrp  int
+	enabled bool
+}
+
+func newProgressTracker(cfg Config) *progressTracker {
+	return &progressTracker{
+		cfg:     &cfg,
+		done:    make([]int, len(cfg.Methods)*cfg.Reps),
+		perGrp:  len(cfg.Problems),
+		enabled: cfg.Progress != nil,
+	}
+}
+
+func (t *progressTracker) taskDone(mi, ri int) {
+	if !t.enabled {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.done[mi*t.cfg.Reps+ri]++
+	for t.next < len(t.done) && t.done[t.next] == t.perGrp {
+		method := t.cfg.Methods[t.next/t.cfg.Reps]
+		rep := t.next % t.cfg.Reps
+		fmt.Fprintf(t.cfg.Progress, "%s rep %d/%d done (%d tasks)\n", method, rep+1, t.cfg.Reps, t.perGrp)
+		t.next++
+	}
 }
 
 func runTask(method Method, p *dataset.Problem, cfg Config, eval *autoeval.Evaluator, rng *rand.Rand) (TaskOutcome, error) {

@@ -1,0 +1,96 @@
+// Package rng provides hierarchical, order-independent random-stream
+// derivation for the experiment harness.
+//
+// The harness runs a three-dimensional grid of cells — (method,
+// repetition, problem) — and each cell consumes randomness. Threading
+// one *rand.Rand through the grid in iteration order makes every
+// cell's stream depend on how many random draws every earlier cell
+// happened to make, so no cell can be re-run, skipped, or executed on
+// another goroutine without changing its results. This package
+// replaces that with a derivation tree:
+//
+//	root := rng.New(experimentSeed)
+//	cell := root.Child("method", string(method)).
+//	             ChildN("rep", rep).
+//	             Child("problem", p.Name)
+//	r := cell.Rand() // the cell's private *rand.Rand
+//
+// Every node is a pure value: deriving a child never mutates the
+// parent, the same path always yields the same stream, and sibling
+// streams are statistically independent. That is what lets a worker
+// pool execute cells in any order — or all at once — while producing
+// bit-for-bit the results of a sequential run.
+//
+// Derivation mixes the parent state with an FNV-1a hash of the edge
+// label through two rounds of the splitmix64 finalizer (Steele et
+// al., "Fast Splittable Pseudorandom Number Generators", OOPSLA '14).
+// splitmix64 is a bijective avalanche function: distinct (parent,
+// label) pairs map to well-separated child states, so even labels
+// differing in one bit ("rep 1" vs "rep 2") produce uncorrelated
+// streams. The derived state seeds a standard math/rand generator, so
+// downstream code keeps its familiar *rand.Rand interface.
+package rng
+
+import "math/rand"
+
+// Stream is one node of the derivation tree. The zero value is a
+// valid stream (the tree rooted at seed 0); New gives a seeded root.
+// Streams are immutable values: methods return new Streams and are
+// safe for concurrent use.
+type Stream struct {
+	state uint64
+}
+
+// New returns the root stream of an experiment.
+func New(seed int64) Stream {
+	// One finalizer round up front so that small user seeds (0, 1, 42)
+	// land in well-mixed states.
+	return Stream{state: splitmix64(uint64(seed))}
+}
+
+// Child derives the sub-stream for a labeled edge, e.g.
+// ("method", "CorrectBench"). The label namespaces the edge so that
+// Child("a", "bc") and Child("ab", "c") differ.
+func (s Stream) Child(kind, label string) Stream {
+	h := fnv64a(kind)
+	h = splitmix64(h ^ fnv64a(label))
+	return Stream{state: splitmix64(s.state ^ h)}
+}
+
+// ChildN derives the sub-stream for an indexed edge, e.g. ("rep", 3).
+func (s Stream) ChildN(kind string, i int) Stream {
+	h := splitmix64(fnv64a(kind) ^ uint64(int64(i)))
+	return Stream{state: splitmix64(s.state ^ h)}
+}
+
+// Seed returns a 63-bit seed for external generators.
+func (s Stream) Seed() int64 {
+	return int64(splitmix64(s.state) >> 1)
+}
+
+// Rand returns a fresh math/rand generator over this stream. Each
+// call returns an independent generator with identical output, so a
+// retried cell replays exactly.
+func (s Stream) Rand() *rand.Rand {
+	return rand.New(rand.NewSource(s.Seed()))
+}
+
+// splitmix64 is the finalizer of the splitmix64 generator: a bijection
+// on uint64 with full avalanche (every input bit flips ~half the
+// output bits).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fnv64a hashes a label with 64-bit FNV-1a.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -16,6 +16,7 @@ package testbench
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"correctbench/internal/dataset"
 	"correctbench/internal/logic"
@@ -109,6 +110,17 @@ func (tb *Testbench) SyntaxOK() bool {
 		return false
 	}
 	return true
+}
+
+// ElaborateChecker elaborates and caches the checker track ahead of
+// time. A testbench is not safe for concurrent runs while the cache
+// is cold (the first run fills it); warming it under the owner's
+// control — e.g. inside autoeval's once-guarded fixture build — makes
+// subsequent concurrent RunAgainstDesign calls read-only on the
+// testbench.
+func (tb *Testbench) ElaborateChecker() error {
+	_, err := tb.checkerDesign()
+	return err
 }
 
 // checkerDesign elaborates the checker track, caching the result until
@@ -230,13 +242,24 @@ func (tb *Testbench) initScenario(inst *sim.Instance) error {
 	return nil
 }
 
+// applyStep drives a step's stimuli in sorted port-name order. The
+// order matters: SetInput propagates after every input, and designs
+// with internal feedback (notably mutated RTLs, which can latch) can
+// settle differently depending on which input moves first. Iterating
+// the Inputs map directly would inherit Go's randomized map order and
+// make such rows of the RS matrix flicker between runs.
 func applyStep(inst *sim.Instance, st Step) error {
-	for name, val := range st.Inputs {
+	names := make([]string, 0, len(st.Inputs))
+	for name := range st.Inputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		port := inst.Design().Port(name)
 		if port == nil {
 			return fmt.Errorf("stimulus for unknown port %q", name)
 		}
-		if err := inst.SetInput(name, logic.FromUint64(port.Width, val)); err != nil {
+		if err := inst.SetInput(name, logic.FromUint64(port.Width, st.Inputs[name])); err != nil {
 			return err
 		}
 	}
