@@ -193,24 +193,60 @@ func BenchmarkElaborate(b *testing.B) {
 	}
 }
 
-// BenchmarkSimTick measures clocked-simulation throughput.
+// BenchmarkSimTick measures clocked-simulation throughput on each
+// engine; the compiled/interp ratio is the AOT-compilation gain of the
+// inner loop (cmd/benchjson records the same comparison as JSON).
 func BenchmarkSimTick(b *testing.B) {
 	d, err := sim.ElaborateSource(dataset.ByName("cnt8").Source, "cnt8")
 	if err != nil {
 		b.Fatal(err)
 	}
-	in := sim.NewInstance(d)
-	if err := in.ZeroInputs(); err != nil {
+	for _, eng := range []sim.Engine{sim.EngineCompiled, sim.EngineInterp} {
+		b.Run(eng.String(), func(b *testing.B) {
+			in := sim.NewInstanceEngine(d, eng)
+			if err := in.ZeroInputs(); err != nil {
+				b.Fatal(err)
+			}
+			in.SetInputUint("rst", 1)
+			in.Tick("clk")
+			in.SetInputUint("rst", 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := in.Tick("clk"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTestbenchRunEngines measures a full golden-TB run per
+// engine on a sequential problem (pooled instances, compiled vs
+// interpreted bodies).
+func BenchmarkTestbenchRunEngines(b *testing.B) {
+	p := dataset.ByName("det101")
+	d, err := p.Elaborate()
+	if err != nil {
 		b.Fatal(err)
 	}
-	in.SetInputUint("rst", 1)
-	in.Tick("clk")
-	in.SetInputUint("rst", 0)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := in.Tick("clk"); err != nil {
-			b.Fatal(err)
-		}
+	for _, eng := range []sim.Engine{sim.EngineCompiled, sim.EngineInterp} {
+		b.Run(eng.String(), func(b *testing.B) {
+			tb, err := testbench.Golden(p, rand.New(rand.NewSource(1)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			tb.Engine = eng
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := tb.RunAgainstDesign(d)
+				if err != nil {
+					b.Fatalf("run failed: %v", err)
+				}
+				if !res.Pass() {
+					b.Fatalf("golden RTL failed scenarios %v", res.FailedScenarios())
+				}
+			}
+		})
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"strconv"
@@ -27,12 +28,31 @@ import (
 
 	"correctbench/internal/dataset"
 	"correctbench/internal/harness"
+	"correctbench/internal/sim"
+	"correctbench/internal/testbench"
 )
 
 type measurement struct {
 	Workers int     `json:"workers"`
 	Seconds float64 `json:"seconds"`
 	Speedup float64 `json:"speedup_vs_sequential"`
+}
+
+// simMeasurement is one engine's single-core simulator throughput on
+// the golden testbenches (a step = one stimulus application plus
+// output sampling on both the DUT and checker instances).
+type simMeasurement struct {
+	Engine      string  `json:"engine"`
+	Seconds     float64 `json:"seconds"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+	Speedup     float64 `json:"speedup_vs_interp,omitempty"`
+}
+
+type simReport struct {
+	Bench    string           `json:"bench"`
+	Problems int              `json:"problems"`
+	Steps    int              `json:"steps_per_pass"`
+	Runs     []simMeasurement `json:"runs"`
 }
 
 type report struct {
@@ -44,6 +64,7 @@ type report struct {
 	Seed       int64         `json:"seed"`
 	Identical  bool          `json:"tables_identical_across_workers"`
 	Runs       []measurement `json:"runs"`
+	Sim        *simReport    `json:"sim,omitempty"`
 }
 
 func main() {
@@ -59,6 +80,10 @@ func main() {
 	counts, err := workerCounts(*workersCSV)
 	exitOn(err)
 	probs := benchProblems(*full)
+
+	if runtime.GOMAXPROCS(0) == 1 {
+		fmt.Fprintln(os.Stderr, "benchjson: WARNING: GOMAXPROCS=1 — worker speedups measure scheduling overhead only, not parallel gain; read the sim section (single-core engine throughput) instead")
+	}
 
 	rep := report{
 		Bench:      "harness.Run/table1",
@@ -106,6 +131,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: WARNING: tables differ across worker counts — determinism regression")
 	}
 
+	simRep, err := simBench(probs)
+	exitOn(err)
+	rep.Sim = simRep
+
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	exitOn(err)
 	enc = append(enc, '\n')
@@ -150,6 +179,75 @@ func benchProblems(full bool) []*dataset.Problem {
 		return dataset.All()
 	}
 	return dataset.BenchmarkMix()
+}
+
+// simBench measures raw simulator throughput — steps/sec on the golden
+// testbenches against the golden RTLs — once per engine, interpreter
+// vs compiled. This is the single-core number the harness wall-clock
+// is gated on.
+func simBench(probs []*dataset.Problem) (*simReport, error) {
+	type fixture struct {
+		tb    *testbench.Testbench
+		d     *sim.Design
+		steps int
+	}
+	var fixtures []fixture
+	total := 0
+	for _, p := range probs {
+		tb, err := testbench.Golden(p, rand.New(rand.NewSource(1)))
+		if err != nil {
+			return nil, fmt.Errorf("sim bench: golden %s: %w", p.Name, err)
+		}
+		d, err := p.Elaborate()
+		if err != nil {
+			return nil, fmt.Errorf("sim bench: elaborate %s: %w", p.Name, err)
+		}
+		if err := tb.ElaborateChecker(); err != nil {
+			return nil, fmt.Errorf("sim bench: checker %s: %w", p.Name, err)
+		}
+		steps := 0
+		for _, sc := range tb.Scenarios {
+			steps += len(sc.Steps)
+		}
+		fixtures = append(fixtures, fixture{tb: tb, d: d, steps: steps})
+		total += steps
+	}
+	rep := &simReport{
+		Bench:    "sim.golden_testbench_steps",
+		Problems: len(probs),
+		Steps:    total,
+	}
+	const passes = 10
+	var interpSec float64
+	for _, eng := range []sim.Engine{sim.EngineInterp, sim.EngineCompiled} {
+		start := time.Now()
+		for pass := 0; pass < passes; pass++ {
+			for _, f := range fixtures {
+				f.tb.Engine = eng
+				res, err := f.tb.RunAgainstDesign(f.d)
+				if err != nil {
+					return nil, fmt.Errorf("sim bench (%s): %w", eng, err)
+				}
+				if !res.Pass() {
+					return nil, fmt.Errorf("sim bench (%s): golden RTL failed golden testbench", eng)
+				}
+			}
+		}
+		secs := time.Since(start).Seconds()
+		m := simMeasurement{
+			Engine:      eng.String(),
+			Seconds:     round3(secs),
+			StepsPerSec: round3(float64(passes*total) / secs),
+		}
+		if eng == sim.EngineInterp {
+			interpSec = secs
+		} else if secs > 0 {
+			m.Speedup = round3(interpSec / secs)
+		}
+		rep.Runs = append(rep.Runs, m)
+		fmt.Fprintf(os.Stderr, "benchjson: sim engine=%s %.2fs (%.0f steps/s)\n", eng, secs, m.StepsPerSec)
+	}
+	return rep, nil
 }
 
 func round3(v float64) float64 { return float64(int(v*1000+0.5)) / 1000 }

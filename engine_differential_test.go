@@ -1,0 +1,42 @@
+package correctbench
+
+import (
+	"testing"
+
+	"correctbench/internal/dataset"
+	"correctbench/internal/harness"
+	"correctbench/internal/sim"
+)
+
+// TestTableOutputEngineDifferential runs the full Table-I pipeline —
+// three methods over the benchmark problem mix — once per simulation
+// engine and asserts byte-identical published tables. Together with
+// validator.TestCompiledEngineDifferential (RS matrices over all
+// dataset problems) this is the end-to-end proof that compiling the
+// simulator changed only speed, never results.
+func TestTableOutputEngineDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table pipeline; skipped in -short mode")
+	}
+	probs := dataset.BenchmarkMix()
+
+	runTables := func(e sim.Engine) (string, string) {
+		prev := sim.DefaultEngine
+		sim.DefaultEngine = e
+		defer func() { sim.DefaultEngine = prev }()
+		res, err := harness.Run(harness.Config{Reps: 1, Seed: 42, Problems: probs, Workers: 2})
+		if err != nil {
+			t.Fatalf("harness (%s): %v", e, err)
+		}
+		return res.Table1(), res.Table3()
+	}
+
+	t1c, t3c := runTables(sim.EngineCompiled)
+	t1i, t3i := runTables(sim.EngineInterp)
+	if t1c != t1i {
+		t.Errorf("Table I differs between engines\ncompiled:\n%s\ninterp:\n%s", t1c, t1i)
+	}
+	if t3c != t3i {
+		t.Errorf("Table III differs between engines\ncompiled:\n%s\ninterp:\n%s", t3c, t3i)
+	}
+}

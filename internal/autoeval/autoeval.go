@@ -76,6 +76,38 @@ type Evaluator struct {
 
 	mu       sync.Mutex // guards the fixtures map only, never held during builds
 	fixtures map[string]*fixtureEntry
+
+	// designMu guards designs, the elaborated-DUT cache keyed by
+	// printed-module source. Fixture construction prints and runs the
+	// same mutant several times (kill check, subtlety probe, final
+	// design build); caching makes each distinct source elaborate
+	// once per Evaluator.
+	designMu sync.Mutex
+	designs  map[string]*sim.Design
+}
+
+// elaborateCached elaborates Verilog source, memoizing per distinct
+// (source, top) pair. Only successful elaborations are cached;
+// failures are rare (rejected mutants) and re-derived.
+func (e *Evaluator) elaborateCached(src, top string) (*sim.Design, error) {
+	key := top + "\x00" + src
+	e.designMu.Lock()
+	d, ok := e.designs[key]
+	e.designMu.Unlock()
+	if ok {
+		return d, nil
+	}
+	d, err := sim.ElaborateSource(src, top)
+	if err != nil {
+		return nil, err
+	}
+	e.designMu.Lock()
+	if e.designs == nil {
+		e.designs = map[string]*sim.Design{}
+	}
+	e.designs[key] = d
+	e.designMu.Unlock()
+	return d, nil
 }
 
 // NewEvaluator returns an evaluator with the paper's configuration.
@@ -136,9 +168,16 @@ func (e *Evaluator) buildFixture(p *dataset.Problem) (*fixture, error) {
 	}
 
 	// Mutants must be killable by the golden testbench: that is what
-	// makes them useful Eval2 probes.
+	// makes them useful Eval2 probes. Candidate mutants are elaborated
+	// through the evaluator's design cache: the same printed source is
+	// simulated again by the subtlety probe and kept as an Eval2 DUT,
+	// and must not be re-elaborated each time.
 	differs := func(m *verilog.Module) (bool, error) {
-		res, err := gtb.RunAgainstSource(verilog.PrintModule(m), p.Top)
+		d, err := e.elaborateCached(verilog.PrintModule(m), p.Top)
+		if err != nil {
+			return false, fmt.Errorf("dut: %w", err)
+		}
+		res, err := gtb.RunAgainstDesign(d)
 		if err != nil {
 			return false, err
 		}
@@ -171,7 +210,11 @@ func (e *Evaluator) buildFixture(p *dataset.Problem) (*fixture, error) {
 	}
 	var subtle, gross []*verilog.Module
 	for _, m := range candidates {
-		res, err := probe.RunAgainstSource(verilog.PrintModule(m), p.Top)
+		var res *testbench.RunResult
+		d, err := e.elaborateCached(verilog.PrintModule(m), p.Top)
+		if err == nil {
+			res, err = probe.RunAgainstDesign(d)
+		}
 		if err == nil && res.Pass() {
 			subtle = append(subtle, m)
 		} else {
@@ -210,7 +253,7 @@ func (e *Evaluator) buildFixture(p *dataset.Problem) (*fixture, error) {
 	}
 	f := &fixture{golden: gtb, goldenDesign: goldenDesign}
 	for _, m := range mutants {
-		d, err := sim.ElaborateSource(verilog.PrintModule(m), p.Top)
+		d, err := e.elaborateCached(verilog.PrintModule(m), p.Top)
 		if err != nil {
 			continue
 		}

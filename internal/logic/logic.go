@@ -12,6 +12,13 @@
 //
 // Bits above the width are kept zero in both planes; every operation
 // re-normalizes so that equality on the planes is value equality.
+//
+// Vectors of width <= 64 — the overwhelmingly common case for the
+// dataset's signals — store their planes inline (a0/b0) and never touch
+// the heap: constructing, copying and operating on them is
+// allocation-free. Wider vectors fall back to []uint64 plane slices.
+// Both representations share the same word-parallel operator kernels,
+// so narrow and wide results are bit-for-bit identical.
 package logic
 
 import (
@@ -48,12 +55,32 @@ const wordBits = 64
 
 // Vector is a fixed-width four-state bit vector. The zero value is not
 // usable; construct vectors with New, FromUint64, FromString or AllX.
+//
+// For width <= 64 the planes live in a0/b0 and the slices are nil; for
+// wider vectors the planes live in wa/wb. All operations dispatch on
+// the width, so a Vector value is safe to copy in both cases (narrow
+// copies are true value copies; wide copies share their planes, which
+// no operation mutates in place except the documented pointer-receiver
+// setters SetBit and SetSlice).
 type Vector struct {
-	width int
-	a, b  []uint64
+	width  int
+	a0, b0 uint64   // planes when width <= 64
+	wa, wb []uint64 // planes when width > 64
 }
 
 func words(width int) int { return (width + wordBits - 1) / wordBits }
+
+// small reports whether v uses the inline single-word representation.
+func (v Vector) small() bool { return v.width <= wordBits }
+
+// wmask returns the valid-bit mask of the top (or only) word of a
+// vector of the given width.
+func wmask(width int) uint64 {
+	if r := width % wordBits; r != 0 {
+		return (uint64(1) << uint(r)) - 1
+	}
+	return ^uint64(0)
+}
 
 // New returns a vector of the given width with every bit 0.
 // It panics if width < 1.
@@ -61,16 +88,24 @@ func New(width int) Vector {
 	if width < 1 {
 		panic(fmt.Sprintf("logic: invalid vector width %d", width))
 	}
+	if width <= wordBits {
+		return Vector{width: width}
+	}
 	n := words(width)
-	return Vector{width: width, a: make([]uint64, n), b: make([]uint64, n)}
+	return Vector{width: width, wa: make([]uint64, n), wb: make([]uint64, n)}
 }
 
 // AllX returns a vector of the given width with every bit X.
 func AllX(width int) Vector {
 	v := New(width)
-	for i := range v.a {
-		v.a[i] = ^uint64(0)
-		v.b[i] = ^uint64(0)
+	if v.small() {
+		m := wmask(width)
+		v.a0, v.b0 = m, m
+		return v
+	}
+	for i := range v.wa {
+		v.wa[i] = ^uint64(0)
+		v.wb[i] = ^uint64(0)
 	}
 	v.normalize()
 	return v
@@ -79,8 +114,12 @@ func AllX(width int) Vector {
 // AllZ returns a vector of the given width with every bit Z.
 func AllZ(width int) Vector {
 	v := New(width)
-	for i := range v.b {
-		v.b[i] = ^uint64(0)
+	if v.small() {
+		v.b0 = wmask(width)
+		return v
+	}
+	for i := range v.wb {
+		v.wb[i] = ^uint64(0)
 	}
 	v.normalize()
 	return v
@@ -89,8 +128,12 @@ func AllZ(width int) Vector {
 // Ones returns a vector of the given width with every bit 1.
 func Ones(width int) Vector {
 	v := New(width)
-	for i := range v.a {
-		v.a[i] = ^uint64(0)
+	if v.small() {
+		v.a0 = wmask(width)
+		return v
+	}
+	for i := range v.wa {
+		v.wa[i] = ^uint64(0)
 	}
 	v.normalize()
 	return v
@@ -100,8 +143,11 @@ func Ones(width int) Vector {
 // to that width.
 func FromUint64(width int, val uint64) Vector {
 	v := New(width)
-	v.a[0] = val
-	v.normalize()
+	if v.small() {
+		v.a0 = val & wmask(width)
+		return v
+	}
+	v.wa[0] = val
 	return v
 }
 
@@ -154,24 +200,77 @@ func MustParse(s string) Vector {
 func (v Vector) Width() int { return v.width }
 
 // IsValid reports whether the vector was properly constructed.
-func (v Vector) IsValid() bool { return v.width > 0 && len(v.a) == words(v.width) }
+func (v Vector) IsValid() bool {
+	if v.width <= 0 {
+		return false
+	}
+	if v.small() {
+		return true
+	}
+	return len(v.wa) == words(v.width)
+}
 
-// clone returns a deep copy of v.
+// clone returns a copy of v that shares no mutable state with it.
+// Narrow vectors are plain value copies.
 func (v Vector) clone() Vector {
-	c := Vector{width: v.width, a: make([]uint64, len(v.a)), b: make([]uint64, len(v.b))}
-	copy(c.a, v.a)
-	copy(c.b, v.b)
+	if v.small() {
+		return v
+	}
+	c := Vector{width: v.width, wa: make([]uint64, len(v.wa)), wb: make([]uint64, len(v.wb))}
+	copy(c.wa, v.wa)
+	copy(c.wb, v.wb)
 	return c
 }
 
 // normalize clears plane bits above the width.
 func (v *Vector) normalize() {
-	if v.width%wordBits == 0 {
+	m := wmask(v.width)
+	if v.small() {
+		v.a0 &= m
+		v.b0 &= m
 		return
 	}
-	mask := (uint64(1) << uint(v.width%wordBits)) - 1
-	v.a[len(v.a)-1] &= mask
-	v.b[len(v.b)-1] &= mask
+	v.wa[len(v.wa)-1] &= m
+	v.wb[len(v.wb)-1] &= m
+}
+
+// aword and bword return the i'th plane word; out-of-range words read
+// as zero so narrow and wide vectors can share word loops.
+func (v Vector) aword(i int) uint64 {
+	if v.small() {
+		if i == 0 {
+			return v.a0
+		}
+		return 0
+	}
+	if i < len(v.wa) {
+		return v.wa[i]
+	}
+	return 0
+}
+
+func (v Vector) bword(i int) uint64 {
+	if v.small() {
+		if i == 0 {
+			return v.b0
+		}
+		return 0
+	}
+	if i < len(v.wb) {
+		return v.wb[i]
+	}
+	return 0
+}
+
+// setWord stores both plane words at index i.
+func (v *Vector) setWord(i int, a, b uint64) {
+	if v.small() {
+		if i == 0 {
+			v.a0, v.b0 = a, b
+		}
+		return
+	}
+	v.wa[i], v.wb[i] = a, b
 }
 
 // Bit returns the bit at position i (0 is the LSB). Out-of-range
@@ -181,9 +280,15 @@ func (v Vector) Bit(i int) Bit {
 	if i < 0 || i >= v.width {
 		return L0
 	}
-	w, o := i/wordBits, uint(i%wordBits)
-	a := (v.a[w] >> o) & 1
-	b := (v.b[w] >> o) & 1
+	var a, b uint64
+	if v.small() {
+		a = (v.a0 >> uint(i)) & 1
+		b = (v.b0 >> uint(i)) & 1
+	} else {
+		w, o := i/wordBits, uint(i%wordBits)
+		a = (v.wa[w] >> o) & 1
+		b = (v.wb[w] >> o) & 1
+	}
 	switch {
 	case a == 0 && b == 0:
 		return L0
@@ -201,7 +306,6 @@ func (v *Vector) SetBit(i int, b Bit) {
 	if i < 0 || i >= v.width {
 		return
 	}
-	w, o := i/wordBits, uint(i%wordBits)
 	am, bm := uint64(0), uint64(0)
 	switch b {
 	case L1:
@@ -211,13 +315,23 @@ func (v *Vector) SetBit(i int, b Bit) {
 	case X:
 		am, bm = 1, 1
 	}
-	v.a[w] = v.a[w]&^(1<<o) | am<<o
-	v.b[w] = v.b[w]&^(1<<o) | bm<<o
+	if v.small() {
+		o := uint(i)
+		v.a0 = v.a0&^(1<<o) | am<<o
+		v.b0 = v.b0&^(1<<o) | bm<<o
+		return
+	}
+	w, o := i/wordBits, uint(i%wordBits)
+	v.wa[w] = v.wa[w]&^(1<<o) | am<<o
+	v.wb[w] = v.wb[w]&^(1<<o) | bm<<o
 }
 
 // HasUnknown reports whether any bit is X or Z.
 func (v Vector) HasUnknown() bool {
-	for _, w := range v.b {
+	if v.small() {
+		return v.b0 != 0
+	}
+	for _, w := range v.wb {
 		if w != 0 {
 			return true
 		}
@@ -227,8 +341,11 @@ func (v Vector) HasUnknown() bool {
 
 // IsZero reports whether every bit is exactly 0.
 func (v Vector) IsZero() bool {
-	for i := range v.a {
-		if v.a[i] != 0 || v.b[i] != 0 {
+	if v.small() {
+		return v.a0 == 0 && v.b0 == 0
+	}
+	for i := range v.wa {
+		if v.wa[i] != 0 || v.wb[i] != 0 {
 			return false
 		}
 	}
@@ -238,15 +355,21 @@ func (v Vector) IsZero() bool {
 // Uint64 returns the value as a uint64. ok is false if any bit is X or
 // Z or the value does not fit in 64 bits.
 func (v Vector) Uint64() (val uint64, ok bool) {
+	if v.small() {
+		if v.b0 != 0 {
+			return 0, false
+		}
+		return v.a0, true
+	}
 	if v.HasUnknown() {
 		return 0, false
 	}
-	for i := 1; i < len(v.a); i++ {
-		if v.a[i] != 0 {
+	for i := 1; i < len(v.wa); i++ {
+		if v.wa[i] != 0 {
 			return 0, false
 		}
 	}
-	return v.a[0], true
+	return v.wa[0], true
 }
 
 // Equal reports case equality (===): identical four-state bit patterns
@@ -255,8 +378,11 @@ func (v Vector) Equal(o Vector) bool {
 	if v.width != o.width {
 		return false
 	}
-	for i := range v.a {
-		if v.a[i] != o.a[i] || v.b[i] != o.b[i] {
+	if v.small() {
+		return v.a0 == o.a0 && v.b0 == o.b0
+	}
+	for i := range v.wa {
+		if v.wa[i] != o.wa[i] || v.wb[i] != o.wb[i] {
 			return false
 		}
 	}
@@ -295,13 +421,18 @@ func (v Vector) Resize(width int) Vector {
 	if width == v.width {
 		return v.clone()
 	}
-	r := New(width)
-	n := len(r.a)
-	if len(v.a) < n {
-		n = len(v.a)
+	if width <= wordBits && v.small() {
+		m := wmask(width)
+		return Vector{width: width, a0: v.a0 & m, b0: v.b0 & m}
 	}
-	copy(r.a[:n], v.a[:n])
-	copy(r.b[:n], v.b[:n])
+	r := New(width)
+	n := words(width)
+	if vw := words(v.width); vw < n {
+		n = vw
+	}
+	for i := 0; i < n; i++ {
+		r.setWord(i, v.aword(i), v.bword(i))
+	}
 	r.normalize()
 	return r
 }

@@ -1,5 +1,7 @@
 package logic
 
+import "math/bits"
+
 // This file implements the Verilog operator set on Vector values.
 // Unless noted otherwise operands are first resized to a common width
 // (the wider of the two, per IEEE 1364 self-determined/context rules as
@@ -12,6 +14,12 @@ package logic
 //     with any unknown bit yield all-x (or 1'bx for comparisons),
 //   - logical operators use three-valued logic,
 //   - case equality (===) is exact pattern comparison and always 0/1.
+//
+// The bitwise tables are evaluated 64 bits at a time on the aval/bval
+// planes (a=0,b=0 -> 0; a=1,b=0 -> 1; a=0,b=1 -> z; a=1,b=1 -> x):
+// "known one" is a&^b, "known zero" is ^a&^b, "unknown" is b. Narrow
+// (width <= 64) vectors run the same kernels on their single inline
+// word, allocation-free.
 
 // bitKnown reports whether the bit is 0 or 1.
 func bitKnown(b Bit) bool { return b == L0 || b == L1 }
@@ -24,18 +32,70 @@ func commonWidth(x, y Vector) (Vector, Vector, int) {
 	return x.Resize(w), y.Resize(w), w
 }
 
+// wordOp combines one plane word of each operand into a result word.
+type wordOp func(pa, pb, qa, qb uint64) (ra, rb uint64)
+
+// bitwise applies a word-parallel four-state kernel at the common
+// width. Kernels may produce garbage above the width; normalize clears
+// it.
+func bitwise(x, y Vector, f wordOp) Vector {
+	xr, yr, w := commonWidth(x, y)
+	if w <= wordBits {
+		ra, rb := f(xr.a0, xr.b0, yr.a0, yr.b0)
+		r := Vector{width: w, a0: ra, b0: rb}
+		r.normalize()
+		return r
+	}
+	r := New(w)
+	for i := range r.wa {
+		r.wa[i], r.wb[i] = f(xr.wa[i], xr.wb[i], yr.wa[i], yr.wb[i])
+	}
+	r.normalize()
+	return r
+}
+
+// andWords: 0 dominates, 1&1=1, anything else x.
+func andWords(pa, pb, qa, qb uint64) (uint64, uint64) {
+	zero := (^pa & ^pb) | (^qa & ^qb)
+	one := (pa &^ pb) & (qa &^ qb)
+	x := ^(zero | one)
+	return one | x, x
+}
+
+// orWords: 1 dominates, 0|0=0, anything else x.
+func orWords(pa, pb, qa, qb uint64) (uint64, uint64) {
+	one := (pa &^ pb) | (qa &^ qb)
+	zero := (^pa & ^pb) & (^qa & ^qb)
+	x := ^(zero | one)
+	return one | x, x
+}
+
+// xorWords: both known -> a-plane xor, else x.
+func xorWords(pa, pb, qa, qb uint64) (uint64, uint64) {
+	known := ^pb & ^qb
+	x := ^known
+	return ((pa ^ qa) & known) | x, x
+}
+
+// notWords: 0<->1, x/z -> x.
+func notWords(pa, pb uint64) (uint64, uint64) {
+	return pb | (^pa & ^pb), pb
+}
+
 // And returns x & y.
-func And(x, y Vector) Vector { return bitwise(x, y, andBit) }
+func And(x, y Vector) Vector { return bitwise(x, y, andWords) }
 
 // Or returns x | y.
-func Or(x, y Vector) Vector { return bitwise(x, y, orBit) }
+func Or(x, y Vector) Vector { return bitwise(x, y, orWords) }
 
 // Xor returns x ^ y.
-func Xor(x, y Vector) Vector { return bitwise(x, y, xorBit) }
+func Xor(x, y Vector) Vector { return bitwise(x, y, xorWords) }
 
 // Xnor returns x ~^ y.
 func Xnor(x, y Vector) Vector { return NotV(Xor(x, y)) }
 
+// andBit, orBit, xorBit are the scalar four-state tables, used by the
+// reductions and kept as the reference definition of the word kernels.
 func andBit(p, q Bit) Bit {
 	if p == L0 || q == L0 {
 		return L0
@@ -66,29 +126,20 @@ func xorBit(p, q Bit) Bit {
 	return L0
 }
 
-func bitwise(x, y Vector, f func(p, q Bit) Bit) Vector {
-	xr, yr, w := commonWidth(x, y)
-	r := New(w)
-	for i := 0; i < w; i++ {
-		r.SetBit(i, f(xr.Bit(i), yr.Bit(i)))
-	}
-	return r
-}
-
 // NotV returns ~x (bitwise negation). Named NotV to leave Not for the
 // logical operator.
 func NotV(x Vector) Vector {
-	r := New(x.width)
-	for i := 0; i < x.width; i++ {
-		switch x.Bit(i) {
-		case L0:
-			r.SetBit(i, L1)
-		case L1:
-			r.SetBit(i, L0)
-		default:
-			r.SetBit(i, X)
-		}
+	if x.small() {
+		ra, rb := notWords(x.a0, x.b0)
+		r := Vector{width: x.width, a0: ra, b0: rb}
+		r.normalize()
+		return r
 	}
+	r := New(x.width)
+	for i := range r.wa {
+		r.wa[i], r.wb[i] = notWords(x.wa[i], x.wb[i])
+	}
+	r.normalize()
 	return r
 }
 
@@ -120,7 +171,10 @@ func Add(x, y Vector) Vector {
 	if xr.HasUnknown() || yr.HasUnknown() {
 		return AllX(w)
 	}
-	r := Vector{width: w, a: addWords(xr.a, yr.a, 0), b: make([]uint64, len(xr.a))}
+	if w <= wordBits {
+		return Vector{width: w, a0: (xr.a0 + yr.a0) & wmask(w)}
+	}
+	r := Vector{width: w, wa: addWords(xr.wa, yr.wa, 0), wb: make([]uint64, len(xr.wa))}
 	r.normalize()
 	return r
 }
@@ -131,11 +185,14 @@ func Sub(x, y Vector) Vector {
 	if xr.HasUnknown() || yr.HasUnknown() {
 		return AllX(w)
 	}
-	neg := make([]uint64, len(yr.a))
-	for i := range neg {
-		neg[i] = ^yr.a[i]
+	if w <= wordBits {
+		return Vector{width: w, a0: (xr.a0 - yr.a0) & wmask(w)}
 	}
-	r := Vector{width: w, a: addWords(xr.a, neg, 1), b: make([]uint64, len(xr.a))}
+	neg := make([]uint64, len(yr.wa))
+	for i := range neg {
+		neg[i] = ^yr.wa[i]
+	}
+	r := Vector{width: w, wa: addWords(xr.wa, neg, 1), wb: make([]uint64, len(xr.wa))}
 	r.normalize()
 	return r
 }
@@ -152,8 +209,8 @@ func Mul(x, y Vector) Vector {
 	if xr.HasUnknown() || yr.HasUnknown() {
 		return AllX(w)
 	}
-	if len(xr.a) == 1 {
-		return FromUint64(w, xr.a[0]*yr.a[0])
+	if w <= wordBits {
+		return Vector{width: w, a0: (xr.a0 * yr.a0) & wmask(w)}
 	}
 	// Schoolbook multiply on 32-bit limbs, truncated to w bits.
 	limbs := func(v []uint64) []uint64 {
@@ -163,7 +220,7 @@ func Mul(x, y Vector) Vector {
 		}
 		return out
 	}
-	xa, ya := limbs(xr.a), limbs(yr.a)
+	xa, ya := limbs(xr.wa), limbs(yr.wa)
 	acc := make([]uint64, len(xa)+len(ya))
 	for i, xv := range xa {
 		var carry uint64
@@ -177,7 +234,7 @@ func Mul(x, y Vector) Vector {
 		}
 	}
 	r := New(w)
-	for i := range r.a {
+	for i := range r.wa {
 		lo := uint64(0)
 		if 2*i < len(acc) {
 			lo = acc[2*i] & 0xffffffff
@@ -186,7 +243,7 @@ func Mul(x, y Vector) Vector {
 		if 2*i+1 < len(acc) {
 			hi = acc[2*i+1] & 0xffffffff
 		}
-		r.a[i] = lo | hi<<32
+		r.wa[i] = lo | hi<<32
 	}
 	r.normalize()
 	return r
@@ -234,6 +291,15 @@ func Shl(x, y Vector) Vector {
 	if !ok {
 		return AllX(x.width)
 	}
+	if x.small() {
+		r := Vector{width: x.width}
+		if n < wordBits {
+			r.a0 = x.a0 << uint(n)
+			r.b0 = x.b0 << uint(n)
+			r.normalize()
+		}
+		return r
+	}
 	r := New(x.width)
 	for i := n; i < x.width; i++ {
 		r.SetBit(i, x.Bit(i-n))
@@ -246,6 +312,14 @@ func Shr(x, y Vector) Vector {
 	n, ok := shiftAmount(y)
 	if !ok {
 		return AllX(x.width)
+	}
+	if x.small() {
+		r := Vector{width: x.width}
+		if n < wordBits {
+			r.a0 = x.a0 >> uint(n)
+			r.b0 = x.b0 >> uint(n)
+		}
+		return r
 	}
 	r := New(x.width)
 	for i := 0; i+n < x.width; i++ {
@@ -277,13 +351,13 @@ func Sshr(x, y Vector) Vector {
 // Bool converts a Go bool to a 1-bit vector.
 func Bool(b bool) Vector {
 	if b {
-		return FromUint64(1, 1)
+		return Vector{width: 1, a0: 1}
 	}
-	return New(1)
+	return Vector{width: 1}
 }
 
 // XBit returns the 1-bit unknown value.
-func XBit() Vector { return AllX(1) }
+func XBit() Vector { return Vector{width: 1, a0: 1, b0: 1} }
 
 // Eq returns x == y as a 1-bit vector (x if any unknown bit).
 func Eq(x, y Vector) Vector {
@@ -312,11 +386,20 @@ func cmpUnsigned(x, y Vector) (int, bool) {
 	if xr.HasUnknown() || yr.HasUnknown() {
 		return 0, false
 	}
-	for i := len(xr.a) - 1; i >= 0; i-- {
-		if xr.a[i] < yr.a[i] {
+	if xr.small() {
+		switch {
+		case xr.a0 < yr.a0:
+			return -1, true
+		case xr.a0 > yr.a0:
+			return 1, true
+		}
+		return 0, true
+	}
+	for i := len(xr.wa) - 1; i >= 0; i-- {
+		if xr.wa[i] < yr.wa[i] {
 			return -1, true
 		}
-		if xr.a[i] > yr.a[i] {
+		if xr.wa[i] > yr.wa[i] {
 			return 1, true
 		}
 	}
@@ -364,12 +447,21 @@ func Gte(x, y Vector) Vector {
 // Truth classifies a vector as true (any known 1 bit), false (all bits
 // known 0) or unknown.
 func Truth(x Vector) Bit {
-	sawUnknown := false
-	for i := 0; i < x.width; i++ {
-		switch x.Bit(i) {
-		case L1:
+	if x.small() {
+		if x.a0&^x.b0 != 0 {
 			return L1
-		case X, Z:
+		}
+		if x.b0 != 0 {
+			return X
+		}
+		return L0
+	}
+	sawUnknown := false
+	for i := range x.wa {
+		if x.wa[i]&^x.wb[i] != 0 {
+			return L1
+		}
+		if x.wb[i] != 0 {
 			sawUnknown = true
 		}
 	}
@@ -419,6 +511,16 @@ func LOr(x, y Vector) Vector {
 
 // RedAnd returns &x.
 func RedAnd(x Vector) Vector {
+	if x.small() {
+		m := wmask(x.width)
+		if (^x.a0 & ^x.b0 & m) != 0 { // any known 0
+			return Bool(false)
+		}
+		if x.b0 != 0 { // no known 0, some unknown
+			return XBit()
+		}
+		return Bool(true)
+	}
 	r := L1
 	for i := 0; i < x.width; i++ {
 		r = andBit(r, x.Bit(i))
@@ -431,6 +533,15 @@ func RedAnd(x Vector) Vector {
 
 // RedOr returns |x.
 func RedOr(x Vector) Vector {
+	if x.small() {
+		if x.a0&^x.b0 != 0 { // any known 1
+			return Bool(true)
+		}
+		if x.b0 != 0 {
+			return XBit()
+		}
+		return Bool(false)
+	}
 	r := L0
 	for i := 0; i < x.width; i++ {
 		r = orBit(r, x.Bit(i))
@@ -443,6 +554,12 @@ func RedOr(x Vector) Vector {
 
 // RedXor returns ^x.
 func RedXor(x Vector) Vector {
+	if x.small() {
+		if x.b0 != 0 {
+			return XBit()
+		}
+		return Bool(bits.OnesCount64(x.a0)%2 == 1)
+	}
 	r := L0
 	for i := 0; i < x.width; i++ {
 		r = xorBit(r, x.Bit(i))
@@ -469,6 +586,19 @@ func Concat(parts ...Vector) Vector {
 	total := 0
 	for _, p := range parts {
 		total += p.width
+	}
+	if total <= wordBits {
+		// Every part is narrow when the total fits one word.
+		r := Vector{width: total}
+		pos := uint(0)
+		for i := len(parts) - 1; i >= 0; i-- {
+			p := parts[i]
+			r.a0 |= p.a0 << pos
+			r.b0 |= p.b0 << pos
+			pos += uint(p.width)
+		}
+		r.normalize()
+		return r
 	}
 	r := New(total)
 	pos := 0
@@ -500,6 +630,27 @@ func Slice(x Vector, hi, lo int) Vector {
 	if hi < lo {
 		hi, lo = lo, hi
 	}
+	if x.small() && lo >= 0 {
+		// hi < x.width <= 64 would make this a plain shift; out-of-range
+		// high bits are filled with X.
+		w := hi - lo + 1
+		if w <= wordBits {
+			valid := x.width - lo
+			if valid <= 0 {
+				return AllX(w)
+			}
+			if valid > w {
+				valid = w
+			}
+			vm := wmask(valid)
+			fill := wmask(w) &^ vm // positions beyond x read X
+			return Vector{
+				width: w,
+				a0:    (x.a0>>uint(lo))&vm | fill,
+				b0:    (x.b0>>uint(lo))&vm | fill,
+			}
+		}
+	}
 	r := New(hi - lo + 1)
 	for i := lo; i <= hi; i++ {
 		if i >= 0 && i < x.width {
@@ -518,6 +669,12 @@ func (v *Vector) SetSlice(hi, lo int, val Vector) {
 		hi, lo = lo, hi
 	}
 	vr := val.Resize(hi - lo + 1)
+	if v.small() && lo >= 0 && hi < v.width {
+		m := wmask(hi-lo+1) << uint(lo)
+		v.a0 = v.a0&^m | vr.a0<<uint(lo)
+		v.b0 = v.b0&^m | vr.b0<<uint(lo)
+		return
+	}
 	for i := lo; i <= hi; i++ {
 		if i >= 0 && i < v.width {
 			v.SetBit(i, vr.Bit(i-lo))
@@ -534,29 +691,27 @@ func Mux(sel, a, b Vector) Vector {
 	case L0:
 		return b.clone()
 	}
-	ar, br, w := commonWidth(a, b)
-	r := New(w)
-	for i := 0; i < w; i++ {
-		pa, pb := ar.Bit(i), br.Bit(i)
-		if pa == pb && bitKnown(pa) {
-			r.SetBit(i, pa)
-		} else {
-			r.SetBit(i, X)
-		}
+	// Unknown select: keep bits where both sides agree on a known
+	// value, X elsewhere.
+	agree := func(pa, pb, qa, qb uint64) (uint64, uint64) {
+		same := ^(pa ^ qa) & ^(pb ^ qb) & ^pb // equal planes, known
+		keep := pa & same
+		x := ^same
+		return keep | x, x
 	}
-	return r
+	return bitwise(a, b, agree)
 }
 
 // CaseZMatch reports whether value matches pattern treating Z/? bits in
 // the pattern (and value) as don't-care, per casez.
 func CaseZMatch(value, pattern Vector) bool {
 	vr, pr, w := commonWidth(value, pattern)
-	for i := 0; i < w; i++ {
-		pv, pp := vr.Bit(i), pr.Bit(i)
-		if pv == Z || pp == Z {
-			continue
-		}
-		if pv != pp {
+	nw := words(w)
+	for i := 0; i < nw; i++ {
+		va, vb := vr.aword(i), vr.bword(i)
+		pa, pb := pr.aword(i), pr.bword(i)
+		care := ^(vb &^ va) & ^(pb &^ pa) // neither side Z
+		if ((va^pa)|(vb^pb))&care != 0 {
 			return false
 		}
 	}
@@ -566,12 +721,12 @@ func CaseZMatch(value, pattern Vector) bool {
 // CaseXMatch is CaseZMatch with X also a don't-care, per casex.
 func CaseXMatch(value, pattern Vector) bool {
 	vr, pr, w := commonWidth(value, pattern)
-	for i := 0; i < w; i++ {
-		pv, pp := vr.Bit(i), pr.Bit(i)
-		if pv == Z || pp == Z || pv == X || pp == X {
-			continue
-		}
-		if pv != pp {
+	nw := words(w)
+	for i := 0; i < nw; i++ {
+		va, vb := vr.aword(i), vr.bword(i)
+		pa, pb := pr.aword(i), pr.bword(i)
+		care := ^vb & ^pb // neither side X or Z
+		if (va^pa)&care != 0 {
 			return false
 		}
 	}

@@ -93,7 +93,19 @@ type Process struct {
 	Sens []SensEntry // seq: edge list; comb: read set
 	Body verilog.Stmt
 	Name string // diagnostic label
+
+	// Compiled artifacts, filled by Design.finalize. code is the
+	// slot-indexed compiled program (nil when the body is not
+	// statically compilable and stays on the AST interpreter);
+	// edgeSens is Sens resolved to dense edge-watch indices.
+	code     compiledStmt
+	edgeSens []edgeSens
 }
+
+// Compiled reports whether the process body was compiled to a
+// slot-indexed program (false = AST-interpreted even under
+// EngineCompiled).
+func (p *Process) Compiled() bool { return p.code != nil }
 
 // Design is an elaborated, flattened module hierarchy.
 type Design struct {
@@ -103,6 +115,17 @@ type Design struct {
 	Order   []string // deterministic signal order
 	Procs   []*Process
 	Params  map[string]logic.Vector // resolved constants (top level)
+
+	// Slot resolution and process indexes, built by finalize: every
+	// signal name maps to a dense slot, and the scheduling structures
+	// the per-step hot path needs are precomputed here instead of per
+	// Instance.
+	slotOf     map[string]int
+	slotWidths []int      // per slot
+	combProcs  []*Process // ProcComb subset, design order
+	seqProcs   []*Process // ProcSeq subset, design order
+	combBySlot [][]int32  // slot -> ordinals into combProcs
+	edgeSlots  []int32    // slots watched by seq sensitivity lists
 }
 
 // Port returns the named top-level port, or nil.
@@ -131,6 +154,7 @@ func Elaborate(file *verilog.SourceFile, top string) (*Design, error) {
 		return nil, err
 	}
 	sort.Strings(d.Order)
+	d.finalize()
 	return d, nil
 }
 

@@ -184,7 +184,7 @@ func (in *Instance) lhsWidth(lhs verilog.Expr) int {
 
 // resolvedWrite is a fully resolved assignment target span.
 type resolvedWrite struct {
-	sig    string
+	slot   int32
 	hi, lo int
 	val    logic.Vector
 	whole  bool
@@ -197,18 +197,18 @@ type resolvedWrite struct {
 func (in *Instance) resolveLValue(lhs verilog.Expr, val logic.Vector, pos verilog.Pos) ([]resolvedWrite, error) {
 	switch x := lhs.(type) {
 	case *verilog.Ident:
-		sig, ok := in.design.Signals[x.Name]
+		slot, ok := in.design.slotOf[x.Name]
 		if !ok {
 			return nil, fmt.Errorf("%s: assignment to unknown signal %q", pos, x.Name)
 		}
-		return []resolvedWrite{{sig: x.Name, val: val.Resize(sig.Width), whole: true}}, nil
+		return []resolvedWrite{{slot: int32(slot), val: val.Resize(in.design.slotWidths[slot]), whole: true}}, nil
 
 	case *verilog.Index:
 		id, ok := x.X.(*verilog.Ident)
 		if !ok {
 			return nil, fmt.Errorf("%s: nested select on non-identifier", pos)
 		}
-		sig, ok2 := in.design.Signals[id.Name]
+		slot, ok2 := in.design.slotOf[id.Name]
 		if !ok2 {
 			return nil, fmt.Errorf("%s: assignment to unknown signal %q", pos, id.Name)
 		}
@@ -217,17 +217,17 @@ func (in *Instance) resolveLValue(lhs verilog.Expr, val logic.Vector, pos verilo
 			return nil, err
 		}
 		idx, ok3 := idxV.Uint64()
-		if !ok3 || idx >= uint64(sig.Width) {
+		if !ok3 || idx >= uint64(in.design.slotWidths[slot]) {
 			return nil, nil // write through unknown/out-of-range index: no-op
 		}
-		return []resolvedWrite{{sig: id.Name, hi: int(idx), lo: int(idx), val: val.Resize(1)}}, nil
+		return []resolvedWrite{{slot: int32(slot), hi: int(idx), lo: int(idx), val: val.Resize(1)}}, nil
 
 	case *verilog.PartSelect:
 		id, ok := x.X.(*verilog.Ident)
 		if !ok {
 			return nil, fmt.Errorf("%s: nested select on non-identifier", pos)
 		}
-		sig, ok2 := in.design.Signals[id.Name]
+		slot, ok2 := in.design.slotOf[id.Name]
 		if !ok2 {
 			return nil, fmt.Errorf("%s: assignment to unknown signal %q", pos, id.Name)
 		}
@@ -244,17 +244,18 @@ func (in *Instance) resolveLValue(lhs verilog.Expr, val logic.Vector, pos verilo
 		if !ok3 || !ok4 {
 			return nil, nil
 		}
+		width := in.design.slotWidths[slot]
 		h, l := int(hi), int(lo)
 		if h < l {
 			h, l = l, h
 		}
-		if l >= sig.Width {
+		if l >= width {
 			return nil, nil
 		}
-		if h >= sig.Width {
-			h = sig.Width - 1
+		if h >= width {
+			h = width - 1
 		}
-		return []resolvedWrite{{sig: id.Name, hi: h, lo: l, val: val.Resize(h - l + 1)}}, nil
+		return []resolvedWrite{{slot: int32(slot), hi: h, lo: l, val: val.Resize(h - l + 1)}}, nil
 
 	case *verilog.Concat:
 		// {a, b} = val assigns the top bits to a, the low bits to b.
@@ -300,10 +301,7 @@ func (in *Instance) queueNBA(lhs verilog.Expr, val logic.Vector, pos verilog.Pos
 }
 
 func (in *Instance) applyWrite(w resolvedWrite) {
-	cur, ok := in.vals[w.sig]
-	if !ok {
-		return
-	}
+	cur := in.vals[w.slot]
 	var next logic.Vector
 	if w.whole {
 		next = w.val
@@ -312,8 +310,8 @@ func (in *Instance) applyWrite(w resolvedWrite) {
 		next.SetSlice(w.hi, w.lo, w.val)
 	}
 	if !next.Equal(cur) {
-		in.vals[w.sig] = next
-		in.dirty[w.sig] = true
+		in.vals[w.slot] = next
+		in.markDirty(w.slot)
 	}
 }
 

@@ -11,16 +11,30 @@ import (
 // Instance is a simulatable instance of an elaborated design. All
 // signals start X; drive inputs with SetInput, propagate with Settle
 // or Tick, and read results with Get.
+//
+// All state is slot-indexed: signal values live in a dense
+// []logic.Vector addressed by the integer slots the design resolved at
+// elaboration time. Name-based lookups happen only at the API boundary
+// (SetInput / Get).
 type Instance struct {
 	design *Design
-	vals   map[string]logic.Vector
-	prev   map[string]logic.Vector // last seen values of edge-watched signals
-	dirty  map[string]bool
-	nba    []resolvedWrite
+	engine Engine
 
-	combBySig map[string][]*Process // level sensitivity index
-	seqProcs  []*Process
-	edgeSigs  []string
+	vals []logic.Vector // current value per slot
+	prev []logic.Vector // last seen values, indexed like design.edgeSlots
+
+	dirty     []bool  // per slot: value changed since last settle scan
+	dirtyList []int32 // slots with dirty set, in write order
+
+	pending  []bool // per comb-proc ordinal: scheduled to run
+	npending int
+	runBuf   []int32 // scratch for the settle loop
+
+	edgeChg []bool // per edge-watched signal: changed this wave
+	edgePos []bool
+	edgeNeg []bool
+
+	nba []resolvedWrite
 
 	// Stdout receives $display output.
 	Stdout io.Writer
@@ -45,53 +59,73 @@ type Stats struct {
 	Edges      int
 }
 
-// NewInstance creates a fresh instance with every signal X.
-func NewInstance(d *Design) *Instance {
+// NewInstance creates a fresh instance with every signal X, running on
+// DefaultEngine.
+func NewInstance(d *Design) *Instance { return NewInstanceEngine(d, EngineAuto) }
+
+// NewInstanceEngine creates a fresh instance on an explicit engine.
+func NewInstanceEngine(d *Design, e Engine) *Instance {
+	if e == EngineAuto {
+		e = DefaultEngine
+	}
 	in := &Instance{
 		design:    d,
-		vals:      make(map[string]logic.Vector, len(d.Signals)),
-		prev:      map[string]logic.Vector{},
-		dirty:     map[string]bool{},
-		combBySig: map[string][]*Process{},
+		engine:    e,
+		vals:      make([]logic.Vector, len(d.Order)),
+		prev:      make([]logic.Vector, len(d.edgeSlots)),
+		dirty:     make([]bool, len(d.Order)),
+		dirtyList: make([]int32, 0, len(d.Order)),
+		pending:   make([]bool, len(d.combProcs)),
+		runBuf:    make([]int32, 0, len(d.combProcs)),
+		edgeChg:   make([]bool, len(d.edgeSlots)),
+		edgePos:   make([]bool, len(d.edgeSlots)),
+		edgeNeg:   make([]bool, len(d.edgeSlots)),
 		Stdout:    io.Discard,
 	}
-	for _, name := range d.Order {
-		in.vals[name] = logic.AllX(d.Signals[name].Width)
-	}
-	edgeWatched := map[string]bool{}
-	for _, p := range d.Procs {
-		switch p.Kind {
-		case ProcComb:
-			for _, s := range p.Sens {
-				in.combBySig[s.Sig] = append(in.combBySig[s.Sig], p)
-			}
-		case ProcSeq:
-			in.seqProcs = append(in.seqProcs, p)
-			for _, s := range p.Sens {
-				edgeWatched[s.Sig] = true
-			}
-		}
-	}
-	for _, name := range d.Order {
-		if edgeWatched[name] {
-			in.edgeSigs = append(in.edgeSigs, name)
-			in.prev[name] = in.vals[name]
-		}
-	}
+	in.Reset()
 	return in
+}
+
+// Reset returns the instance to its freshly constructed state (every
+// signal X, no pending events, time zero) without reallocating. A
+// Reset instance behaves exactly like a new one, which is what lets
+// the testbench framework pool instances across scenarios.
+func (in *Instance) Reset() {
+	d := in.design
+	for i := range in.vals {
+		in.vals[i] = logic.AllX(d.slotWidths[i])
+	}
+	for i, slot := range d.edgeSlots {
+		in.prev[i] = in.vals[slot]
+	}
+	for i := range in.dirty {
+		in.dirty[i] = false
+	}
+	in.dirtyList = in.dirtyList[:0]
+	for i := range in.pending {
+		in.pending[i] = false
+	}
+	in.npending = 0
+	in.nba = in.nba[:0]
+	in.Now = 0
+	in.Finished = false
+	in.Stats = Stats{}
 }
 
 // Design returns the elaborated design this instance simulates.
 func (in *Instance) Design() *Design { return in.design }
 
+// Engine returns the engine this instance executes on.
+func (in *Instance) Engine() Engine { return in.engine }
+
 // env interface ---------------------------------------------------------
 
 func (in *Instance) readSignal(name string) (logic.Vector, error) {
-	v, ok := in.vals[name]
+	slot, ok := in.design.slotOf[name]
 	if !ok {
 		return logic.Vector{}, fmt.Errorf("read of unknown signal %q", name)
 	}
-	return v, nil
+	return in.vals[slot], nil
 }
 
 func (in *Instance) signalWidth(name string) (int, bool) {
@@ -104,6 +138,22 @@ func (in *Instance) signalWidth(name string) (int, bool) {
 
 // ------------------------------------------------------------------------
 
+// markDirty records a slot whose value changed.
+func (in *Instance) markDirty(slot int32) {
+	if !in.dirty[slot] {
+		in.dirty[slot] = true
+		in.dirtyList = append(in.dirtyList, slot)
+	}
+}
+
+// runProc executes one process body on the instance's engine.
+func (in *Instance) runProc(p *Process) error {
+	if in.engine == EngineCompiled && p.code != nil {
+		return p.code(in)
+	}
+	return in.exec(p.Body)
+}
+
 // SetInput drives a top-level input port. The change propagates through
 // combinational logic and fires any edge-sensitive processes watching
 // the signal (asynchronous set/reset), so no explicit Settle call is
@@ -113,7 +163,8 @@ func (in *Instance) SetInput(name string, v logic.Vector) error {
 	if p == nil || p.Dir == Out {
 		return fmt.Errorf("sim: %q is not an input port", name)
 	}
-	in.applyWrite(resolvedWrite{sig: name, val: v.Resize(p.Width), whole: true})
+	slot := in.design.slotOf[name]
+	in.applyWrite(resolvedWrite{slot: int32(slot), val: v.Resize(p.Width), whole: true})
 	return in.propagate()
 }
 
@@ -191,51 +242,59 @@ func (in *Instance) propagate() error {
 	return fmt.Errorf("sim: edge cascade did not settle after %d waves", maxEdgeWaves)
 }
 
-// settleComb runs level-sensitive processes until no signal changes.
-func (in *Instance) settleComb() error {
-	// Initial run of every comb process the first time around.
-	pending := map[*Process]bool{}
-	for sig := range in.dirty {
-		for _, p := range in.combBySig[sig] {
-			pending[p] = true
-		}
-	}
-	if len(in.dirty) == 0 && in.Stats.ProcRuns == 0 {
-		for _, p := range in.design.Procs {
-			if p.Kind == ProcComb {
-				pending[p] = true
+// schedulePending moves the dirty set into the pending process set and
+// clears it.
+func (in *Instance) schedulePending() {
+	d := in.design
+	for _, slot := range in.dirtyList {
+		in.dirty[slot] = false
+		for _, ord := range d.combBySlot[slot] {
+			if !in.pending[ord] {
+				in.pending[ord] = true
+				in.npending++
 			}
 		}
 	}
-	for sig := range in.dirty {
-		delete(in.dirty, sig)
-	}
+	in.dirtyList = in.dirtyList[:0]
+}
 
-	for iter := 0; len(pending) > 0; iter++ {
+// settleComb runs level-sensitive processes until no signal changes.
+func (in *Instance) settleComb() error {
+	d := in.design
+	// Initial run of every comb process the first time around.
+	if len(in.dirtyList) == 0 && in.Stats.ProcRuns == 0 {
+		for i := range in.pending {
+			if !in.pending[i] {
+				in.pending[i] = true
+				in.npending++
+			}
+		}
+	}
+	in.schedulePending()
+
+	for iter := 0; in.npending > 0; iter++ {
 		if iter > maxSettleIterations {
 			return fmt.Errorf("sim: combinational logic did not settle (%d iterations); possible feedback loop", maxSettleIterations)
 		}
 		in.Stats.SettleIter++
 		// Deterministic order: design order of processes.
-		var run []*Process
-		for _, p := range in.design.Procs {
-			if pending[p] {
-				run = append(run, p)
+		run := in.runBuf[:0]
+		for ord := range in.pending {
+			if in.pending[ord] {
+				run = append(run, int32(ord))
+				in.pending[ord] = false
 			}
 		}
-		pending = map[*Process]bool{}
-		for _, p := range run {
+		in.npending = 0
+		for _, ord := range run {
+			p := d.combProcs[ord]
 			in.Stats.ProcRuns++
-			if err := in.exec(p.Body); err != nil {
+			if err := in.runProc(p); err != nil {
 				return fmt.Errorf("sim: in %s: %v", p.Name, err)
 			}
 		}
-		for sig := range in.dirty {
-			for _, p := range in.combBySig[sig] {
-				pending[p] = true
-			}
-			delete(in.dirty, sig)
-		}
+		in.runBuf = run[:0]
+		in.schedulePending()
 	}
 	return nil
 }
@@ -244,33 +303,32 @@ func (in *Instance) settleComb() error {
 // matching edge processes, applies the NBA queue and reports whether
 // anything ran.
 func (in *Instance) fireEdges() (bool, error) {
-	type edge struct{ pos, neg bool }
-	edges := map[string]edge{}
-	for _, sig := range in.edgeSigs {
-		prev, now := in.prev[sig], in.vals[sig]
+	d := in.design
+	changed := false
+	for i, slot := range d.edgeSlots {
+		prev, now := in.prev[i], in.vals[slot]
 		if prev.Equal(now) {
+			in.edgeChg[i] = false
 			continue
 		}
 		pb, nb := prev.Bit(0), now.Bit(0)
-		e := edge{
-			pos: isPosedge(pb, nb),
-			neg: isNegedge(pb, nb),
-		}
-		edges[sig] = e
-		in.prev[sig] = now
+		in.edgeChg[i] = true
+		in.edgePos[i] = isPosedge(pb, nb)
+		in.edgeNeg[i] = isNegedge(pb, nb)
+		in.prev[i] = now
+		changed = true
 	}
-	if len(edges) == 0 {
+	if !changed {
 		return false, nil
 	}
 	var fired bool
-	for _, p := range in.seqProcs {
+	for _, p := range d.seqProcs {
 		trigger := false
-		for _, s := range p.Sens {
-			e, ok := edges[s.Sig]
-			if !ok {
+		for _, s := range p.edgeSens {
+			if !in.edgeChg[s.idx] {
 				continue
 			}
-			if (s.Edge == verilog.EdgePos && e.pos) || (s.Edge == verilog.EdgeNeg && e.neg) {
+			if (s.edge == verilog.EdgePos && in.edgePos[s.idx]) || (s.edge == verilog.EdgeNeg && in.edgeNeg[s.idx]) {
 				trigger = true
 				break
 			}
@@ -281,16 +339,15 @@ func (in *Instance) fireEdges() (bool, error) {
 		fired = true
 		in.Stats.ProcRuns++
 		in.Stats.Edges++
-		if err := in.exec(p.Body); err != nil {
+		if err := in.runProc(p); err != nil {
 			return false, fmt.Errorf("sim: in %s: %v", p.Name, err)
 		}
 	}
 	// NBA region: apply queued writes after all triggered processes ran.
-	nba := in.nba
-	in.nba = nil
-	for _, w := range nba {
-		in.applyWrite(w)
+	for i := range in.nba {
+		in.applyWrite(in.nba[i])
 	}
+	in.nba = in.nba[:0]
 	return fired, nil
 }
 

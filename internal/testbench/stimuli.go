@@ -45,6 +45,9 @@ func GenerateScenarios(p *dataset.Problem, rng *rand.Rand, cov Coverage) ([]Scen
 	}
 	for i := range scenarios {
 		scenarios[i].Index = i + 1
+		for s := range scenarios[i].Steps {
+			scenarios[i].Steps[s].freezeNames()
+		}
 	}
 	return scenarios, nil
 }

@@ -11,6 +11,14 @@
 // recorded in CheckerPlan. The plan is framework-private bookkeeping —
 // the validator never reads it; only the corrector model uses it as the
 // stand-in for LLM reasoning about its own code.
+//
+// Substitution note (engine): where AutoBench shells out to Icarus
+// Verilog per run, this framework simulates on internal/sim's compiled
+// slot-indexed engine — the design is compiled once at elaboration and
+// each scenario replays on pooled, Reset instances. The engine is
+// bit-for-bit identical to the reference AST interpreter
+// (sim.EngineInterp), so RS matrices and AutoEval verdicts do not
+// depend on which engine runs them.
 package testbench
 
 import (
@@ -29,6 +37,35 @@ import (
 // clock once for sequential DUTs), then sample all outputs.
 type Step struct {
 	Inputs map[string]uint64
+
+	// names is the sorted key list of Inputs, precomputed once by
+	// GenerateScenarios so the per-step hot path never re-sorts. It is
+	// never written after generation, keeping concurrent runs of the
+	// same testbench read-only.
+	names []string
+}
+
+// SortedNames returns the step's port names in sorted order, the
+// deterministic drive order of applyStep. Hand-built steps (nil cache)
+// get a freshly sorted list; the method never mutates the step, so a
+// shared testbench stays safe for concurrent runs.
+func (st Step) SortedNames() []string {
+	if st.names != nil {
+		return st.names
+	}
+	names := make([]string, 0, len(st.Inputs))
+	for name := range st.Inputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// freezeNames precomputes the sorted port list.
+func (st *Step) freezeNames() {
+	if st.names == nil {
+		st.names = st.SortedNames()
+	}
 }
 
 // Scenario is a named group of steps, the unit of the paper's RS-matrix
@@ -43,6 +80,12 @@ type Scenario struct {
 type Testbench struct {
 	Problem   *dataset.Problem
 	Scenarios []Scenario
+
+	// Engine selects the simulation engine for both tracks
+	// (sim.EngineAuto, the zero value, follows sim.DefaultEngine).
+	// The compiled and interpreted engines are bit-for-bit identical;
+	// the knob exists for differential tests and benchmarks.
+	Engine sim.Engine
 
 	// DriverSource is the generated Verilog driver text. It is emitted
 	// from the scenario list (as AutoBench emits its driver) and is
@@ -152,6 +195,11 @@ func (tb *Testbench) RunAgainstSource(dutSrc, dutTop string) (*RunResult, error)
 }
 
 // RunAgainstDesign is RunAgainstSource for a pre-elaborated DUT.
+//
+// The DUT and checker instances are allocated once and pooled across
+// scenarios: a scenario reset is an in-place Reset (memclear back to
+// all-X), not a reallocation, which matters when the same testbench is
+// run over N_R RTLs × N_S scenarios for the RS matrix.
 func (tb *Testbench) RunAgainstDesign(dutDesign *sim.Design) (*RunResult, error) {
 	checkerDesign, err := tb.checkerDesign()
 	if err != nil {
@@ -159,8 +207,14 @@ func (tb *Testbench) RunAgainstDesign(dutDesign *sim.Design) (*RunResult, error)
 	}
 	res := &RunResult{ScenarioPass: make([]bool, len(tb.Scenarios))}
 	outs := outputPorts(dutDesign)
+	dut := sim.NewInstanceEngine(dutDesign, tb.Engine)
+	chk := sim.NewInstanceEngine(checkerDesign, tb.Engine)
 	for i, sc := range tb.Scenarios {
-		pass, err := tb.runScenario(sc, dutDesign, checkerDesign, outs)
+		if i > 0 {
+			dut.Reset()
+			chk.Reset()
+		}
+		pass, err := tb.runScenario(sc, dut, chk, outs)
 		if err != nil {
 			return nil, err
 		}
@@ -179,14 +233,12 @@ func outputPorts(d *sim.Design) []string {
 	return out
 }
 
-// runScenario runs one scenario on fresh DUT and checker instances and
-// compares sampled outputs step by step. Errors are prefixed "dut:" or
-// "checker:" so the validator can attribute simulation failures to the
-// right side.
-func (tb *Testbench) runScenario(sc Scenario, dutDesign, checkerDesign *sim.Design, outs []string) (bool, error) {
+// runScenario runs one scenario on freshly reset DUT and checker
+// instances and compares sampled outputs step by step. Errors are
+// prefixed "dut:" or "checker:" so the validator can attribute
+// simulation failures to the right side.
+func (tb *Testbench) runScenario(sc Scenario, dut, chk *sim.Instance, outs []string) (bool, error) {
 	p := tb.Problem
-	dut := sim.NewInstance(dutDesign)
-	chk := sim.NewInstance(checkerDesign)
 	sides := []struct {
 		label string
 		inst  *sim.Instance
@@ -247,14 +299,11 @@ func (tb *Testbench) initScenario(inst *sim.Instance) error {
 // with internal feedback (notably mutated RTLs, which can latch) can
 // settle differently depending on which input moves first. Iterating
 // the Inputs map directly would inherit Go's randomized map order and
-// make such rows of the RS matrix flicker between runs.
+// make such rows of the RS matrix flicker between runs. The sorted
+// list is precomputed per step at generation time (SortedNames), not
+// re-sorted on every application.
 func applyStep(inst *sim.Instance, st Step) error {
-	names := make([]string, 0, len(st.Inputs))
-	for name := range st.Inputs {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
+	for _, name := range st.SortedNames() {
 		port := inst.Design().Port(name)
 		if port == nil {
 			return fmt.Errorf("stimulus for unknown port %q", name)

@@ -1,0 +1,60 @@
+package validator
+
+import (
+	"math/rand"
+	"testing"
+
+	"correctbench/internal/dataset"
+	"correctbench/internal/llm"
+	"correctbench/internal/sim"
+	"correctbench/internal/testbench"
+)
+
+// TestCompiledEngineDifferential proves the compiled slot-indexed
+// engine is bit-for-bit identical to the AST interpreter over the
+// entire dataset: for every problem it builds the golden testbench and
+// an imperfect RTL group (mutated, correct and syntax-broken
+// candidates, exactly as the paper's validator does) and asserts that
+// the RS matrices produced by the two engines render identically —
+// same rows, same red/green cells, same discards.
+func TestCompiledEngineDifferential(t *testing.T) {
+	prof := llm.GPT4o()
+	v := &Validator{Criterion: Wrong70}
+	for _, p := range dataset.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(1234))
+			var acct llm.Accountant
+			group, err := GenerateRTLGroup(p, prof, 6, rng, &acct)
+			if err != nil {
+				t.Fatalf("rtl group: %v", err)
+			}
+			gtb, err := testbench.Golden(p, rng)
+			if err != nil {
+				t.Fatalf("golden: %v", err)
+			}
+
+			run := func(engine sim.Engine) (string, bool) {
+				// Separate testbench value per engine so the checker
+				// design cache and engine field are independent.
+				tb := *gtb
+				tb.Engine = engine
+				m, ok := v.BuildMatrix(&tb, group)
+				if !ok {
+					return "", false
+				}
+				return m.Render(), true
+			}
+
+			compiled, okC := run(sim.EngineCompiled)
+			interp, okI := run(sim.EngineInterp)
+			if okC != okI {
+				t.Fatalf("engines disagree on testbench viability: compiled=%v interp=%v", okC, okI)
+			}
+			if compiled != interp {
+				t.Fatalf("RS matrices differ between engines\ncompiled:\n%s\ninterp:\n%s", compiled, interp)
+			}
+		})
+	}
+}
