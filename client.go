@@ -1,0 +1,435 @@
+package correctbench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+
+	"correctbench/internal/autoeval"
+	"correctbench/internal/core"
+	"correctbench/internal/dataset"
+	"correctbench/internal/harness"
+	"correctbench/internal/llm"
+	"correctbench/internal/validator"
+)
+
+// Int returns a pointer to v, for the explicit-value budget fields of
+// ExperimentSpec and TaskSpec (e.g. MaxCorrections: correctbench.Int(0)
+// disables corrections — something the legacy Options struct cannot
+// express because its zero value means "paper default").
+func Int(v int) *int { return &v }
+
+// resolveProfile resolves an LLM profile name ("" selects the paper's
+// gpt-4o default).
+func resolveProfile(name string) (*llm.Profile, error) {
+	if name == "" {
+		return llm.GPT4o(), nil
+	}
+	prof := llm.ByName(name)
+	if prof == nil {
+		return nil, fmt.Errorf("correctbench: unknown LLM profile %q", name)
+	}
+	return prof, nil
+}
+
+// resolveProblems resolves dataset problem names.
+func resolveProblems(names []string) ([]*dataset.Problem, error) {
+	var out []*dataset.Problem
+	for _, n := range names {
+		p := dataset.ByName(n)
+		if p == nil {
+			return nil, fmt.Errorf("correctbench: unknown problem %q", n)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// checkNR validates an optional RTL-group-size override.
+func checkNR(v *int) error {
+	if v != nil && *v < 1 {
+		return fmt.Errorf("correctbench: rtl_group_size must be >= 1 (the validator needs at least one RTL)")
+	}
+	return nil
+}
+
+// ExperimentSpec configures a whole-dataset experiment job. It is the
+// service wire format of POST /v1/experiments, so every field is
+// JSON-tagged.
+//
+// Unlike the legacy Options/ExperimentConfig, the Algorithm 1 budgets
+// are pointer-valued: nil means "paper default" (3 corrections, 10
+// reboots, 20 RTLs) while an explicit zero correction/reboot budget
+// is honored, enabling no-correction and no-reboot ablations.
+type ExperimentSpec struct {
+	// Seed drives every random choice; equal seeds reproduce the full
+	// event stream bit for bit.
+	Seed int64 `json:"seed"`
+	// Reps is the number of repetitions (paper: 5); minimum 1.
+	Reps int `json:"reps,omitempty"`
+	// LLM and Criterion as in Options; empty selects gpt-4o and
+	// 70%-wrong.
+	LLM       string `json:"llm,omitempty"`
+	Criterion string `json:"criterion,omitempty"`
+	// Problems restricts the task set by name (default: all 156).
+	Problems []string `json:"problems,omitempty"`
+	// Methods restricts the compared methods ("CorrectBench",
+	// "AutoBench", "Baseline"; default: all three).
+	Methods []string `json:"methods,omitempty"`
+	// Workers bounds concurrent cells (0: all CPUs). Any value yields
+	// the identical result and event sequence.
+	Workers int `json:"workers,omitempty"`
+	// MaxCorrections (I_C^max) and MaxReboots (I_R^max): nil keeps
+	// the paper defaults, explicit 0 is honored (disables the
+	// action). RTLGroupSize (N_R): nil keeps the paper's 20; explicit
+	// values must be >= 1 — the validator needs at least one RTL.
+	MaxCorrections *int `json:"max_corrections,omitempty"`
+	MaxReboots     *int `json:"max_reboots,omitempty"`
+	RTLGroupSize   *int `json:"rtl_group_size,omitempty"`
+}
+
+// resolve validates the spec and builds the harness configuration.
+// All user errors (unknown LLM, criterion, problem, method; negative
+// budgets) surface here, before a Job is created.
+func (s ExperimentSpec) resolve() (harness.Config, error) {
+	hcfg := harness.Config{Seed: s.Seed, Reps: s.Reps, Workers: s.Workers}
+	prof, err := resolveProfile(s.LLM)
+	if err != nil {
+		return harness.Config{}, err
+	}
+	hcfg.Profile = prof
+	if s.Criterion != "" {
+		c, err := validator.CriterionByName(s.Criterion)
+		if err != nil {
+			return harness.Config{}, err
+		}
+		hcfg.Criterion = c
+	}
+	if hcfg.Problems, err = resolveProblems(s.Problems); err != nil {
+		return harness.Config{}, err
+	}
+	for _, m := range s.Methods {
+		var found bool
+		for _, known := range harness.AllMethods() {
+			if string(known) == m {
+				hcfg.Methods = append(hcfg.Methods, known)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return harness.Config{}, fmt.Errorf("correctbench: unknown method %q", m)
+		}
+	}
+	for _, b := range []struct {
+		name string
+		v    *int
+	}{
+		{"max_corrections", s.MaxCorrections},
+		{"max_reboots", s.MaxReboots},
+	} {
+		if b.v != nil && *b.v < 0 {
+			return harness.Config{}, fmt.Errorf("correctbench: %s must be >= 0, got %d", b.name, *b.v)
+		}
+	}
+	if err := checkNR(s.RTLGroupSize); err != nil {
+		return harness.Config{}, err
+	}
+	hcfg.MaxCorrections = s.MaxCorrections
+	hcfg.MaxReboots = s.MaxReboots
+	hcfg.NR = s.RTLGroupSize
+	return hcfg, nil
+}
+
+// TaskSpec configures a single CorrectBench task run through a
+// Client. Budget semantics match ExperimentSpec: nil = paper
+// default; explicit zero is honored for MaxCorrections/MaxReboots,
+// while RTLGroupSize must be >= 1 when set.
+type TaskSpec struct {
+	Seed           int64  `json:"seed"`
+	LLM            string `json:"llm,omitempty"`
+	Criterion      string `json:"criterion,omitempty"`
+	MaxCorrections *int   `json:"max_corrections,omitempty"`
+	MaxReboots     *int   `json:"max_reboots,omitempty"`
+	RTLGroupSize   *int   `json:"rtl_group_size,omitempty"`
+}
+
+func (s TaskSpec) resolve() (core.Options, error) {
+	prof, err := resolveProfile(s.LLM)
+	if err != nil {
+		return core.Options{}, err
+	}
+	opt := core.DefaultOptions(prof)
+	if s.Criterion != "" {
+		c, err := validator.CriterionByName(s.Criterion)
+		if err != nil {
+			return core.Options{}, err
+		}
+		opt.Criterion = c
+	}
+	if s.MaxCorrections != nil {
+		if *s.MaxCorrections < 0 {
+			return core.Options{}, fmt.Errorf("correctbench: max_corrections must be >= 0")
+		}
+		opt.MaxCorrections = *s.MaxCorrections
+	}
+	if s.MaxReboots != nil {
+		if *s.MaxReboots < 0 {
+			return core.Options{}, fmt.Errorf("correctbench: max_reboots must be >= 0")
+		}
+		opt.MaxReboots = *s.MaxReboots
+	}
+	if err := checkNR(s.RTLGroupSize); err != nil {
+		return core.Options{}, err
+	}
+	if s.RTLGroupSize != nil {
+		opt.NR = *s.RTLGroupSize
+	}
+	return opt, nil
+}
+
+// Retention bounds: a Client is designed to live for the whole
+// process (correctbenchd keeps one per server), so both caches are
+// capped rather than unbounded.
+const (
+	// maxRetainedJobs bounds the jobs kept for Job()/Jobs() lookups:
+	// once exceeded, the oldest finished jobs (and their event
+	// histories) are evicted. Running jobs are never evicted.
+	maxRetainedJobs = 64
+	// maxRetainedEvaluators bounds the per-seed fixture caches; the
+	// oldest evaluator is dropped when a new seed would exceed the
+	// cap (fixtures are deterministic, so eviction only costs a
+	// rebuild). Jobs hold their own reference, so eviction never
+	// affects a running experiment.
+	maxRetainedEvaluators = 8
+)
+
+// Client is the job-oriented entry point to CorrectBench. It owns the
+// caches shared across jobs — the dataset, and per-seed AutoEval
+// evaluators holding elaborated goldens, golden testbenches and
+// mutant fixtures — so repeated jobs against the same seed never
+// rebuild fixtures. Both caches are bounded (see maxRetainedJobs,
+// maxRetainedEvaluators), so a long-lived Client does not grow
+// without limit. A Client is safe for concurrent use; the zero value
+// is not usable, construct with NewClient.
+type Client struct {
+	mu        sync.Mutex
+	evals     map[int64]*autoeval.Evaluator
+	evalOrder []int64 // evaluator seeds in creation order
+	jobs      map[string]*Job
+	order     []string // job IDs in submission order
+	seq       int
+}
+
+// NewClient returns an empty client.
+func NewClient() *Client {
+	return &Client{
+		evals: map[int64]*autoeval.Evaluator{},
+		jobs:  map[string]*Job{},
+	}
+}
+
+// evaluator returns the shared evaluator for an evaluator seed,
+// creating it on first use and evicting the oldest cached seed when
+// the cap is exceeded.
+func (c *Client) evaluator(seed int64) *autoeval.Evaluator {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.evals[seed]
+	if !ok {
+		e = autoeval.NewEvaluator(seed)
+		c.evals[seed] = e
+		c.evalOrder = append(c.evalOrder, seed)
+		if len(c.evalOrder) > maxRetainedEvaluators {
+			delete(c.evals, c.evalOrder[0])
+			c.evalOrder = c.evalOrder[1:]
+		}
+	}
+	return e
+}
+
+// pruneJobsLocked evicts the oldest finished jobs beyond the
+// retention cap. Callers hold c.mu.
+func (c *Client) pruneJobsLocked() {
+	if len(c.order) <= maxRetainedJobs {
+		return
+	}
+	kept := c.order[:0]
+	excess := len(c.order) - maxRetainedJobs
+	for _, id := range c.order {
+		if excess > 0 && c.jobs[id].finished() {
+			delete(c.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	c.order = kept
+}
+
+// Submit validates the spec and starts an experiment job. The job's
+// lifetime is bound to ctx: cancelling it (an HTTP client
+// disconnecting, a CLI receiving SIGINT) stops the workers within one
+// simulation step batch, exactly like Job.Cancel. Spec errors
+// (unknown LLM/criterion/problem/method, invalid budgets) and an
+// already-cancelled ctx are reported synchronously; after a
+// successful return, all failures flow through the event stream and
+// Wait.
+func (c *Client) Submit(ctx context.Context, spec ExperimentSpec) (*Job, error) {
+	return c.submit(ctx, spec, nil)
+}
+
+func (c *Client) submit(ctx context.Context, spec ExperimentSpec, progress io.Writer) (*Job, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	hcfg, err := spec.resolve()
+	if err != nil {
+		return nil, err
+	}
+	hcfg.Progress = progress
+	hcfg.Evaluator = c.evaluator(harness.EvaluatorSeed(spec.Seed))
+	// Normalize the grid now so JobStarted and Snapshot report the
+	// exact totals the harness will run.
+	hcfg.Normalize()
+
+	c.mu.Lock()
+	c.seq++
+	id := fmt.Sprintf("exp-%d", c.seq)
+	c.mu.Unlock()
+
+	jctx, cancel := context.WithCancel(ctx)
+	j := &Job{
+		id:     id,
+		spec:   spec,
+		cancel: cancel,
+		done:   make(chan struct{}),
+		update: make(chan struct{}),
+		total:  len(hcfg.Methods) * hcfg.Reps * len(hcfg.Problems),
+		grades: map[string]map[string]int{},
+		tables: map[string]string{},
+	}
+	c.mu.Lock()
+	c.jobs[id] = j
+	c.order = append(c.order, id)
+	c.pruneJobsLocked()
+	c.mu.Unlock()
+
+	go j.run(jctx, hcfg)
+	return j, nil
+}
+
+// Job returns a submitted job by ID, or nil when unknown.
+func (c *Client) Job(id string) *Job {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.jobs[id]
+}
+
+// Jobs returns every submitted job in submission order.
+func (c *Client) Jobs() []*Job {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Job, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.jobs[id])
+	}
+	return out
+}
+
+// GenerateTestbench runs the full CorrectBench workflow (Algorithm 1)
+// on one named problem, with cancellation.
+func (c *Client) GenerateTestbench(ctx context.Context, problem string, spec TaskSpec) (*TaskResult, error) {
+	p := dataset.ByName(problem)
+	if p == nil {
+		return nil, fmt.Errorf("correctbench: unknown problem %q", problem)
+	}
+	return c.GenerateTestbenchFor(ctx, p, spec)
+}
+
+// GenerateTestbenchFor is GenerateTestbench for an explicit problem
+// (including NewProblem-built ones).
+func (c *Client) GenerateTestbenchFor(ctx context.Context, p *Problem, spec TaskSpec) (*TaskResult, error) {
+	opt, err := spec.resolve()
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.RunContext(ctx, p, opt, rand.New(rand.NewSource(spec.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	return &TaskResult{
+		Testbench:   res.Testbench,
+		Validated:   res.Trace.FinalValidated,
+		Corrections: res.Trace.Corrections,
+		Reboots:     res.Trace.Reboots,
+		TokensIn:    res.Trace.Tokens.In,
+		TokensOut:   res.Trace.Tokens.Out,
+	}, nil
+}
+
+// Grade evaluates a testbench with AutoEval (Table II). The seed
+// fixes the mutant fixtures; repeated grades against the same seed
+// share the client's cached fixtures.
+func (c *Client) Grade(ctx context.Context, tb *Testbench, seed int64) (GradeLevel, error) {
+	return c.evaluator(seed).EvaluateContext(ctx, tb)
+}
+
+// CriterionAccuracyRow re-exports one Fig. 6(a) result row.
+type CriterionAccuracyRow = harness.CriterionAccuracy
+
+// CriterionPipelineRow re-exports one Fig. 6(b) result row.
+type CriterionPipelineRow = harness.CriterionPipelineResult
+
+// CriteriaAccuracySpec configures the Fig. 6(a) validation-accuracy
+// study run through a Client.
+type CriteriaAccuracySpec struct {
+	Seed int64 `json:"seed"`
+	// PerTask is the corpus size per problem (paper: 10).
+	PerTask int    `json:"per_task,omitempty"`
+	LLM     string `json:"llm,omitempty"`
+	// RTLGroupSize is N_R (nil: paper's 20).
+	RTLGroupSize *int      `json:"rtl_group_size,omitempty"`
+	Problems     []string  `json:"problems,omitempty"`
+	Workers      int       `json:"workers,omitempty"`
+	Progress     io.Writer `json:"-"`
+}
+
+// CriteriaAccuracy runs the Fig. 6(a) study with cancellation.
+func (c *Client) CriteriaAccuracy(ctx context.Context, spec CriteriaAccuracySpec) ([]CriterionAccuracyRow, error) {
+	cfg := harness.CriteriaAccuracyConfig{
+		PerTask: spec.PerTask, Seed: spec.Seed, Workers: spec.Workers, Progress: spec.Progress,
+	}
+	prof, err := resolveProfile(spec.LLM)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Profile = prof
+	if err := checkNR(spec.RTLGroupSize); err != nil {
+		return nil, err
+	}
+	if spec.RTLGroupSize != nil {
+		cfg.NR = *spec.RTLGroupSize
+	}
+	if cfg.Problems, err = resolveProblems(spec.Problems); err != nil {
+		return nil, err
+	}
+	return harness.CriteriaAccuracyContext(ctx, cfg)
+}
+
+// CriteriaPipeline runs the Fig. 6(b) study (the whole framework
+// under each validation criterion) with cancellation. The spec's
+// Criterion and Methods fields are ignored — the study fixes both.
+func (c *Client) CriteriaPipeline(ctx context.Context, spec ExperimentSpec, progress io.Writer) ([]CriterionPipelineRow, error) {
+	spec.Criterion = ""
+	spec.Methods = nil
+	hcfg, err := spec.resolve()
+	if err != nil {
+		return nil, err
+	}
+	hcfg.Progress = progress
+	hcfg.Evaluator = c.evaluator(harness.EvaluatorSeed(spec.Seed))
+	return harness.CriteriaPipelineContext(ctx, hcfg)
+}

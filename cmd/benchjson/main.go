@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -26,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"correctbench"
 	"correctbench/internal/dataset"
 	"correctbench/internal/harness"
 	"correctbench/internal/sim"
@@ -55,6 +57,25 @@ type simReport struct {
 	Runs     []simMeasurement `json:"runs"`
 }
 
+// eventsMeasurement is one Client/Job run of the same workload, with
+// or without an event-stream subscriber attached.
+type eventsMeasurement struct {
+	Mode        string  `json:"mode"` // "no_subscriber" | "subscriber"
+	Seconds     float64 `json:"seconds"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+}
+
+// eventsReport tracks what the job event machinery costs on the hot
+// path: the same Table-I workload run through Client.Submit, once
+// with nobody listening (events are still recorded for Snapshot) and
+// once with an NDJSON-marshaling subscriber draining the stream.
+type eventsReport struct {
+	Bench       string              `json:"bench"`
+	Cells       int                 `json:"cells"`
+	Runs        []eventsMeasurement `json:"runs"`
+	OverheadPct float64             `json:"subscriber_overhead_pct"`
+}
+
 type report struct {
 	Bench      string        `json:"bench"`
 	GoMaxProcs int           `json:"gomaxprocs"`
@@ -65,6 +86,7 @@ type report struct {
 	Identical  bool          `json:"tables_identical_across_workers"`
 	Runs       []measurement `json:"runs"`
 	Sim        *simReport    `json:"sim,omitempty"`
+	Events     *eventsReport `json:"events,omitempty"`
 }
 
 func main() {
@@ -134,6 +156,10 @@ func main() {
 	simRep, err := simBench(probs)
 	exitOn(err)
 	rep.Sim = simRep
+
+	evRep, err := eventsBench(probs, *reps, *seed)
+	exitOn(err)
+	rep.Events = evRep
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	exitOn(err)
@@ -246,6 +272,68 @@ func simBench(probs []*dataset.Problem) (*simReport, error) {
 		}
 		rep.Runs = append(rep.Runs, m)
 		fmt.Fprintf(os.Stderr, "benchjson: sim engine=%s %.2fs (%.0f steps/s)\n", eng, secs, m.StepsPerSec)
+	}
+	return rep, nil
+}
+
+// eventsBench measures the cost of the Client/Job event machinery on
+// the Table-I workload: cells/sec with no subscriber attached versus
+// a subscriber draining and NDJSON-marshaling every event (the
+// correctbenchd streaming path). Problem names are passed through the
+// public spec, so this also exercises the facade's resolution path.
+func eventsBench(probs []*dataset.Problem, reps int, seed int64) (*eventsReport, error) {
+	names := make([]string, len(probs))
+	for i, p := range probs {
+		names[i] = p.Name
+	}
+	spec := correctbench.ExperimentSpec{Seed: seed, Reps: reps, Problems: names}
+	cells := len(harness.AllMethods()) * max(reps, 1) * len(probs)
+	rep := &eventsReport{Bench: "client.Submit/table1_events", Cells: cells}
+
+	for _, withSub := range []bool{false, true} {
+		// A fresh client per run: shared fixture caches across runs
+		// would make the second setting measure cache hits, not event
+		// overhead.
+		client := correctbench.NewClient()
+		start := time.Now()
+		job, err := client.Submit(context.Background(), spec)
+		if err != nil {
+			return nil, err
+		}
+		drained := make(chan error, 1)
+		if withSub {
+			go func() {
+				for ev := range job.Events() {
+					if _, err := correctbench.MarshalEvent(ev); err != nil {
+						drained <- err
+						return
+					}
+				}
+				drained <- nil
+			}()
+		}
+		if _, err := job.Wait(context.Background()); err != nil {
+			return nil, err
+		}
+		if withSub {
+			if err := <-drained; err != nil {
+				return nil, err
+			}
+		}
+		secs := time.Since(start).Seconds()
+		mode := "no_subscriber"
+		if withSub {
+			mode = "subscriber"
+		}
+		m := eventsMeasurement{Mode: mode, Seconds: round3(secs)}
+		if secs > 0 {
+			m.CellsPerSec = round3(float64(cells) / secs)
+		}
+		rep.Runs = append(rep.Runs, m)
+		fmt.Fprintf(os.Stderr, "benchjson: events mode=%s %.2fs (%.1f cells/s)\n", mode, secs, m.CellsPerSec)
+	}
+	if base := rep.Runs[0].Seconds; base > 0 {
+		rep.OverheadPct = round3((rep.Runs[1].Seconds - base) / base * 100)
 	}
 	return rep, nil
 }

@@ -2,6 +2,11 @@
 // (main results), Table II (AutoEval criteria) and Table III
 // (validator/corrector attribution), or a single task end to end.
 //
+// It drives the job-oriented Client API: the experiment is submitted
+// as a job, progress is rendered from the typed event stream, and
+// Ctrl-C cancels the job cleanly (workers stop within one simulation
+// step batch).
+//
 // Usage:
 //
 //	correctbench -table1 -reps 5 -seed 42
@@ -11,9 +16,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"correctbench"
 	"correctbench/internal/harness"
@@ -35,16 +43,20 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	client := correctbench.NewClient()
+
 	if *table2 {
 		fmt.Print(harness.Table2())
 	}
 
 	if *task != "" {
-		res, err := correctbench.GenerateTestbench(*task, correctbench.Options{
+		res, err := client.GenerateTestbench(ctx, *task, correctbench.TaskSpec{
 			Seed: *seed, LLM: *llmName, Criterion: *criterion,
 		})
 		exitOn(err)
-		grade, err := correctbench.Grade(res.Testbench, *seed)
+		grade, err := client.Grade(ctx, res.Testbench, *seed)
 		exitOn(err)
 		fmt.Printf("task %s: grade=%s validated=%v corrections=%d reboots=%d tokens=%d/%d scenarios=%d\n",
 			*task, grade, res.Validated, res.Corrections, res.Reboots,
@@ -52,14 +64,19 @@ func main() {
 	}
 
 	if *table1 || *table3 {
-		var progress = os.Stderr
-		if *quiet {
-			progress = nil
-		}
-		exp, err := correctbench.RunExperiment(correctbench.ExperimentConfig{
+		job, err := client.Submit(ctx, correctbench.ExperimentSpec{
 			Seed: *seed, Reps: *reps, LLM: *llmName, Criterion: *criterion,
-			Workers: *workers, Progress: progress,
+			Workers: *workers,
 		})
+		exitOn(err)
+		// Progress from the typed event stream: one line per finished
+		// (method, rep) group, in canonical order.
+		for ev := range job.Events() {
+			if g, ok := ev.(correctbench.MethodRepDone); ok && !*quiet {
+				fmt.Fprintf(os.Stderr, "%s rep %d/%d done (%d tasks)\n", g.Method, g.Rep+1, g.Reps, g.Tasks)
+			}
+		}
+		exp, err := job.Wait(ctx)
 		exitOn(err)
 		if *table1 {
 			fmt.Println(exp.Table1())

@@ -1,0 +1,174 @@
+// Command correctbenchd serves the CorrectBench evaluation pipeline
+// over HTTP: experiments are submitted as jobs, progress streams as
+// NDJSON events, and results are queried as snapshots. It is the
+// service front end of the correctbench.Client/Job API — the same
+// contract, the same byte-reproducible event streams.
+//
+// Usage:
+//
+//	correctbenchd -addr :8080
+//	correctbenchd -selfcheck        # start, drive one experiment over
+//	                                # HTTP, verify against in-process
+//
+// Endpoints:
+//
+//	POST   /v1/experiments          submit (add "stream": true for NDJSON)
+//	GET    /v1/experiments/{id}     snapshot
+//	GET    /v1/experiments/{id}/events  NDJSON stream (replay + live)
+//	DELETE /v1/experiments/{id}     cancel
+//	GET    /v1/problems             dataset listing
+//	GET    /v1/llms, /v1/criteria   stable name lists
+//	POST   /v1/grade                grade a testbench (or generate+grade)
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"correctbench"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		selfcheck = flag.Bool("selfcheck", false, "start an ephemeral server, run a 2-problem experiment over HTTP, compare with the in-process run, and exit")
+	)
+	flag.Parse()
+
+	if *selfcheck {
+		if err := runSelfcheck(); err != nil {
+			fmt.Fprintln(os.Stderr, "correctbenchd: selfcheck FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Println("correctbenchd: selfcheck ok")
+		return
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: correctbench.NewServer(correctbench.NewClient())}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutCtx)
+	}()
+	fmt.Fprintf(os.Stderr, "correctbenchd: listening on %s\n", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "correctbenchd:", err)
+		os.Exit(1)
+	}
+}
+
+// runSelfcheck exercises the full service path end to end: it binds a
+// real TCP port, submits a small experiment with a streaming POST,
+// consumes the NDJSON event stream to completion, and asserts the
+// streamed Table I equals the one computed in-process from the same
+// spec — the service must add nothing and lose nothing.
+func runSelfcheck() error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: correctbench.NewServer(correctbench.NewClient())}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// The dataset must be served.
+	resp, err := http.Get(base + "/v1/problems")
+	if err != nil {
+		return err
+	}
+	var problems []struct {
+		Name string `json:"name"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&problems); err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if len(problems) != 156 {
+		return fmt.Errorf("GET /v1/problems: got %d problems, want 156", len(problems))
+	}
+
+	spec := correctbench.ExperimentSpec{
+		Seed: 11, Reps: 1, Problems: []string{"adder4", "dff"},
+	}
+	body, _ := json.Marshal(struct {
+		correctbench.ExperimentSpec
+		Stream bool `json:"stream"`
+	}{spec, true})
+	resp, err = http.Post(base+"/v1/experiments", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /v1/experiments: status %s", resp.Status)
+	}
+
+	var (
+		streamedTable string
+		cells         int
+		done          bool
+	)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		ev, err := correctbench.UnmarshalEvent(sc.Bytes())
+		if err != nil {
+			return err
+		}
+		switch e := ev.(type) {
+		case correctbench.CellFinished:
+			cells++
+		case correctbench.TableReady:
+			if e.Name == "table1" {
+				streamedTable = e.Text
+			}
+		case correctbench.JobDone:
+			if e.Err != nil {
+				return fmt.Errorf("job failed: %v", e.Err)
+			}
+			done = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !done {
+		return fmt.Errorf("event stream ended without job_done")
+	}
+	if want := 2 * 3; cells != want {
+		return fmt.Errorf("streamed %d cell events, want %d", cells, want)
+	}
+
+	// In-process reference run with the identical spec.
+	job, err := correctbench.NewClient().Submit(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	exp, err := job.Wait(context.Background())
+	if err != nil {
+		return err
+	}
+	if streamedTable != exp.Table1() {
+		return fmt.Errorf("streamed Table I differs from in-process run:\n--- HTTP ---\n%s\n--- in-process ---\n%s", streamedTable, exp.Table1())
+	}
+	if !strings.Contains(streamedTable, "CorrectBench") {
+		return fmt.Errorf("Table I snippet missing methods:\n%s", streamedTable)
+	}
+	fmt.Fprintf(os.Stderr, "correctbenchd: selfcheck streamed %d cells; Table I matches in-process run\n", cells)
+	return nil
+}

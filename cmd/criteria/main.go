@@ -1,7 +1,8 @@
 // Command criteria runs the validation-criteria studies of Section
-// IV-C: Fig. 6(a), validation accuracy of the 100%/70%/50%-wrong
-// criteria on a labeled testbench corpus, and Fig. 6(b), the whole
-// CorrectBench framework under each criterion with token accounting.
+// IV-C through the Client API: Fig. 6(a), validation accuracy of the
+// 100%/70%/50%-wrong criteria on a labeled testbench corpus, and
+// Fig. 6(b), the whole CorrectBench framework under each criterion
+// with token accounting. Ctrl-C cancels the running study cleanly.
 //
 // Usage:
 //
@@ -10,10 +11,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"correctbench"
 	"correctbench/internal/harness"
 )
 
@@ -28,7 +34,7 @@ func main() {
 		quiet   = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
-	progress := os.Stderr
+	var progress io.Writer = os.Stderr
 	if *quiet {
 		progress = nil
 	}
@@ -36,17 +42,20 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	client := correctbench.NewClient()
 	if *fig6a {
-		rows, err := harness.CriteriaAccuracy(harness.CriteriaAccuracyConfig{
+		rows, err := client.CriteriaAccuracy(ctx, correctbench.CriteriaAccuracySpec{
 			PerTask: *perTask, Seed: *seed, Workers: *workers, Progress: progress,
 		})
 		exitOn(err)
 		fmt.Println(harness.RenderFig6a(rows))
 	}
 	if *fig6b {
-		rows, err := harness.CriteriaPipeline(harness.Config{
-			Reps: *reps, Seed: *seed, Workers: *workers, Progress: progress,
-		})
+		rows, err := client.CriteriaPipeline(ctx, correctbench.ExperimentSpec{
+			Reps: *reps, Seed: *seed, Workers: *workers,
+		}, progress)
 		exitOn(err)
 		fmt.Println(harness.RenderFig6b(rows))
 	}

@@ -1,6 +1,8 @@
 // Command llms reproduces Fig. 7: the three generation methods
 // evaluated under each LLM profile (gpt-4o, claude-3.5-sonnet,
 // gpt-4o-mini), rendered as stacked text bars of exact-grade shares.
+// One experiment job is submitted per profile through the Client API;
+// Ctrl-C cancels the running job cleanly.
 //
 // Usage:
 //
@@ -8,12 +10,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"correctbench"
 	"correctbench/internal/harness"
-	"correctbench/internal/llm"
 )
 
 func main() {
@@ -24,18 +29,28 @@ func main() {
 		quiet   = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
-	progress := os.Stderr
-	if *quiet {
-		progress = nil
-	}
-	for _, prof := range llm.Profiles() {
-		res, err := harness.Run(harness.Config{
-			Profile: prof, Reps: *reps, Seed: *seed, Workers: *workers, Progress: progress,
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	client := correctbench.NewClient()
+	for _, name := range correctbench.LLMNames() {
+		job, err := client.Submit(ctx, correctbench.ExperimentSpec{
+			LLM: name, Reps: *reps, Seed: *seed, Workers: *workers,
 		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "llms:", err)
-			os.Exit(1)
+		exitOn(err)
+		for ev := range job.Events() {
+			if g, ok := ev.(correctbench.MethodRepDone); ok && !*quiet {
+				fmt.Fprintf(os.Stderr, "%s rep %d/%d done (%d tasks)\n", g.Method, g.Rep+1, g.Reps, g.Tasks)
+			}
 		}
-		fmt.Println(harness.RenderFig7(prof.Name, res.Fig7Rows()))
+		res, err := job.Wait(ctx)
+		exitOn(err)
+		fmt.Println(harness.RenderFig7(name, res.Fig7Rows()))
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "llms:", err)
+		os.Exit(1)
 	}
 }

@@ -1,7 +1,8 @@
 // Command rsmatrix reproduces Fig. 4: it builds RTL-Scenario matrices
 // for a task — one for a correct testbench and one with an injected
 // checker fault — and renders them as ASCII art together with each
-// criterion's verdict.
+// criterion's verdict. The probe logic lives in the Client API
+// (Client.RSMatrix); this command is a thin renderer over it.
 //
 // Usage:
 //
@@ -9,19 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
-	"runtime"
-	"sync"
+	"os/signal"
+	"syscall"
 
-	"correctbench/internal/dataset"
-	"correctbench/internal/llm"
-	"correctbench/internal/mutate"
-	"correctbench/internal/testbench"
-	"correctbench/internal/validator"
-	"correctbench/internal/verilog"
+	"correctbench"
 )
 
 func main() {
@@ -32,101 +28,20 @@ func main() {
 		workers  = flag.Int("workers", 0, "concurrent checker-fault probes (0: all CPUs; the same fault is found either way)")
 	)
 	flag.Parse()
-	p := dataset.ByName(*taskName)
-	if p == nil {
-		fail(fmt.Errorf("unknown task %q", *taskName))
-	}
-	rng := rand.New(rand.NewSource(*seed))
-	prof := llm.GPT4o()
-	var acct llm.Accountant
-	group, err := validator.GenerateRTLGroup(p, prof, *nr, rng, &acct)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := correctbench.NewClient().RSMatrix(ctx, correctbench.RSMatrixSpec{
+		Problem: *taskName, Seed: *seed, RTLGroupSize: correctbench.Int(*nr), Workers: *workers,
+	})
 	if err != nil {
-		fail(err)
+		fmt.Fprintln(os.Stderr, "rsmatrix:", err)
+		os.Exit(1)
 	}
-	scs, err := testbench.GenerateScenarios(p, rng, testbench.Coverage{Scenarios: 10, Steps: 10, Corners: true})
-	if err != nil {
-		fail(err)
-	}
-
-	clean := &testbench.Testbench{Problem: p, Scenarios: scs, CheckerSource: p.Source, CheckerTop: p.Top, CheckerSticky: -1}
-	clean.DriverSource = testbench.EmitDriver(clean)
-	show("CORRECT testbench (golden checker)", clean, group)
-
-	golden, err := p.Module()
-	if err != nil {
-		fail(err)
-	}
-	// Probe candidate checker faults in waves of one attempt per
-	// worker, stopping at the first wave containing a hit. Each
-	// attempt is an independent seeded derivation, so the winner — the
-	// lowest attempt index whose fault is observable — is the same for
-	// any worker count; with -workers 1 this degenerates to the
-	// original sequential early-exit scan.
-	const attempts = 50
-	type found struct {
-		tb   *testbench.Testbench
-		muts []mutate.Mutation
-	}
-	w := *workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
-	probe := func(attempt int64) *found {
-		plan := mutate.NewPlan(golden, rand.New(rand.NewSource(*seed+attempt)), 1)
-		mod, muts := plan.Build(golden)
-		if len(muts) == 0 {
-			return nil
-		}
-		tb := &testbench.Testbench{Problem: p, Scenarios: scs, CheckerSource: verilog.PrintModule(mod), CheckerTop: p.Top, CheckerSticky: -1}
-		tb.DriverSource = testbench.EmitDriver(tb)
-		if res, err := tb.RunAgainstSource(p.Source, p.Top); err != nil || res.Pass() {
-			return nil // fault not observable
-		}
-		return &found{tb: tb, muts: muts}
-	}
-	for base := int64(0); base < attempts; base += int64(w) {
-		end := base + int64(w)
-		if end > attempts {
-			end = attempts
-		}
-		wave := make([]*found, end-base)
-		var wg sync.WaitGroup
-		for i := range wave {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				wave[i] = probe(base + int64(i))
-			}(i)
-		}
-		wg.Wait()
-		for _, f := range wave {
-			if f == nil {
-				continue
-			}
-			fmt.Printf("\nWRONG testbench: checker fault %v\n", f.muts)
-			show("WRONG testbench", f.tb, group)
-			return
-		}
-	}
-	fmt.Fprintln(os.Stderr, "rsmatrix: no observable checker fault found")
-}
-
-func show(title string, tb *testbench.Testbench, group []validator.RTLCandidate) {
-	fmt.Printf("== %s ==\n", title)
-	v := &validator.Validator{Criterion: validator.Wrong70}
-	m, ok := v.BuildMatrix(tb, group)
-	if !ok {
-		fmt.Println("testbench itself is broken")
+	fmt.Print(rep.Clean)
+	if rep.Fault == "" {
+		fmt.Fprintln(os.Stderr, "rsmatrix: no observable checker fault found")
 		return
 	}
-	fmt.Print(m.Render())
-	for _, c := range validator.Criteria() {
-		rep := (&validator.Validator{Criterion: c}).Judge(m)
-		fmt.Printf("%-12s verdict: correct=%v wrong=%v uncertain=%v\n", c.Name, rep.Correct, rep.Wrong, rep.Uncertain)
-	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "rsmatrix:", err)
-	os.Exit(1)
+	fmt.Printf("\nWRONG testbench: checker fault %s\n", rep.Fault)
+	fmt.Print(rep.Wrong)
 }

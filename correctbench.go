@@ -15,21 +15,32 @@
 //   - the AutoEval grading pipeline and experiment harness that
 //     regenerate every table and figure of the paper.
 //
-// This file is the public facade. The simplest entry points:
+// The public API is job-oriented. A Client owns the caches shared
+// across runs; Submit starts an experiment job whose typed events
+// stream in canonical order; Wait, Cancel and Snapshot complete the
+// lifecycle:
 //
-//	res, err := correctbench.GenerateTestbench("shift18", correctbench.Options{Seed: 1})
-//	grade, err := correctbench.Grade(res.Testbench, 1)
+//	c := correctbench.NewClient()
+//	job, err := c.Submit(ctx, correctbench.ExperimentSpec{Reps: 5, Seed: 42})
+//	for ev := range job.Events() { ... }
+//	exp, err := job.Wait(ctx)
+//	fmt.Println(exp.Table1())
 //
-// and, for whole experiments,
+// Single tasks run through the same client:
 //
-//	out, err := correctbench.RunExperiment(correctbench.ExperimentConfig{Reps: 5, Seed: 42})
-//	fmt.Println(out.Table1())
+//	res, err := c.GenerateTestbench(ctx, "shift18", correctbench.TaskSpec{Seed: 1})
+//	grade, err := c.Grade(ctx, res.Testbench, 1)
+//
+// cmd/correctbenchd serves the identical contract over HTTP (NDJSON
+// event streams). The blocking helpers GenerateTestbench, Grade and
+// RunExperiment remain as deprecated wrappers over a package-level
+// client.
 package correctbench
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"math/rand"
 
 	"correctbench/internal/autoeval"
 	"correctbench/internal/core"
@@ -39,6 +50,10 @@ import (
 	"correctbench/internal/testbench"
 	"correctbench/internal/validator"
 )
+
+// defaultClient backs the deprecated blocking facade functions, so
+// even legacy callers share fixture caches across calls.
+var defaultClient = NewClient()
 
 // Problem re-exports the dataset task type.
 type Problem = dataset.Problem
@@ -64,6 +79,12 @@ func Problems() []*Problem { return dataset.All() }
 func ProblemByName(name string) *Problem { return dataset.ByName(name) }
 
 // Options configures a single CorrectBench task run.
+//
+// Deprecated: Options cannot express explicit zero budgets — its
+// MaxCorrections/MaxReboots/RTLGroupSize fields treat 0 as "paper
+// default" (the documented legacy behavior, preserved here). New code
+// should use TaskSpec, whose pointer-valued budget fields distinguish
+// "unset" from "explicitly zero".
 type Options struct {
 	// Seed drives every random choice; equal seeds reproduce runs
 	// exactly.
@@ -81,32 +102,25 @@ type Options struct {
 	RTLGroupSize   int
 }
 
-func (o Options) resolve() (core.Options, error) {
-	prof := llm.GPT4o()
-	if o.LLM != "" {
-		prof = llm.ByName(o.LLM)
-		if prof == nil {
-			return core.Options{}, fmt.Errorf("correctbench: unknown LLM profile %q", o.LLM)
-		}
-	}
-	opt := core.DefaultOptions(prof)
-	if o.Criterion != "" {
-		c, err := validator.CriterionByName(o.Criterion)
-		if err != nil {
-			return core.Options{}, err
-		}
-		opt.Criterion = c
-	}
+// taskSpec converts legacy Options to a TaskSpec, preserving the
+// documented `> 0` guard semantics: a zero budget field means "paper
+// default", never "disable".
+func (o Options) taskSpec() TaskSpec {
+	s := TaskSpec{Seed: o.Seed, LLM: o.LLM, Criterion: o.Criterion}
 	if o.MaxCorrections > 0 {
-		opt.MaxCorrections = o.MaxCorrections
+		s.MaxCorrections = Int(o.MaxCorrections)
 	}
 	if o.MaxReboots > 0 {
-		opt.MaxReboots = o.MaxReboots
+		s.MaxReboots = Int(o.MaxReboots)
 	}
 	if o.RTLGroupSize > 0 {
-		opt.NR = o.RTLGroupSize
+		s.RTLGroupSize = Int(o.RTLGroupSize)
 	}
-	return opt, nil
+	return s
+}
+
+func (o Options) resolve() (core.Options, error) {
+	return o.taskSpec().resolve()
 }
 
 // TaskResult is the outcome of one CorrectBench task.
@@ -123,39 +137,28 @@ type TaskResult struct {
 
 // GenerateTestbench runs the full CorrectBench workflow (Algorithm 1)
 // on the named dataset problem.
+//
+// Deprecated: use Client.GenerateTestbench, which adds cancellation
+// and shares fixture caches across calls.
 func GenerateTestbench(problem string, o Options) (*TaskResult, error) {
-	p := dataset.ByName(problem)
-	if p == nil {
-		return nil, fmt.Errorf("correctbench: unknown problem %q", problem)
-	}
-	return GenerateTestbenchFor(p, o)
+	return defaultClient.GenerateTestbench(context.Background(), problem, o.taskSpec())
 }
 
 // GenerateTestbenchFor is GenerateTestbench for an explicit problem
 // (including user-defined ones; see NewProblem).
+//
+// Deprecated: use Client.GenerateTestbenchFor.
 func GenerateTestbenchFor(p *Problem, o Options) (*TaskResult, error) {
-	opt, err := o.resolve()
-	if err != nil {
-		return nil, err
-	}
-	res, err := core.Run(p, opt, rand.New(rand.NewSource(o.Seed)))
-	if err != nil {
-		return nil, err
-	}
-	return &TaskResult{
-		Testbench:   res.Testbench,
-		Validated:   res.Trace.FinalValidated,
-		Corrections: res.Trace.Corrections,
-		Reboots:     res.Trace.Reboots,
-		TokensIn:    res.Trace.Tokens.In,
-		TokensOut:   res.Trace.Tokens.Out,
-	}, nil
+	return defaultClient.GenerateTestbenchFor(context.Background(), p, o.taskSpec())
 }
 
 // Grade evaluates a testbench with AutoEval (Table II) and returns its
 // grade. The seed fixes the mutant fixtures.
+//
+// Deprecated: use Client.Grade, which adds cancellation and reuses
+// mutant fixtures across calls with the same seed.
 func Grade(tb *Testbench, seed int64) (GradeLevel, error) {
-	return autoeval.NewEvaluator(seed).Evaluate(tb)
+	return defaultClient.Grade(context.Background(), tb, seed)
 }
 
 // NewProblem registers nothing globally; it simply builds a custom
@@ -185,6 +188,9 @@ func NewProblem(name, kind, spec, goldenSource, reset string, difficulty int) (*
 }
 
 // ExperimentConfig configures a whole-dataset experiment.
+//
+// Deprecated: use ExperimentSpec with Client.Submit, which adds
+// per-cell event streams, cancellation and explicit-zero budgets.
 type ExperimentConfig struct {
 	Seed int64
 	Reps int
@@ -210,37 +216,27 @@ type Experiment struct {
 
 // RunExperiment runs the three methods over the dataset and returns
 // the aggregated results (Table I / Table III / Fig. 7 panel).
+//
+// Deprecated: use Client.Submit and Job.Wait. This wrapper submits a
+// job on the package-level client, forwards cfg.Progress, and blocks
+// until completion.
 func RunExperiment(cfg ExperimentConfig) (*Experiment, error) {
-	hcfg := harness.Config{Seed: cfg.Seed, Reps: cfg.Reps, Workers: cfg.Workers, Progress: cfg.Progress}
-	if cfg.LLM != "" {
-		prof := llm.ByName(cfg.LLM)
-		if prof == nil {
-			return nil, fmt.Errorf("correctbench: unknown LLM profile %q", cfg.LLM)
-		}
-		hcfg.Profile = prof
+	spec := ExperimentSpec{
+		Seed: cfg.Seed, Reps: cfg.Reps, LLM: cfg.LLM, Criterion: cfg.Criterion,
+		Problems: cfg.ProblemNames, Workers: cfg.Workers,
 	}
-	if cfg.Criterion != "" {
-		c, err := validator.CriterionByName(cfg.Criterion)
-		if err != nil {
-			return nil, err
-		}
-		hcfg.Criterion = c
-	}
-	for _, n := range cfg.ProblemNames {
-		p := dataset.ByName(n)
-		if p == nil {
-			return nil, fmt.Errorf("correctbench: unknown problem %q", n)
-		}
-		hcfg.Problems = append(hcfg.Problems, p)
-	}
-	res, err := harness.Run(hcfg)
+	job, err := defaultClient.submit(context.Background(), spec, cfg.Progress)
 	if err != nil {
 		return nil, err
 	}
-	return &Experiment{Results: res}, nil
+	return job.Wait(context.Background())
 }
 
-// LLMNames lists the available model profiles.
+// LLMNames lists the available model profiles. The order is stable
+// and documented — gpt-4o, claude-3.5-sonnet, gpt-4o-mini (the
+// paper's column order) — so responses built from it (GET /v1/llms)
+// are byte-stable for caching. Every returned name round-trips
+// through the LLM field of Options/TaskSpec/ExperimentSpec.
 func LLMNames() []string {
 	var out []string
 	for _, p := range llm.Profiles() {
@@ -249,7 +245,12 @@ func LLMNames() []string {
 	return out
 }
 
-// CriterionNames lists the available validation criteria.
+// CriterionNames lists the available validation criteria. The order
+// is stable and documented — 100%-wrong, 70%-wrong, 50%-wrong (the
+// paper's study order) — so responses built from it (GET
+// /v1/criteria) are byte-stable for caching. Every returned name
+// round-trips through the Criterion field of
+// Options/TaskSpec/ExperimentSpec.
 func CriterionNames() []string {
 	var out []string
 	for _, c := range validator.Criteria() {

@@ -13,6 +13,7 @@
 package autoeval
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -286,6 +287,16 @@ func hashName(s string) int64 {
 
 // Evaluate grades one testbench.
 func (e *Evaluator) Evaluate(tb *testbench.Testbench) (Grade, error) {
+	return e.EvaluateContext(context.Background(), tb)
+}
+
+// EvaluateContext is Evaluate with cancellation: the mutant runs stop
+// within one simulation step batch of ctx being cancelled and the
+// context's error is returned (never folded into a grade). Fixture
+// construction itself is not cancellable — fixtures are built once and
+// shared across every job using the evaluator, so a cancelled build
+// must never poison the cache.
+func (e *Evaluator) EvaluateContext(ctx context.Context, tb *testbench.Testbench) (Grade, error) {
 	p := tb.Problem
 	if !tb.SyntaxOK() {
 		return GradeFailed, nil
@@ -296,8 +307,14 @@ func (e *Evaluator) Evaluate(tb *testbench.Testbench) (Grade, error) {
 	}
 
 	// Eval1: the golden RTL must pass.
-	res, err := tb.RunAgainstDesign(f.goldenDesign)
-	if err != nil || !res.Pass() {
+	res, err := tb.RunAgainstDesignContext(ctx, f.goldenDesign)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return GradeFailed, cerr
+		}
+		return GradeEval0, nil
+	}
+	if !res.Pass() {
 		return GradeEval0, nil
 	}
 
@@ -305,9 +322,11 @@ func (e *Evaluator) Evaluate(tb *testbench.Testbench) (Grade, error) {
 	agree := 0
 	for i, md := range f.mutantDesigns {
 		verdict := false
-		mres, err := tb.RunAgainstDesign(md)
+		mres, err := tb.RunAgainstDesignContext(ctx, md)
 		if err == nil {
 			verdict = mres.Pass()
+		} else if cerr := ctx.Err(); cerr != nil {
+			return GradeFailed, cerr
 		}
 		if verdict == f.goldenVerdict[i] {
 			agree++

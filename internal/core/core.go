@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -86,6 +87,14 @@ type Result struct {
 
 // Run executes Algorithm 1 for one problem.
 func Run(p *dataset.Problem, opt Options, rng *rand.Rand) (*Result, error) {
+	return RunContext(context.Background(), p, opt, rng)
+}
+
+// RunContext is Run with cancellation: the context is checked at every
+// agent-loop iteration and plumbed into the validator's simulations,
+// so a cancelled task stops within one simulation step batch and
+// returns the context's error.
+func RunContext(ctx context.Context, p *dataset.Problem, opt Options, rng *rand.Rand) (*Result, error) {
 	if opt.Profile == nil {
 		return nil, fmt.Errorf("core: options missing LLM profile")
 	}
@@ -113,7 +122,13 @@ func Run(p *dataset.Problem, opt Options, rng *rand.Rand) (*Result, error) {
 	correctionsSinceReboot := 0
 	ic, ir := 0, 0
 	for {
-		rep := val.Validate(tb, group)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rep, err := val.ValidateContext(ctx, tb, group)
+		if err != nil {
+			return nil, err
+		}
 		if !rep.Correct {
 			trace.ValidatorIntervened = true
 		}

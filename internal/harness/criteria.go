@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -49,6 +50,13 @@ type CriterionAccuracy struct {
 // scenario (i.e. its checker computes right reference outputs on its
 // own stimuli); the validators never see the label or the golden RTL.
 func CriteriaAccuracy(cfg CriteriaAccuracyConfig) ([]CriterionAccuracy, error) {
+	return CriteriaAccuracyContext(context.Background(), cfg)
+}
+
+// CriteriaAccuracyContext is CriteriaAccuracy with cancellation: a
+// cancelled context stops the per-problem workers within one
+// simulation step batch and returns ctx.Err().
+func CriteriaAccuracyContext(ctx context.Context, cfg CriteriaAccuracyConfig) ([]CriterionAccuracy, error) {
 	if cfg.Profile == nil {
 		cfg.Profile = llm.GPT4o()
 	}
@@ -86,6 +94,9 @@ func CriteriaAccuracy(cfg CriteriaAccuracyConfig) ([]CriterionAccuracy, error) {
 		}
 		out := make([]labeled, 0, cfg.PerTask)
 		for k := 0; k < cfg.PerTask; k++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			// Each corpus entry draws fresh traits: the corpus spans
 			// many independent AutoBench runs, as in the paper.
 			trait := cfg.Profile.SampleTrait(p.Difficulty, p.Kind == dataset.SEQ, r)
@@ -95,14 +106,19 @@ func CriteriaAccuracy(cfg CriteriaAccuracyConfig) ([]CriterionAccuracy, error) {
 			}
 			lab := labeled{verdicts: map[string]bool{}}
 			if tb.SyntaxOK() {
-				if res, err := tb.RunAgainstDesign(goldenDesign); err == nil && res.Pass() {
+				if res, err := tb.RunAgainstDesignContext(ctx, goldenDesign); err == nil && res.Pass() {
 					lab.correct = true
+				} else if cerr := ctx.Err(); cerr != nil {
+					return nil, cerr
 				}
 			}
 			// Build the RS matrix once; judging per criterion is
 			// pure matrix arithmetic.
 			base := &validator.Validator{Criterion: validator.Wrong70}
-			m, ok := base.BuildMatrix(tb, group)
+			m, ok, err := base.BuildMatrixContext(ctx, tb, group)
+			if err != nil {
+				return nil, err
+			}
 			for _, c := range validator.Criteria() {
 				if !ok {
 					lab.verdicts[c.Name] = false
@@ -154,13 +170,16 @@ func CriteriaAccuracy(cfg CriteriaAccuracyConfig) ([]CriterionAccuracy, error) {
 		}()
 	}
 	for pi := range cfg.Problems {
-		if errs.failed() {
+		if errs.failed() || ctx.Err() != nil {
 			break
 		}
 		jobs <- pi
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := errs.first(); err != nil {
 		return nil, err
 	}
@@ -230,12 +249,17 @@ type CriterionPipelineResult struct {
 
 // CriteriaPipeline runs the Fig. 6(b) experiment.
 func CriteriaPipeline(cfg Config) ([]CriterionPipelineResult, error) {
+	return CriteriaPipelineContext(context.Background(), cfg)
+}
+
+// CriteriaPipelineContext is CriteriaPipeline with cancellation.
+func CriteriaPipelineContext(ctx context.Context, cfg Config) ([]CriterionPipelineResult, error) {
 	var out []CriterionPipelineResult
 	for _, c := range validator.Criteria() {
 		run := cfg
 		run.Criterion = c
 		run.Methods = []Method{MethodCorrectBench}
-		res, err := Run(run)
+		res, err := RunContext(ctx, run)
 		if err != nil {
 			return nil, err
 		}

@@ -7,11 +7,13 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"correctbench/internal/autobench"
 	"correctbench/internal/autoeval"
@@ -70,9 +72,58 @@ type Config struct {
 	// Progress, when non-nil, receives one line per (method, rep).
 	// Lines are emitted in canonical order regardless of Workers.
 	Progress io.Writer
+
+	// OnCell, when non-nil, receives every finished cell. Calls are
+	// serialized and arrive in canonical (method, rep, problem) index
+	// order regardless of Workers — out-of-order completions are
+	// buffered — so an attached event stream is bit-reproducible at
+	// any worker count. The callback must not call back into the
+	// harness.
+	OnCell func(CellEvent)
+	// OnGroup, when non-nil, is called after the last cell of each
+	// (method, rep) group has been released through OnCell, in
+	// canonical group order.
+	OnGroup func(method Method, rep int)
+
+	// Evaluator, when non-nil, grades every cell instead of a freshly
+	// constructed one. Sharing an evaluator across runs reuses its
+	// per-problem fixtures (golden testbenches, elaborated goldens,
+	// mutant designs); the caller must derive it from the same Seed to
+	// preserve reproducibility (see autoeval.NewEvaluator).
+	Evaluator *autoeval.Evaluator
+
+	// MaxCorrections, MaxReboots and NR override Algorithm 1's budgets
+	// (I_C^max, I_R^max, N_R) when non-nil. Explicit zeros are honored
+	// — that is what enables no-correction ablations — while nil keeps
+	// the paper defaults of core.DefaultOptions.
+	MaxCorrections *int
+	MaxReboots     *int
+	NR             *int
 }
 
-func (c *Config) fill() {
+// CellEvent describes one finished experiment cell, as delivered to
+// Config.OnCell. Every field except Duration is a pure function of
+// (Config.Seed, coordinates); Duration is wall clock and is the only
+// non-deterministic field in an event stream.
+type CellEvent struct {
+	// Index is the canonical cell number (method-major, then rep, then
+	// problem).
+	Index   int
+	Method  Method
+	Rep     int // 0-based repetition
+	Problem string
+	Outcome TaskOutcome
+	// Duration is the cell's wall-clock execution time.
+	Duration time.Duration
+}
+
+// Normalize applies the documented defaults in place: gpt-4o profile,
+// 70%-wrong criterion, at least one rep, the full dataset and all
+// three methods. Run applies it automatically; it is exported (and
+// idempotent) so callers that report the experiment grid before
+// running — the Client's JobStarted event and snapshots — derive it
+// exactly as the harness will.
+func (c *Config) Normalize() {
 	if c.Profile == nil {
 		c.Profile = llm.GPT4o()
 	}
@@ -117,6 +168,11 @@ type cell struct {
 	mi, ri, pi int
 }
 
+// EvaluatorSeed derives the AutoEval evaluator seed the harness uses
+// for an experiment seed. Exposed so callers sharing an evaluator
+// across runs (Config.Evaluator) derive it identically.
+func EvaluatorSeed(seed int64) int64 { return seed ^ 0x5eed }
+
 // Run executes the configured experiment over a bounded worker pool.
 //
 // Determinism: each cell draws from its own derived stream and writes
@@ -125,8 +181,19 @@ type cell struct {
 // canonically earliest failing cell is returned (the same error a
 // sequential run would hit first).
 func Run(cfg Config) (*Results, error) {
-	cfg.fill()
-	eval := autoeval.NewEvaluator(cfg.Seed ^ 0x5eed)
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation. The context is plumbed into
+// every cell's simulations (core → validator → autoeval →
+// internal/sim), so cancelling stops the workers within one
+// simulation step batch; the run then returns ctx.Err().
+func RunContext(ctx context.Context, cfg Config) (*Results, error) {
+	cfg.Normalize()
+	eval := cfg.Evaluator
+	if eval == nil {
+		eval = autoeval.NewEvaluator(EvaluatorSeed(cfg.Seed))
+	}
 	res := &Results{Config: cfg, Outcomes: map[Method][][]TaskOutcome{}}
 
 	// Pre-allocate every result slot: workers write disjoint elements
@@ -153,7 +220,7 @@ func Run(cfg Config) (*Results, error) {
 	}
 
 	var (
-		prog = newProgressTracker(cfg)
+		emit = newOrderedEmitter(cfg)
 		errs = newErrorCollector()
 		jobs = make(chan cell)
 		wg   sync.WaitGroup
@@ -163,29 +230,38 @@ func Run(cfg Config) (*Results, error) {
 		go func() {
 			defer wg.Done()
 			for c := range jobs {
+				if err := ctx.Err(); err != nil {
+					errs.record(c.idx, err)
+					continue
+				}
 				method, p := cfg.Methods[c.mi], cfg.Problems[c.pi]
 				r := CellStream(cfg.Seed, method, c.ri, p.Name).Rand()
-				o, err := runTask(method, p, cfg, eval, r)
+				start := time.Now()
+				o, err := runTask(ctx, method, p, cfg, eval, r)
 				if err != nil {
 					errs.record(c.idx, fmt.Errorf("%s/%s rep %d: %w", method, p.Name, c.ri, err))
 					continue
 				}
 				res.Outcomes[method][c.ri][c.pi] = o
-				prog.taskDone(c.mi, c.ri)
+				emit.cellDone(CellEvent{
+					Index: c.idx, Method: method, Rep: c.ri, Problem: p.Name,
+					Outcome: o, Duration: time.Since(start),
+				})
 			}
 		}()
 	}
 
 	// Feed cells in canonical order; stop scheduling new cells once
-	// any worker has failed. Already-queued cells still run, so every
-	// cell ordered before a failure executes — which is what makes the
-	// min-index error below the sequential run's first error.
+	// any worker has failed or the context was cancelled.
+	// Already-queued cells still run, so every cell ordered before a
+	// failure executes — which is what makes the min-index error below
+	// the sequential run's first error.
 	idx := 0
 feed:
 	for mi := range cfg.Methods {
 		for ri := 0; ri < cfg.Reps; ri++ {
 			for pi := range cfg.Problems {
-				if errs.failed() {
+				if errs.failed() || ctx.Err() != nil {
 					break feed
 				}
 				jobs <- cell{idx: idx, mi: mi, ri: ri, pi: pi}
@@ -196,6 +272,9 @@ feed:
 	close(jobs)
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := errs.first(); err != nil {
 		return nil, err
 	}
@@ -233,52 +312,79 @@ func (e *errorCollector) first() error {
 	return e.err
 }
 
-// progressTracker counts finished tasks per (method, rep) group and
-// emits the group's completion line once all its tasks are done.
-// Groups are reported in canonical order — out-of-order completions
-// are buffered — so the progress text is byte-identical for any
+// orderedEmitter releases finished cells in canonical index order —
+// out-of-order completions are buffered — and drives every per-cell
+// sink from that ordered stream: Config.OnCell, Config.OnGroup and
+// the Progress writer. Because release order is canonical, everything
+// downstream (progress text, event streams) is byte-identical for any
 // worker count.
-type progressTracker struct {
+type orderedEmitter struct {
 	mu      sync.Mutex
 	cfg     *Config
-	done    []int // finished tasks per group, groups = mi*Reps + ri
-	next    int   // next group to report
+	buf     map[int]CellEvent // completed but not yet released
+	next    int               // next canonical index to release
 	perGrp  int
 	enabled bool
 }
 
-func newProgressTracker(cfg Config) *progressTracker {
-	return &progressTracker{
+func newOrderedEmitter(cfg Config) *orderedEmitter {
+	return &orderedEmitter{
 		cfg:     &cfg,
-		done:    make([]int, len(cfg.Methods)*cfg.Reps),
+		buf:     map[int]CellEvent{},
 		perGrp:  len(cfg.Problems),
-		enabled: cfg.Progress != nil,
+		enabled: cfg.Progress != nil || cfg.OnCell != nil || cfg.OnGroup != nil,
 	}
 }
 
-func (t *progressTracker) taskDone(mi, ri int) {
+func (t *orderedEmitter) cellDone(ev CellEvent) {
 	if !t.enabled {
 		return
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.done[mi*t.cfg.Reps+ri]++
-	for t.next < len(t.done) && t.done[t.next] == t.perGrp {
-		method := t.cfg.Methods[t.next/t.cfg.Reps]
-		rep := t.next % t.cfg.Reps
-		fmt.Fprintf(t.cfg.Progress, "%s rep %d/%d done (%d tasks)\n", method, rep+1, t.cfg.Reps, t.perGrp)
+	t.buf[ev.Index] = ev
+	for {
+		e, ok := t.buf[t.next]
+		if !ok {
+			return
+		}
+		delete(t.buf, t.next)
+		if t.cfg.OnCell != nil {
+			t.cfg.OnCell(e)
+		}
 		t.next++
+		if t.next%t.perGrp != 0 {
+			continue
+		}
+		grp := t.next/t.perGrp - 1
+		method := t.cfg.Methods[grp/t.cfg.Reps]
+		rep := grp % t.cfg.Reps
+		if t.cfg.Progress != nil {
+			fmt.Fprintf(t.cfg.Progress, "%s rep %d/%d done (%d tasks)\n", method, rep+1, t.cfg.Reps, t.perGrp)
+		}
+		if t.cfg.OnGroup != nil {
+			t.cfg.OnGroup(method, rep)
+		}
 	}
 }
 
-func runTask(method Method, p *dataset.Problem, cfg Config, eval *autoeval.Evaluator, rng *rand.Rand) (TaskOutcome, error) {
+func runTask(ctx context.Context, method Method, p *dataset.Problem, cfg Config, eval *autoeval.Evaluator, rng *rand.Rand) (TaskOutcome, error) {
 	o := TaskOutcome{Problem: p.Name, Kind: p.Kind}
 	var tb *testbench.Testbench
 	switch method {
 	case MethodCorrectBench:
 		opt := core.DefaultOptions(cfg.Profile)
 		opt.Criterion = cfg.Criterion
-		r, err := core.Run(p, opt, rng)
+		if cfg.MaxCorrections != nil {
+			opt.MaxCorrections = *cfg.MaxCorrections
+		}
+		if cfg.MaxReboots != nil {
+			opt.MaxReboots = *cfg.MaxReboots
+		}
+		if cfg.NR != nil {
+			opt.NR = *cfg.NR
+		}
+		r, err := core.RunContext(ctx, p, opt, rng)
 		if err != nil {
 			return o, err
 		}
@@ -304,7 +410,7 @@ func runTask(method Method, p *dataset.Problem, cfg Config, eval *autoeval.Evalu
 	default:
 		return o, fmt.Errorf("unknown method %q", method)
 	}
-	grade, err := eval.Evaluate(tb)
+	grade, err := eval.EvaluateContext(ctx, tb)
 	if err != nil {
 		return o, err
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -47,6 +48,11 @@ type Instance struct {
 	// wait is non-nil while executing inside the timed scheduler; it
 	// suspends the current process for n time units.
 	wait func(n uint64)
+
+	// ctx, when non-nil, is polled at every propagation wave; once the
+	// context is cancelled the next Settle/SetInput/Tick returns its
+	// error. Set with BindContext.
+	ctx context.Context
 
 	// Stats counts work done, for benchmarks.
 	Stats Stats
@@ -110,6 +116,20 @@ func (in *Instance) Reset() {
 	in.Now = 0
 	in.Finished = false
 	in.Stats = Stats{}
+}
+
+// BindContext attaches a cancellation context to the instance: every
+// propagation wave (one step batch) polls it and the first
+// Settle/SetInput/Tick after cancellation returns ctx.Err(). Contexts
+// that can never be cancelled (context.Background and friends) are
+// dropped so the hot path keeps a single nil check. The binding
+// survives Reset — pooled instances stay cancellable across scenarios.
+func (in *Instance) BindContext(ctx context.Context) {
+	if ctx == nil || ctx.Done() == nil {
+		in.ctx = nil
+		return
+	}
+	in.ctx = ctx
 }
 
 // Design returns the elaborated design this instance simulates.
@@ -227,6 +247,11 @@ const (
 // propagate settles combinational logic, then fires edge processes
 // whose watched signals changed, repeating until quiescent.
 func (in *Instance) propagate() error {
+	if in.ctx != nil {
+		if err := in.ctx.Err(); err != nil {
+			return err
+		}
+	}
 	for wave := 0; wave < maxEdgeWaves; wave++ {
 		if err := in.settleComb(); err != nil {
 			return err

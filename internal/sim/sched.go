@@ -79,6 +79,13 @@ func Run(in *Instance, maxTime uint64) error {
 	wake[0] = append(wake[0], procs...)
 
 	for len(wake) > 0 {
+		// A bound context (BindContext) cancels between time batches,
+		// mirroring the cycle API's per-wave checks in propagate.
+		if in.ctx != nil {
+			if err := in.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		// Earliest event time.
 		times := make([]uint64, 0, len(wake))
 		for t := range wake {

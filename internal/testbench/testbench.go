@@ -22,6 +22,7 @@
 package testbench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -187,11 +188,18 @@ func (tb *Testbench) checkerDesign() (*sim.Design, error) {
 // returned as an error (the caller decides whether that means "discard
 // this RTL" — validator rows — or "testbench failed").
 func (tb *Testbench) RunAgainstSource(dutSrc, dutTop string) (*RunResult, error) {
+	return tb.RunAgainstSourceContext(context.Background(), dutSrc, dutTop)
+}
+
+// RunAgainstSourceContext is RunAgainstSource with cancellation: once
+// ctx is cancelled the simulation stops within one step batch and the
+// context's error is returned (wrapped; test with errors.Is).
+func (tb *Testbench) RunAgainstSourceContext(ctx context.Context, dutSrc, dutTop string) (*RunResult, error) {
 	dutDesign, err := sim.ElaborateSource(dutSrc, dutTop)
 	if err != nil {
 		return nil, fmt.Errorf("dut: %w", err)
 	}
-	return tb.RunAgainstDesign(dutDesign)
+	return tb.RunAgainstDesignContext(ctx, dutDesign)
 }
 
 // RunAgainstDesign is RunAgainstSource for a pre-elaborated DUT.
@@ -201,6 +209,14 @@ func (tb *Testbench) RunAgainstSource(dutSrc, dutTop string) (*RunResult, error)
 // all-X), not a reallocation, which matters when the same testbench is
 // run over N_R RTLs × N_S scenarios for the RS matrix.
 func (tb *Testbench) RunAgainstDesign(dutDesign *sim.Design) (*RunResult, error) {
+	return tb.RunAgainstDesignContext(context.Background(), dutDesign)
+}
+
+// RunAgainstDesignContext is RunAgainstDesign with cancellation. The
+// context is bound to both simulator instances, so a cancellation
+// takes effect at the next propagation wave — within one simulation
+// step batch — rather than at scenario or run end.
+func (tb *Testbench) RunAgainstDesignContext(ctx context.Context, dutDesign *sim.Design) (*RunResult, error) {
 	checkerDesign, err := tb.checkerDesign()
 	if err != nil {
 		return nil, fmt.Errorf("checker: %w", err)
@@ -209,7 +225,12 @@ func (tb *Testbench) RunAgainstDesign(dutDesign *sim.Design) (*RunResult, error)
 	outs := outputPorts(dutDesign)
 	dut := sim.NewInstanceEngine(dutDesign, tb.Engine)
 	chk := sim.NewInstanceEngine(checkerDesign, tb.Engine)
+	dut.BindContext(ctx)
+	chk.BindContext(ctx)
 	for i, sc := range tb.Scenarios {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if i > 0 {
 			dut.Reset()
 			chk.Reset()

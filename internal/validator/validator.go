@@ -9,6 +9,7 @@
 package validator
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -207,23 +208,37 @@ type Validator struct {
 // testbench (parse/elaboration/checker failure) yields a Report with
 // SimulationBroken set instead of a matrix.
 func (v *Validator) BuildMatrix(tb *testbench.Testbench, group []RTLCandidate) (*Matrix, bool) {
+	m, ok, _ := v.BuildMatrixContext(context.Background(), tb, group)
+	return m, ok
+}
+
+// BuildMatrixContext is BuildMatrix with cancellation. The returned
+// error is non-nil only when ctx was cancelled mid-build; a cancelled
+// candidate simulation is never misread as a discarded RTL row.
+func (v *Validator) BuildMatrixContext(ctx context.Context, tb *testbench.Testbench, group []RTLCandidate) (*Matrix, bool, error) {
 	if !tb.SyntaxOK() {
-		return nil, false
+		return nil, false, nil
 	}
 	m := &Matrix{}
 	for _, cand := range group {
-		res, err := tb.RunAgainstSource(cand.Source, tb.Problem.Top)
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		res, err := tb.RunAgainstSourceContext(ctx, cand.Source, tb.Problem.Top)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, false, cerr
+			}
 			if strings.HasPrefix(err.Error(), "checker:") {
 				// The testbench's own checker is broken.
-				return nil, false
+				return nil, false, nil
 			}
 			m.Discarded++
 			continue
 		}
 		m.Rows = append(m.Rows, res.ScenarioPass)
 	}
-	return m, true
+	return m, true, nil
 }
 
 // Judge applies the criterion to a matrix.
@@ -261,9 +276,19 @@ func (v *Validator) Judge(m *Matrix) *Report {
 
 // Validate runs the full validation of one testbench.
 func (v *Validator) Validate(tb *testbench.Testbench, group []RTLCandidate) *Report {
-	m, ok := v.BuildMatrix(tb, group)
-	if !ok {
-		return &Report{Correct: false, SimulationBroken: true}
+	rep, _ := v.ValidateContext(context.Background(), tb, group)
+	return rep
+}
+
+// ValidateContext is Validate with cancellation; the error is non-nil
+// only when ctx was cancelled before the verdict was reached.
+func (v *Validator) ValidateContext(ctx context.Context, tb *testbench.Testbench, group []RTLCandidate) (*Report, error) {
+	m, ok, err := v.BuildMatrixContext(ctx, tb, group)
+	if err != nil {
+		return nil, err
 	}
-	return v.Judge(m)
+	if !ok {
+		return &Report{Correct: false, SimulationBroken: true}, nil
+	}
+	return v.Judge(m), nil
 }

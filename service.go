@@ -1,0 +1,301 @@
+package correctbench
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"correctbench/internal/dataset"
+	"correctbench/internal/testbench"
+)
+
+// NewServer returns the correctbenchd HTTP handler over a client:
+//
+//	POST   /v1/experiments        submit an ExperimentSpec; with
+//	                              "stream": true the response is the
+//	                              job's NDJSON event stream and the
+//	                              job's lifetime is bound to the
+//	                              request (disconnect = Cancel)
+//	GET    /v1/experiments/{id}   job snapshot (live partial results)
+//	GET    /v1/experiments/{id}/events   NDJSON event stream (replay +
+//	                              live; disconnecting stops only the
+//	                              stream, not the job)
+//	DELETE /v1/experiments/{id}   cancel the job
+//	GET    /v1/problems           the 156-task dataset, stable order
+//	GET    /v1/llms               model profile names, stable order
+//	GET    /v1/criteria           validation criterion names, stable order
+//	POST   /v1/grade              grade a submitted testbench, or
+//	                              generate-and-grade a task
+//
+// The handler is stdlib-only and safe for concurrent use. Job
+// retention is bounded by the client (see maxRetainedJobs): snapshots
+// and event streams of long-evicted finished jobs return 404.
+func NewServer(c *Client) http.Handler {
+	s := &server{client: c}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/experiments", s.submit)
+	mux.HandleFunc("GET /v1/experiments/{id}", s.snapshot)
+	mux.HandleFunc("GET /v1/experiments/{id}/events", s.events)
+	mux.HandleFunc("DELETE /v1/experiments/{id}", s.cancel)
+	mux.HandleFunc("GET /v1/problems", s.problems)
+	mux.HandleFunc("GET /v1/llms", s.llms)
+	mux.HandleFunc("GET /v1/criteria", s.criteria)
+	mux.HandleFunc("POST /v1/grade", s.grade)
+	return mux
+}
+
+type server struct {
+	client *Client
+}
+
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, httpError{Error: err.Error()})
+}
+
+// submitRequest is the POST /v1/experiments body: an ExperimentSpec
+// plus the stream flag.
+type submitRequest struct {
+	ExperimentSpec
+	// Stream, when true, turns the response into the job's NDJSON
+	// event stream and binds the job's lifetime to the HTTP request:
+	// a client disconnect cancels the job within one simulation step
+	// batch.
+	Stream bool `json:"stream,omitempty"`
+}
+
+type submitResponse struct {
+	ID         string `json:"id"`
+	TotalCells int    `json:"total_cells"`
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	// Detached jobs outlive the submitting request; streamed jobs are
+	// bound to it.
+	ctx := context.Background()
+	if req.Stream {
+		ctx = r.Context()
+	}
+	job, err := s.client.Submit(ctx, req.ExperimentSpec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !req.Stream {
+		writeJSON(w, http.StatusAccepted, submitResponse{ID: job.ID(), TotalCells: job.Snapshot().TotalCells})
+		return
+	}
+	s.streamEvents(w, r, job)
+}
+
+// streamEvents writes the job's events as NDJSON until JobDone (or
+// the request context ends), flushing after every line.
+func (s *server) streamEvents(w http.ResponseWriter, r *http.Request, job *Job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Correctbench-Job", job.ID())
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	for ev := range job.EventsContext(r.Context()) {
+		line, err := MarshalEvent(ev)
+		if err != nil {
+			return
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *server) jobFor(w http.ResponseWriter, r *http.Request) *Job {
+	job := s.client.Job(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown experiment %q", r.PathValue("id")))
+	}
+	return job
+}
+
+func (s *server) snapshot(w http.ResponseWriter, r *http.Request) {
+	job := s.jobFor(w, r)
+	if job == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+func (s *server) events(w http.ResponseWriter, r *http.Request) {
+	job := s.jobFor(w, r)
+	if job == nil {
+		return
+	}
+	s.streamEvents(w, r, job)
+}
+
+func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
+	job := s.jobFor(w, r)
+	if job == nil {
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusAccepted, job.Snapshot())
+}
+
+type problemInfo struct {
+	Name       string `json:"name"`
+	Kind       string `json:"kind"`
+	Difficulty int    `json:"difficulty"`
+}
+
+func (s *server) problems(w http.ResponseWriter, r *http.Request) {
+	out := make([]problemInfo, 0, len(dataset.All()))
+	for _, p := range dataset.All() {
+		out = append(out, problemInfo{Name: p.Name, Kind: p.Kind.String(), Difficulty: p.Difficulty})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) llms(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, LLMNames())
+}
+
+func (s *server) criteria(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, CriterionNames())
+}
+
+// gradeRequest is the POST /v1/grade body. With Testbench set, that
+// testbench is graded as-is; otherwise one is generated for the
+// problem with the task spec fields and then graded (a whole-task
+// round trip).
+type gradeRequest struct {
+	Problem string `json:"problem"`
+	TaskSpec
+	Testbench *wireTestbench `json:"testbench,omitempty"`
+}
+
+// wireTestbench is the serializable subset of a hybrid testbench:
+// the scenario list (driver track) and the checker module source.
+type wireTestbench struct {
+	Scenarios     []wireScenario `json:"scenarios"`
+	CheckerSource string         `json:"checker_source"`
+	CheckerTop    string         `json:"checker_top,omitempty"`
+}
+
+type wireScenario struct {
+	Name  string              `json:"name,omitempty"`
+	Steps []map[string]uint64 `json:"steps"`
+}
+
+type gradeResponse struct {
+	Problem     string `json:"problem"`
+	Grade       string `json:"grade"`
+	Generated   bool   `json:"generated"`
+	Validated   bool   `json:"validated,omitempty"`
+	Corrections int    `json:"corrections,omitempty"`
+	Reboots     int    `json:"reboots,omitempty"`
+	TokensIn    int    `json:"tokens_in,omitempty"`
+	TokensOut   int    `json:"tokens_out,omitempty"`
+	Scenarios   int    `json:"scenarios"`
+}
+
+func (s *server) grade(w http.ResponseWriter, r *http.Request) {
+	var req gradeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	p := dataset.ByName(req.Problem)
+	if p == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown problem %q", req.Problem))
+		return
+	}
+	// Surface spec errors as 400 up front; any later failure is a
+	// run-time fault, not a bad request.
+	if _, err := req.TaskSpec.resolve(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := gradeResponse{Problem: req.Problem}
+	var tb *Testbench
+	if req.Testbench != nil {
+		tb = wireToTestbench(p, req.Testbench)
+	} else {
+		res, err := s.client.GenerateTestbench(r.Context(), req.Problem, req.TaskSpec)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		tb = res.Testbench
+		resp.Generated = true
+		resp.Validated = res.Validated
+		resp.Corrections = res.Corrections
+		resp.Reboots = res.Reboots
+		resp.TokensIn = res.TokensIn
+		resp.TokensOut = res.TokensOut
+	}
+	grade, err := s.client.Grade(r.Context(), tb, req.Seed)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	resp.Grade = grade.String()
+	resp.Scenarios = tb.ScenarioCount()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statusFor maps run-time failures: request-context cancellation to
+// 499-style client closed (408 in stdlib vocabulary), everything
+// else to 500 — spec validation has already returned 400 by the time
+// this is consulted, so remaining errors are server-side faults.
+func statusFor(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusRequestTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+// wireToTestbench rebuilds a gradable testbench from its wire form.
+// Unknown stimulus ports or a broken checker surface as grades
+// (Failed/Eval0) exactly as they would for a generated testbench.
+func wireToTestbench(p *Problem, w *wireTestbench) *Testbench {
+	tb := &Testbench{
+		Problem:       p,
+		CheckerSource: w.CheckerSource,
+		CheckerTop:    w.CheckerTop,
+		CheckerSticky: -1,
+	}
+	if tb.CheckerTop == "" {
+		tb.CheckerTop = p.Top
+	}
+	for i, sc := range w.Scenarios {
+		scenario := testbench.Scenario{Index: i + 1, Name: sc.Name}
+		if scenario.Name == "" {
+			scenario.Name = fmt.Sprintf("scenario_%d", i+1)
+		}
+		for _, inputs := range sc.Steps {
+			scenario.Steps = append(scenario.Steps, testbench.Step{Inputs: inputs})
+		}
+		tb.Scenarios = append(tb.Scenarios, scenario)
+	}
+	tb.DriverSource = testbench.EmitDriver(tb)
+	return tb
+}
