@@ -88,6 +88,13 @@ type ExperimentSpec struct {
 	MaxCorrections *int `json:"max_corrections,omitempty"`
 	MaxReboots     *int `json:"max_reboots,omitempty"`
 	RTLGroupSize   *int `json:"rtl_group_size,omitempty"`
+	// NoStore opts this job out of the client's result store: no cell
+	// is looked up or written back, every cell simulates. Use it to
+	// force a cold run (benchmarking, store-bypass debugging) on a
+	// store-backed client; it has no effect when the client has no
+	// store. Results are identical either way — the store only changes
+	// whether a cell is simulated or replayed.
+	NoStore bool `json:"no_store,omitempty"`
 }
 
 // resolve validates the spec and builds the harness configuration.
@@ -207,14 +214,19 @@ const (
 )
 
 // Client is the job-oriented entry point to CorrectBench. It owns the
-// caches shared across jobs — the dataset, and per-seed AutoEval
+// caches shared across jobs — the dataset, per-seed AutoEval
 // evaluators holding elaborated goldens, golden testbenches and
-// mutant fixtures — so repeated jobs against the same seed never
-// rebuild fixtures. Both caches are bounded (see maxRetainedJobs,
-// maxRetainedEvaluators), so a long-lived Client does not grow
-// without limit. A Client is safe for concurrent use; the zero value
-// is not usable, construct with NewClient.
+// mutant fixtures, and optionally a content-addressed result store
+// (WithStore) that replays finished cells instead of re-simulating
+// them — so repeated jobs against the same seed never rebuild
+// fixtures and repeated specs never re-simulate cells. The fixture
+// caches are bounded (see maxRetainedJobs, maxRetainedEvaluators), so
+// a long-lived Client does not grow without limit. A Client is safe
+// for concurrent use; the zero value is not usable, construct with
+// NewClient.
 type Client struct {
+	store Store // nil: no result store
+
 	mu        sync.Mutex
 	evals     map[int64]*autoeval.Evaluator
 	evalOrder []int64 // evaluator seeds in creation order
@@ -223,12 +235,73 @@ type Client struct {
 	seq       int
 }
 
+// ClientOption configures NewClient.
+type ClientOption func(*Client)
+
+// WithStore attaches a result store (NewMemoryStore, OpenDiskStore)
+// to the client. Every submitted job then consults the store before
+// scheduling a cell and persists each finished cell, making identical
+// or overlapping specs O(lookup) instead of O(simulation) and
+// interrupted experiments resumable by resubmitting the same spec.
+// Individual jobs opt out with ExperimentSpec.NoStore. The store may
+// be shared across concurrent jobs; the client takes ownership —
+// Close closes it.
+func WithStore(s Store) ClientOption {
+	return func(c *Client) { c.store = s }
+}
+
 // NewClient returns an empty client.
-func NewClient() *Client {
-	return &Client{
+func NewClient(opts ...ClientOption) *Client {
+	c := &Client{
 		evals: map[int64]*autoeval.Evaluator{},
 		jobs:  map[string]*Job{},
 	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// StoreStats reports the result store's live counters; ok is false
+// when the client was built without WithStore.
+func (c *Client) StoreStats() (stats StoreStats, ok bool) {
+	if c.store == nil {
+		return StoreStats{}, false
+	}
+	return c.store.Stats(), true
+}
+
+// Close shuts the client down for process exit: every in-flight job
+// is cancelled, waited for (so final result-store write-backs land),
+// and then the store — when one is attached — is flushed and closed.
+// ctx bounds the wait; on expiry the store is still closed (remaining
+// write-backs fail softly and are counted) and ctx's error returned.
+// correctbenchd calls this on SIGTERM so a rolling restart never
+// loses a completed cell. Submitting after Close yields jobs whose
+// cells all miss and fail to persist; don't.
+func (c *Client) Close(ctx context.Context) error {
+	jobs := c.Jobs()
+	for _, j := range jobs {
+		j.Cancel()
+	}
+	var waitErr error
+drain:
+	for _, j := range jobs {
+		select {
+		case <-j.done:
+		case <-ctx.Done():
+			waitErr = ctx.Err()
+			break drain
+		}
+	}
+	var closeErr error
+	if c.store != nil {
+		closeErr = c.store.Close()
+	}
+	if waitErr != nil {
+		return waitErr
+	}
+	return closeErr
 }
 
 // evaluator returns the shared evaluator for an evaluator seed,
@@ -291,6 +364,9 @@ func (c *Client) submit(ctx context.Context, spec ExperimentSpec, progress io.Wr
 	}
 	hcfg.Progress = progress
 	hcfg.Evaluator = c.evaluator(harness.EvaluatorSeed(spec.Seed))
+	if !spec.NoStore {
+		hcfg.Store = c.store
+	}
 	// Normalize the grid now so JobStarted and Snapshot report the
 	// exact totals the harness will run.
 	hcfg.Normalize()
@@ -302,14 +378,15 @@ func (c *Client) submit(ctx context.Context, spec ExperimentSpec, progress io.Wr
 
 	jctx, cancel := context.WithCancel(ctx)
 	j := &Job{
-		id:     id,
-		spec:   spec,
-		cancel: cancel,
-		done:   make(chan struct{}),
-		update: make(chan struct{}),
-		total:  len(hcfg.Methods) * hcfg.Reps * len(hcfg.Problems),
-		grades: map[string]map[string]int{},
-		tables: map[string]string{},
+		id:           id,
+		spec:         spec,
+		cancel:       cancel,
+		done:         make(chan struct{}),
+		update:       make(chan struct{}),
+		total:        len(hcfg.Methods) * hcfg.Reps * len(hcfg.Problems),
+		grades:       map[string]map[string]int{},
+		tables:       map[string]string{},
+		storeEnabled: hcfg.Store != nil,
 	}
 	c.mu.Lock()
 	c.jobs[id] = j
@@ -431,5 +508,11 @@ func (c *Client) CriteriaPipeline(ctx context.Context, spec ExperimentSpec, prog
 	}
 	hcfg.Progress = progress
 	hcfg.Evaluator = c.evaluator(harness.EvaluatorSeed(spec.Seed))
+	// The study runs one experiment per criterion; the criterion is a
+	// cell-key component, so sharing the store across rows is safe and
+	// a rerun of the study is fully warm.
+	if !spec.NoStore {
+		hcfg.Store = c.store
+	}
 	return harness.CriteriaPipelineContext(ctx, hcfg)
 }

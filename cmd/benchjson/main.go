@@ -76,6 +76,30 @@ type eventsReport struct {
 	OverheadPct float64             `json:"subscriber_overhead_pct"`
 }
 
+// storeMeasurement is one run of the Table-I workload against a disk
+// result store: cold (empty store, every cell simulated and
+// persisted) or warm (reopened store, every cell replayed).
+type storeMeasurement struct {
+	Mode        string  `json:"mode"` // "cold" | "warm"
+	Seconds     float64 `json:"seconds"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+	StoreHits   int     `json:"store_hits"`
+	StoreMisses int     `json:"store_misses"`
+}
+
+// storeReport tracks the result store's value and overhead: the cold
+// run pays the write-through (fsync per cell) against the
+// no-store events baseline, the warm run measures pure replay
+// throughput — the rate a fully-cached rerun or a crash-resumed job
+// enjoys. FullyCached asserts the warm run simulated nothing.
+type storeReport struct {
+	Bench       string             `json:"bench"`
+	Cells       int                `json:"cells"`
+	Runs        []storeMeasurement `json:"runs"`
+	WarmSpeedup float64            `json:"warm_speedup_vs_cold"`
+	FullyCached bool               `json:"warm_fully_cached"`
+}
+
 type report struct {
 	Bench      string        `json:"bench"`
 	GoMaxProcs int           `json:"gomaxprocs"`
@@ -87,6 +111,7 @@ type report struct {
 	Runs       []measurement `json:"runs"`
 	Sim        *simReport    `json:"sim,omitempty"`
 	Events     *eventsReport `json:"events,omitempty"`
+	Store      *storeReport  `json:"store,omitempty"`
 }
 
 func main() {
@@ -160,6 +185,10 @@ func main() {
 	evRep, err := eventsBench(probs, *reps, *seed)
 	exitOn(err)
 	rep.Events = evRep
+
+	stRep, err := storeBench(probs, *reps, *seed)
+	exitOn(err)
+	rep.Store = stRep
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	exitOn(err)
@@ -334,6 +363,76 @@ func eventsBench(probs []*dataset.Problem, reps int, seed int64) (*eventsReport,
 	}
 	if base := rep.Runs[0].Seconds; base > 0 {
 		rep.OverheadPct = round3((rep.Runs[1].Seconds - base) / base * 100)
+	}
+	return rep, nil
+}
+
+// storeBench measures the result store on the Table-I workload. Cold:
+// a fresh disk store, every cell simulated and written through
+// (fsync'd). Warm: the same directory reopened by a fresh client —
+// the shard-load plus full-replay path a resumed or repeated
+// experiment takes. The two tables must match byte for byte.
+func storeBench(probs []*dataset.Problem, reps int, seed int64) (*storeReport, error) {
+	dir, err := os.MkdirTemp("", "benchjson-store")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	names := make([]string, len(probs))
+	for i, p := range probs {
+		names[i] = p.Name
+	}
+	spec := correctbench.ExperimentSpec{Seed: seed, Reps: reps, Problems: names}
+	cells := len(harness.AllMethods()) * max(reps, 1) * len(probs)
+	rep := &storeReport{Bench: "client.Submit/table1_store", Cells: cells}
+
+	var tables [2]string
+	var rawSecs [2]float64
+	for i, mode := range []string{"cold", "warm"} {
+		st, err := correctbench.OpenDiskStore(dir)
+		if err != nil {
+			return nil, err
+		}
+		client := correctbench.NewClient(correctbench.WithStore(st))
+		start := time.Now()
+		job, err := client.Submit(context.Background(), spec)
+		if err != nil {
+			return nil, err
+		}
+		exp, err := job.Wait(context.Background())
+		if err != nil {
+			return nil, err
+		}
+		secs := time.Since(start).Seconds()
+		rawSecs[i] = secs
+		tables[i] = exp.Table1()
+		snap := job.Snapshot()
+		m := storeMeasurement{
+			Mode: mode, Seconds: round3(secs),
+			StoreHits: snap.StoreHits, StoreMisses: snap.StoreMisses,
+		}
+		if secs > 0 {
+			m.CellsPerSec = round3(float64(cells) / secs)
+		}
+		rep.Runs = append(rep.Runs, m)
+		if err := client.Close(context.Background()); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: store mode=%s %.2fs (%.1f cells/s, %d hits / %d misses)\n",
+			mode, secs, m.CellsPerSec, snap.StoreHits, snap.StoreMisses)
+	}
+	rep.FullyCached = rep.Runs[1].StoreHits == cells && rep.Runs[1].StoreMisses == 0
+	if !rep.FullyCached {
+		fmt.Fprintln(os.Stderr, "benchjson: WARNING: warm store run simulated cells — cell-key regression")
+	}
+	if tables[0] != tables[1] {
+		fmt.Fprintln(os.Stderr, "benchjson: WARNING: warm store run produced a different Table I — store regression")
+		rep.FullyCached = false
+	}
+	// From the unrounded values: a fully warm run is typically
+	// sub-millisecond, far below the JSON's 1ms display resolution.
+	if rawSecs[1] > 0 {
+		rep.WarmSpeedup = round3(rawSecs[0] / rawSecs[1])
 	}
 	return rep, nil
 }

@@ -13,6 +13,11 @@
 //	correctbench -table2
 //	correctbench -table3 -reps 5
 //	correctbench -task shift18 -seed 1
+//
+// With -store-dir every finished experiment cell is persisted to a
+// content-addressed result store: rerunning the same experiment (or
+// resuming one cancelled with Ctrl-C) replays the finished cells and
+// simulates only the remainder, producing byte-identical tables.
 package main
 
 import (
@@ -38,6 +43,7 @@ func main() {
 		llmName   = flag.String("llm", "gpt-4o", "LLM profile: gpt-4o | claude-3.5-sonnet | gpt-4o-mini")
 		criterion = flag.String("criterion", "70%-wrong", "validation criterion")
 		workers   = flag.Int("workers", 0, "concurrent experiment cells (0: all CPUs, 1: sequential; results are identical either way)")
+		storeDir  = flag.String("store-dir", "", "persist finished cells to this result store; reruns and resumed runs replay them instead of simulating")
 		csvPath   = flag.String("csv", "", "also write per-task outcomes as CSV to this path")
 		quiet     = flag.Bool("q", false, "suppress progress output")
 	)
@@ -45,7 +51,32 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	client := correctbench.NewClient()
+	// Every exit path below goes through this drain-aware exitOn or
+	// falls off main, so the client is always closed — including on
+	// Ctrl-C, where Close waits out the workers' in-flight cells and
+	// their store write-backs. That is what makes -store-dir runs
+	// resumable.
+	var client *correctbench.Client
+	drain := func() {
+		if client != nil {
+			_ = client.Close(context.Background())
+		}
+	}
+	defer drain()
+	exitOn := func(err error) {
+		if err != nil {
+			drain()
+			fmt.Fprintln(os.Stderr, "correctbench:", err)
+			os.Exit(1)
+		}
+	}
+	var opts []correctbench.ClientOption
+	if *storeDir != "" {
+		st, err := correctbench.OpenDiskStore(*storeDir)
+		exitOn(err)
+		opts = append(opts, correctbench.WithStore(st))
+	}
+	client = correctbench.NewClient(opts...)
 
 	if *table2 {
 		fmt.Print(harness.Table2())
@@ -78,6 +109,10 @@ func main() {
 		}
 		exp, err := job.Wait(ctx)
 		exitOn(err)
+		if s := job.Snapshot(); *storeDir != "" && !*quiet {
+			fmt.Fprintf(os.Stderr, "store: replayed %d/%d cells, simulated %d\n",
+				s.StoreHits, s.TotalCells, s.StoreMisses)
+		}
 		if *table1 {
 			fmt.Println(exp.Table1())
 		}
@@ -95,12 +130,5 @@ func main() {
 	if !*table1 && !*table2 && !*table3 && *task == "" {
 		flag.Usage()
 		os.Exit(2)
-	}
-}
-
-func exitOn(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "correctbench:", err)
-		os.Exit(1)
 	}
 }

@@ -4,21 +4,33 @@
 // service front end of the correctbench.Client/Job API — the same
 // contract, the same byte-reproducible event streams.
 //
+// With -store-dir the service keeps a persistent content-addressed
+// result store: every finished experiment cell is written through to
+// disk, an identical spec resubmitted later (including after a crash
+// or rolling restart) replays the finished cells and simulates only
+// the remainder, and SIGTERM drains in-flight jobs and flushes the
+// store before the listener shuts down.
+//
 // Usage:
 //
 //	correctbenchd -addr :8080
+//	correctbenchd -addr :8080 -store-dir /var/lib/correctbench
 //	correctbenchd -selfcheck        # start, drive one experiment over
-//	                                # HTTP, verify against in-process
+//	                                # HTTP, verify against in-process,
+//	                                # then prove a warm resubmit
+//	                                # simulates zero cells
 //
 // Endpoints:
 //
-//	POST   /v1/experiments          submit (add "stream": true for NDJSON)
-//	GET    /v1/experiments/{id}     snapshot
+//	POST   /v1/experiments          submit (add "stream": true for NDJSON);
+//	                                resume-by-spec when a store is configured
+//	GET    /v1/experiments/{id}     snapshot (incl. store_hits/store_misses)
 //	GET    /v1/experiments/{id}/events  NDJSON stream (replay + live)
 //	DELETE /v1/experiments/{id}     cancel
 //	GET    /v1/problems             dataset listing
 //	GET    /v1/llms, /v1/criteria   stable name lists
 //	POST   /v1/grade                grade a testbench (or generate+grade)
+//	GET    /v1/store/stats          result-store counters
 package main
 
 import (
@@ -42,7 +54,8 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
-		selfcheck = flag.Bool("selfcheck", false, "start an ephemeral server, run a 2-problem experiment over HTTP, compare with the in-process run, and exit")
+		storeDir  = flag.String("store-dir", "", "directory for the persistent result store (empty: no store; completed cells are then never reused across restarts)")
+		selfcheck = flag.Bool("selfcheck", false, "start an ephemeral server, run a 2-problem experiment over HTTP, compare with the in-process run, prove a warm resubmit replays every cell from the store, and exit")
 	)
 	flag.Parse()
 
@@ -55,13 +68,41 @@ func main() {
 		return
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: correctbench.NewServer(correctbench.NewClient())}
+	var opts []correctbench.ClientOption
+	if *storeDir != "" {
+		st, err := correctbench.OpenDiskStore(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "correctbenchd:", err)
+			os.Exit(1)
+		}
+		stats := st.Stats()
+		fmt.Fprintf(os.Stderr, "correctbenchd: result store %s: %d cells in %d shards", *storeDir, stats.Entries, stats.Shards)
+		if stats.CorruptRecords > 0 || stats.StaleShards > 0 {
+			fmt.Fprintf(os.Stderr, " (skipped %d corrupt records, %d stale shards — run storectl gc)", stats.CorruptRecords, stats.StaleShards)
+		}
+		fmt.Fprintln(os.Stderr)
+		opts = append(opts, correctbench.WithStore(st))
+	}
+	client := correctbench.NewClient(opts...)
+
+	srv := &http.Server{Addr: *addr, Handler: correctbench.NewServer(client)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	done := make(chan struct{})
 	go func() {
+		defer close(done)
 		<-ctx.Done()
-		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		// Drain before stopping the listener: cancel every in-flight
+		// job, wait for the workers to finish their last cells (each
+		// one a store write-back), and flush/close the store — so a
+		// rolling restart never loses a completed cell. Closing the
+		// client also ends the jobs' NDJSON streams, which is what lets
+		// srv.Shutdown finish inside its timeout.
+		if err := client.Close(shutCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "correctbenchd: drain:", err)
+		}
 		_ = srv.Shutdown(shutCtx)
 	}()
 	fmt.Fprintf(os.Stderr, "correctbenchd: listening on %s\n", *addr)
@@ -69,6 +110,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "correctbenchd:", err)
 		os.Exit(1)
 	}
+	<-done // the drain goroutine owns the store; let it finish
 }
 
 // runSelfcheck exercises the full service path end to end: it binds a
@@ -105,53 +147,12 @@ func runSelfcheck() error {
 	spec := correctbench.ExperimentSpec{
 		Seed: 11, Reps: 1, Problems: []string{"adder4", "dff"},
 	}
-	body, _ := json.Marshal(struct {
-		correctbench.ExperimentSpec
-		Stream bool `json:"stream"`
-	}{spec, true})
-	resp, err = http.Post(base+"/v1/experiments", "application/json", bytes.NewReader(body))
+	run, err := runStreamed(base, spec)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("POST /v1/experiments: status %s", resp.Status)
-	}
-
-	var (
-		streamedTable string
-		cells         int
-		done          bool
-	)
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	for sc.Scan() {
-		ev, err := correctbench.UnmarshalEvent(sc.Bytes())
-		if err != nil {
-			return err
-		}
-		switch e := ev.(type) {
-		case correctbench.CellFinished:
-			cells++
-		case correctbench.TableReady:
-			if e.Name == "table1" {
-				streamedTable = e.Text
-			}
-		case correctbench.JobDone:
-			if e.Err != nil {
-				return fmt.Errorf("job failed: %v", e.Err)
-			}
-			done = true
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return err
-	}
-	if !done {
-		return fmt.Errorf("event stream ended without job_done")
-	}
-	if want := 2 * 3; cells != want {
-		return fmt.Errorf("streamed %d cell events, want %d", cells, want)
+	if want := 2 * 3; run.cells != want {
+		return fmt.Errorf("streamed %d cell events, want %d", run.cells, want)
 	}
 
 	// In-process reference run with the identical spec.
@@ -163,12 +164,137 @@ func runSelfcheck() error {
 	if err != nil {
 		return err
 	}
-	if streamedTable != exp.Table1() {
-		return fmt.Errorf("streamed Table I differs from in-process run:\n--- HTTP ---\n%s\n--- in-process ---\n%s", streamedTable, exp.Table1())
+	if run.table != exp.Table1() {
+		return fmt.Errorf("streamed Table I differs from in-process run:\n--- HTTP ---\n%s\n--- in-process ---\n%s", run.table, exp.Table1())
 	}
-	if !strings.Contains(streamedTable, "CorrectBench") {
-		return fmt.Errorf("Table I snippet missing methods:\n%s", streamedTable)
+	if !strings.Contains(run.table, "CorrectBench") {
+		return fmt.Errorf("Table I snippet missing methods:\n%s", run.table)
 	}
-	fmt.Fprintf(os.Stderr, "correctbenchd: selfcheck streamed %d cells; Table I matches in-process run\n", cells)
+	fmt.Fprintf(os.Stderr, "correctbenchd: selfcheck streamed %d cells; Table I matches in-process run\n", run.cells)
+
+	return storeSelfcheck(spec, run.table)
+}
+
+// storeSelfcheck proves the store round trip and resume-by-spec over
+// HTTP: a store-backed server runs the spec cold (all cells
+// simulated and persisted), then an identical resubmit replays every
+// cell from the store — zero simulated, byte-identical Table I — and
+// /v1/store/stats agrees.
+func storeSelfcheck(spec correctbench.ExperimentSpec, wantTable string) error {
+	dir, err := os.MkdirTemp("", "correctbenchd-selfcheck-store")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	st, err := correctbench.OpenDiskStore(dir)
+	if err != nil {
+		return err
+	}
+	client := correctbench.NewClient(correctbench.WithStore(st))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: correctbench.NewServer(client)}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	defer client.Close(context.Background())
+	base := "http://" + ln.Addr().String()
+
+	cold, err := runStreamed(base, spec)
+	if err != nil {
+		return fmt.Errorf("store cold run: %w", err)
+	}
+	var stats correctbench.StoreStats
+	if err := getJSON(base+"/v1/store/stats", &stats); err != nil {
+		return err
+	}
+	if stats.Entries != cold.cells {
+		return fmt.Errorf("store holds %d cells after a %d-cell cold run", stats.Entries, cold.cells)
+	}
+
+	warm, err := runStreamed(base, spec)
+	if err != nil {
+		return fmt.Errorf("store warm resubmit: %w", err)
+	}
+	if warm.table != cold.table || warm.table != wantTable {
+		return fmt.Errorf("warm Table I differs from cold:\n--- warm ---\n%s\n--- cold ---\n%s", warm.table, cold.table)
+	}
+	var snap correctbench.Snapshot
+	if err := getJSON(base+"/v1/experiments/"+warm.jobID, &snap); err != nil {
+		return err
+	}
+	if snap.StoreHits != warm.cells || snap.StoreMisses != 0 {
+		return fmt.Errorf("warm resubmit simulated cells: hits=%d misses=%d, want %d/0", snap.StoreHits, snap.StoreMisses, warm.cells)
+	}
+	fmt.Fprintf(os.Stderr, "correctbenchd: selfcheck store: warm resubmit replayed %d/%d cells, Table I byte-identical\n", snap.StoreHits, warm.cells)
 	return nil
+}
+
+// streamedRun is what one streaming POST /v1/experiments produced.
+type streamedRun struct {
+	jobID string
+	cells int
+	table string
+}
+
+// runStreamed submits a spec with "stream": true and drains the
+// NDJSON event stream to completion.
+func runStreamed(base string, spec correctbench.ExperimentSpec) (streamedRun, error) {
+	var run streamedRun
+	body, _ := json.Marshal(struct {
+		correctbench.ExperimentSpec
+		Stream bool `json:"stream"`
+	}{spec, true})
+	resp, err := http.Post(base+"/v1/experiments", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return run, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return run, fmt.Errorf("POST /v1/experiments: status %s", resp.Status)
+	}
+	run.jobID = resp.Header.Get("X-Correctbench-Job")
+	done := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		ev, err := correctbench.UnmarshalEvent(sc.Bytes())
+		if err != nil {
+			return run, err
+		}
+		switch e := ev.(type) {
+		case correctbench.CellFinished:
+			run.cells++
+		case correctbench.TableReady:
+			if e.Name == "table1" {
+				run.table = e.Text
+			}
+		case correctbench.JobDone:
+			if e.Err != nil {
+				return run, fmt.Errorf("job failed: %v", e.Err)
+			}
+			done = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return run, err
+	}
+	if !done {
+		return run, fmt.Errorf("event stream ended without job_done")
+	}
+	return run, nil
+}
+
+// getJSON fetches a URL and decodes its JSON body.
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
 }

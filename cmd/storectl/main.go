@@ -1,0 +1,142 @@
+// Command storectl manages a correctbench result-store directory (the
+// -store-dir of correctbenchd / correctbench): per-problem shard
+// files of content-addressed evaluation cells.
+//
+// Usage:
+//
+//	storectl -dir DIR list            # per-shard entries/records/health
+//	storectl -dir DIR verify          # scan everything, exit 1 on damage
+//	storectl -dir DIR gc              # compact shards, drop stale/corrupt/dupes
+//	storectl -dir DIR gc -dry-run     # report what gc would reclaim
+//
+// list and verify never modify the directory. gc rewrites each
+// healthy shard atomically (temp file + rename) with exactly one
+// record per cell key and deletes shards whose schema version is
+// stale; it must not race a live writer — stop correctbenchd (its
+// SIGTERM drain flushes the store) before collecting.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"correctbench/internal/store"
+)
+
+func main() {
+	var (
+		dir  = flag.String("dir", "", "result-store directory (required)")
+		dry  = flag.Bool("dry-run", false, "gc: only report what would be reclaimed")
+		asJS = flag.Bool("json", false, "machine-readable output")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: storectl -dir DIR [flags] {list|verify|gc}\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *dir == "" || flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var err error
+	switch cmd := flag.Arg(0); cmd {
+	case "list":
+		err = list(*dir, *asJS, false)
+	case "verify":
+		err = list(*dir, *asJS, true)
+	case "gc":
+		err = gc(*dir, *dry, *asJS)
+	default:
+		fmt.Fprintf(os.Stderr, "storectl: unknown command %q\n", cmd)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "storectl:", err)
+		os.Exit(1)
+	}
+}
+
+// list prints every shard's health; with strict it exits non-zero
+// when any shard carries damage (verify).
+func list(dir string, asJSON, strict bool) error {
+	reps, err := store.Inspect(dir)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		return writeJSON(reps)
+	}
+	var entries, records, corrupt, stale int
+	var bytes int64
+	fmt.Printf("%-28s %-12s %8s %8s %8s %10s  %s\n", "SHARD", "PROBLEM", "ENTRIES", "RECORDS", "CORRUPT", "BYTES", "STATUS")
+	for _, r := range reps {
+		status := "ok"
+		switch {
+		case r.Stale:
+			status = fmt.Sprintf("STALE (version %d)", r.Version)
+			stale++
+		case r.Corrupt > 0:
+			status = "DAMAGED"
+		}
+		fmt.Printf("%-28s %-12s %8d %8d %8d %10d  %s\n",
+			r.File, r.Problem, r.Entries, r.Records, r.Corrupt, r.Bytes, status)
+		entries += r.Entries
+		records += r.Records
+		corrupt += r.Corrupt
+		bytes += r.Bytes
+	}
+	fmt.Printf("total: %d shards, %d cells (%d records), %d corrupt, %d stale, %d bytes\n",
+		len(reps), entries, records, corrupt, stale, bytes)
+	if strict && (corrupt > 0 || stale > 0 || records > entries) {
+		return fmt.Errorf("verify: %d corrupt records, %d stale shards, %d duplicate records — run gc",
+			corrupt, stale, records-entries)
+	}
+	if strict {
+		fmt.Println("verify: clean")
+	}
+	return nil
+}
+
+func gc(dir string, dry, asJSON bool) error {
+	if dry {
+		reps, err := store.Inspect(dir)
+		if err != nil {
+			return err
+		}
+		var res store.CompactResult
+		for _, r := range reps {
+			if r.Stale {
+				res.StaleShardsRemoved++
+				continue
+			}
+			res.Shards++
+			res.DroppedCorrupt += r.Corrupt
+			res.DroppedDuplicates += r.Records - r.Entries
+		}
+		if asJSON {
+			return writeJSON(res)
+		}
+		fmt.Printf("gc (dry run): would drop %d stale shards, %d corrupt records, %d duplicates across %d shards\n",
+			res.StaleShardsRemoved, res.DroppedCorrupt, res.DroppedDuplicates, res.Shards)
+		return nil
+	}
+	res, err := store.Compact(dir)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		return writeJSON(res)
+	}
+	fmt.Printf("gc: %d shards compacted, %d stale shards removed, %d corrupt records and %d duplicates dropped, %d -> %d bytes\n",
+		res.Shards, res.StaleShardsRemoved, res.DroppedCorrupt, res.DroppedDuplicates, res.BytesBefore, res.BytesAfter)
+	return nil
+}
+
+func writeJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

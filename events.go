@@ -56,9 +56,17 @@ type CellFinished struct {
 	Rep     int // 0-based repetition
 	Problem string
 	Outcome TaskOutcome
-	// Duration is the cell's wall-clock execution time — the only
-	// field of any event that is not a pure function of the spec.
+	// Duration is the cell's wall-clock execution time (zero for cells
+	// replayed from the result store). Like Cached it is operational
+	// metadata, not a pure function of the spec.
 	Duration time.Duration
+	// Cached reports that the cell was replayed from the client's
+	// result store instead of simulated. It is not serialized by
+	// MarshalEvent: once Duration (the one wall-clock wire field) is
+	// normalized, a warm rerun's wire stream is byte-identical to the
+	// cold run that populated the store — per-job totals surface in
+	// JobDone and Snapshot instead.
+	Cached bool
 }
 
 // Type implements Event.
@@ -94,6 +102,12 @@ func (TableReady) Type() string { return "table_ready" }
 type JobDone struct {
 	Results *Experiment
 	Err     error
+	// StoreHits and StoreMisses count the job's cells replayed from
+	// the client's result store versus simulated (both zero without a
+	// store). Operational metadata like CellFinished.Cached: not
+	// serialized, so warm and cold wire streams stay byte-identical.
+	StoreHits   int
+	StoreMisses int
 }
 
 // Type implements Event.

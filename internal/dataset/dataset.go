@@ -8,6 +8,8 @@
 package dataset
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"sync"
@@ -62,6 +64,31 @@ type Problem struct {
 	designOnce   sync.Once
 	cachedDesign *sim.Design
 	designErr    error
+	fpOnce       sync.Once
+	fingerprint  string
+}
+
+// Fingerprint returns a stable content hash over everything that
+// defines the problem: name, kind, spec, golden source, top module,
+// clock/reset names and difficulty. It is one component of the
+// evaluation-cell store key (harness.CellKey), so editing any of
+// these fields — a spec reword, a golden RTL fix — changes the
+// fingerprint and silently invalidates every cached cell of the
+// problem. Like the module/design caches, it requires the problem to
+// be immutable after first use.
+func (p *Problem) Fingerprint() string {
+	p.fpOnce.Do(func() {
+		h := sha256.New()
+		// Length-prefixed fields so no two field layouts collide.
+		for _, f := range []string{
+			p.Name, p.Kind.String(), p.Spec, p.Source, p.Top, p.Clock, p.Reset,
+		} {
+			fmt.Fprintf(h, "%d:%s|", len(f), f)
+		}
+		fmt.Fprintf(h, "d=%d", p.Difficulty)
+		p.fingerprint = hex.EncodeToString(h.Sum(nil)[:16])
+	})
+	return p.fingerprint
 }
 
 // Module parses the golden source and returns its top module. The

@@ -8,6 +8,7 @@ package harness
 
 import (
 	"context"
+	"crypto/sha256"
 	"fmt"
 	"io"
 	"math/rand"
@@ -21,6 +22,7 @@ import (
 	"correctbench/internal/dataset"
 	"correctbench/internal/llm"
 	"correctbench/internal/rng"
+	"correctbench/internal/store"
 	"correctbench/internal/testbench"
 	"correctbench/internal/validator"
 )
@@ -99,6 +101,17 @@ type Config struct {
 	MaxCorrections *int
 	MaxReboots     *int
 	NR             *int
+
+	// Store, when non-nil, is consulted before any cell is scheduled
+	// and written back as cells complete: cells whose key (CellKey) is
+	// already present replay their stored outcome with zero simulation,
+	// in the same canonical release order and with the same events as a
+	// cold run — only CellEvent.Cached and the zero Duration tell them
+	// apart. Cells that miss are simulated and persisted, which is what
+	// makes an interrupted experiment resumable: resubmitting an
+	// identical config replays the finished cells and simulates only
+	// the remainder. The store may be shared by concurrent runs.
+	Store store.Store
 }
 
 // CellEvent describes one finished experiment cell, as delivered to
@@ -113,8 +126,15 @@ type CellEvent struct {
 	Rep     int // 0-based repetition
 	Problem string
 	Outcome TaskOutcome
-	// Duration is the cell's wall-clock execution time.
+	// Duration is the cell's wall-clock execution time; it is zero for
+	// cells replayed from the store.
 	Duration time.Duration
+	// Cached reports that the outcome was replayed from Config.Store
+	// instead of simulated. Like Duration it is operational metadata,
+	// not part of the reproducibility contract (the correctbenchd wire
+	// format omits both), so warm and cold event streams stay
+	// byte-identical.
+	Cached bool
 }
 
 // Normalize applies the documented defaults in place: gpt-4o profile,
@@ -145,6 +165,12 @@ func (c *Config) Normalize() {
 type Results struct {
 	Config   Config
 	Outcomes map[Method][][]TaskOutcome // method -> rep -> tasks
+
+	// StoreHits and StoreMisses count how many cells were replayed
+	// from Config.Store versus simulated (both zero when no store was
+	// configured). A fully warm rerun has StoreMisses == 0.
+	StoreHits   int
+	StoreMisses int
 }
 
 // CellStream derives the private random stream of one experiment
@@ -166,12 +192,107 @@ func CellStream(seed int64, method Method, rep int, problem string) rng.Stream {
 type cell struct {
 	idx        int
 	mi, ri, pi int
+	key        store.Key // content address, derived only when Config.Store is set
 }
 
 // EvaluatorSeed derives the AutoEval evaluator seed the harness uses
 // for an experiment seed. Exposed so callers sharing an evaluator
 // across runs (Config.Evaluator) derive it identically.
 func EvaluatorSeed(seed int64) int64 { return seed ^ 0x5eed }
+
+// cellKeySchema versions the cell-key composition itself. Bump it
+// whenever anything that feeds a cell outcome changes in a way the
+// key components cannot see — simulator semantics, LLM profile
+// tables, grading rules — so every previously stored cell becomes
+// unreachable instead of stale.
+const cellKeySchema = 1
+
+// CellKey returns the content address of one experiment cell for the
+// evaluation-cell store (Config.Store): a SHA-256 over every input
+// its outcome is a function of —
+//
+//   - the key schema version (cellKeySchema),
+//   - the problem's name and dataset fingerprint (spec, golden
+//     source, ports, difficulty — see dataset.Problem.Fingerprint),
+//   - the method and repetition,
+//   - the cell's derived random seed (CellStream) and the experiment's
+//     evaluator seed (EvaluatorSeed, which fixes the mutant fixtures),
+//   - the LLM profile name, and
+//   - for CorrectBench cells only: the validation criterion name and
+//     the effective Algorithm-1 budgets (I_C^max, I_R^max, N_R) after
+//     nil-means-paper-default resolution. AutoBench and Baseline never
+//     read the criterion or budgets (runTask), so hashing them would
+//     only force two thirds of the grid to re-simulate across
+//     criterion sweeps and budget ablations for identical outcomes.
+//
+// Two configs that resolve to the same key are guaranteed to simulate
+// byte-identical outcomes (Workers and Progress/event plumbing do not
+// participate); any outcome-relevant divergence — a dataset edit,
+// another criterion, an explicit-zero budget — lands on a different
+// key. cfg must be normalized.
+func CellKey(cfg *Config, method Method, rep int, p *dataset.Problem) store.Key {
+	h := sha256.New()
+	fmt.Fprintf(h, "correctbench-cell/v%d\n", cellKeySchema)
+	fmt.Fprintf(h, "problem=%s\nfp=%s\nmethod=%s\nrep=%d\n", p.Name, p.Fingerprint(), method, rep)
+	fmt.Fprintf(h, "cellseed=%d\nevalseed=%d\n", CellStream(cfg.Seed, method, rep, p.Name).Seed(), EvaluatorSeed(cfg.Seed))
+	fmt.Fprintf(h, "llm=%s\n", cfg.Profile.Name)
+	if method == MethodCorrectBench {
+		def := core.DefaultOptions(cfg.Profile)
+		mc, mr, nr := def.MaxCorrections, def.MaxReboots, def.NR
+		if cfg.MaxCorrections != nil {
+			mc = *cfg.MaxCorrections
+		}
+		if cfg.MaxReboots != nil {
+			mr = *cfg.MaxReboots
+		}
+		if cfg.NR != nil {
+			nr = *cfg.NR
+		}
+		fmt.Fprintf(h, "criterion=%s\nmc=%d\nmr=%d\nnr=%d\n", cfg.Criterion.Name, mc, mr, nr)
+	}
+	var k store.Key
+	h.Sum(k[:0])
+	return k
+}
+
+// toStoreOutcome converts a finished cell for persistence.
+func toStoreOutcome(o TaskOutcome) store.Outcome {
+	return store.Outcome{
+		Problem:             o.Problem,
+		Kind:                uint8(o.Kind),
+		Grade:               uint8(o.Grade),
+		ValidatorIntervened: o.ValidatorIntervened,
+		CorrectorShaped:     o.CorrectorShaped,
+		FinalValidated:      o.FinalValidated,
+		Corrections:         uint32(o.Corrections),
+		Reboots:             uint32(o.Reboots),
+		TokensIn:            uint64(o.TokensIn),
+		TokensOut:           uint64(o.TokensOut),
+	}
+}
+
+// fromStoreOutcome rebuilds a cell outcome from its stored form. The
+// problem identity comes from the live dataset problem, not the
+// record; ok is false when the record does not belong to p (which
+// would take a SHA-256 collision or a damaged index — treated as a
+// miss either way).
+func fromStoreOutcome(so store.Outcome, p *dataset.Problem) (TaskOutcome, bool) {
+	if so.Problem != p.Name {
+		return TaskOutcome{}, false
+	}
+	return TaskOutcome{
+		Problem:             p.Name,
+		Kind:                p.Kind,
+		Grade:               autoeval.Grade(so.Grade),
+		ValidatorIntervened: so.ValidatorIntervened,
+		CorrectorShaped:     so.CorrectorShaped,
+		FinalValidated:      so.FinalValidated,
+		Corrections:         int(so.Corrections),
+		Reboots:             int(so.Reboots),
+		TokensIn:            int(so.TokensIn),
+		TokensOut:           int(so.TokensOut),
+	}, true
+}
 
 // Run executes the configured experiment over a bounded worker pool.
 //
@@ -211,16 +332,59 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	if total == 0 {
 		return res, nil
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	emit := newOrderedEmitter(cfg)
+
+	// Store lookup phase: resolve every cell against the store before
+	// any scheduling. Hits are written straight into their result slots
+	// and released through the ordered emitter — the same canonical
+	// release order a cold run has, so attached event streams are
+	// byte-identical warm or cold — and only misses become worker
+	// jobs. Lookups are in-memory index reads, so even the full grid
+	// resolves in microseconds.
+	pending := make([]cell, 0, total)
+	idx := 0
+	for mi, m := range cfg.Methods {
+		for ri := 0; ri < cfg.Reps; ri++ {
+			for pi, p := range cfg.Problems {
+				c := cell{idx: idx, mi: mi, ri: ri, pi: pi}
+				idx++
+				if cfg.Store != nil {
+					c.key = CellKey(&cfg, m, ri, p)
+					if so, ok := cfg.Store.Get(c.key); ok {
+						if o, ok := fromStoreOutcome(so, p); ok {
+							res.Outcomes[m][ri][pi] = o
+							res.StoreHits++
+							emit.cellDone(CellEvent{
+								Index: c.idx, Method: m, Rep: ri, Problem: p.Name,
+								Outcome: o, Cached: true,
+							})
+							continue
+						}
+					}
+					res.StoreMisses++
+				}
+				pending = append(pending, c)
+			}
+		}
+	}
+	if len(pending) == 0 {
+		// Fully warm: every cell replayed, nothing to simulate.
+		return res, nil
+	}
+
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > total {
-		workers = total
+	if workers > len(pending) {
+		workers = len(pending)
 	}
 
 	var (
-		emit = newOrderedEmitter(cfg)
 		errs = newErrorCollector()
 		jobs = make(chan cell)
 		wg   sync.WaitGroup
@@ -243,6 +407,14 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 					continue
 				}
 				res.Outcomes[method][c.ri][c.pi] = o
+				if cfg.Store != nil {
+					// Persist before release, so any observer that has
+					// seen the cell's event can already rely on it being
+					// resumable. Put errors are deliberately non-fatal
+					// (the store counts them): a full disk degrades the
+					// run to uncached, it does not fail it.
+					_ = cfg.Store.Put(c.key, toStoreOutcome(o))
+				}
 				emit.cellDone(CellEvent{
 					Index: c.idx, Method: method, Rep: c.ri, Problem: p.Name,
 					Outcome: o, Duration: time.Since(start),
@@ -251,23 +423,17 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 		}()
 	}
 
-	// Feed cells in canonical order; stop scheduling new cells once
+	// Feed the missing cells in canonical order; stop scheduling once
 	// any worker has failed or the context was cancelled.
 	// Already-queued cells still run, so every cell ordered before a
 	// failure executes — which is what makes the min-index error below
 	// the sequential run's first error.
-	idx := 0
 feed:
-	for mi := range cfg.Methods {
-		for ri := 0; ri < cfg.Reps; ri++ {
-			for pi := range cfg.Problems {
-				if errs.failed() || ctx.Err() != nil {
-					break feed
-				}
-				jobs <- cell{idx: idx, mi: mi, ri: ri, pi: pi}
-				idx++
-			}
+	for _, c := range pending {
+		if errs.failed() || ctx.Err() != nil {
+			break feed
 		}
+		jobs <- c
 	}
 	close(jobs)
 	wg.Wait()

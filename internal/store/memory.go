@@ -1,0 +1,91 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Memory is the in-process Store backend: a mutex-guarded LRU keyed
+// by cell key. It is the right backend for one-shot CLI runs and
+// tests — everything a disk store offers except persistence, at map
+// speed and with bounded footprint.
+type Memory struct {
+	mu      sync.Mutex
+	max     int
+	entries map[Key]*list.Element
+	order   *list.List // front = most recently used
+	stats   Stats
+	closed  bool
+}
+
+type memEntry struct {
+	key Key
+	val Outcome
+}
+
+// NewMemory returns an LRU store holding at most maxEntries records
+// (0 or negative: unbounded). A full Table-I grid is
+// 3 methods x 5 reps x 156 problems = 2340 entries at well under a
+// hundred bytes each, so even paper-scale experiments fit in a small
+// cap.
+func NewMemory(maxEntries int) *Memory {
+	return &Memory{
+		max:     maxEntries,
+		entries: map[Key]*list.Element{},
+		order:   list.New(),
+	}
+}
+
+// Get implements Store.
+func (m *Memory) Get(k Key) (Outcome, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.entries[k]
+	if !ok || m.closed {
+		m.stats.Misses++
+		return Outcome{}, false
+	}
+	m.stats.Hits++
+	m.order.MoveToFront(el)
+	return el.Value.(*memEntry).val, true
+}
+
+// Put implements Store.
+func (m *Memory) Put(k Key, o Outcome) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errClosed
+	}
+	if el, ok := m.entries[k]; ok {
+		m.order.MoveToFront(el)
+		return nil
+	}
+	m.entries[k] = m.order.PushFront(&memEntry{key: k, val: o})
+	m.stats.Puts++
+	if m.max > 0 && m.order.Len() > m.max {
+		oldest := m.order.Back()
+		m.order.Remove(oldest)
+		delete(m.entries, oldest.Value.(*memEntry).key)
+		m.stats.Evictions++
+	}
+	return nil
+}
+
+// Stats implements Store.
+func (m *Memory) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.Backend = "memory"
+	s.Entries = len(m.entries)
+	return s
+}
+
+// Close implements Store. Further Gets miss and Puts error.
+func (m *Memory) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}

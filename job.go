@@ -40,6 +40,14 @@ type Job struct {
 	tables    map[string]string
 	exp       *Experiment
 	err       error
+
+	// Result-store usage. storeEnabled is set at submission when the
+	// client's store applies to this job; the counters tally released
+	// cells (CellFinished.Cached) and therefore track live progress —
+	// a fully warm job reaches storeHits == total with zero simulated.
+	storeEnabled bool
+	storeHits    int
+	storeMisses  int
 }
 
 // ID returns the job's client-assigned identifier.
@@ -163,6 +171,8 @@ func (j *Job) Snapshot() Snapshot {
 	for name, text := range j.tables {
 		s.Tables[name] = text
 	}
+	s.StoreHits = j.storeHits
+	s.StoreMisses = j.storeMisses
 	return s
 }
 
@@ -177,6 +187,11 @@ type Snapshot struct {
 	Grades     map[string]map[string]int `json:"grades,omitempty"`
 	Tables     map[string]string         `json:"tables,omitempty"`
 	Error      string                    `json:"error,omitempty"`
+	// StoreHits and StoreMisses count released cells replayed from
+	// the client's result store versus simulated; both are zero (and
+	// omitted) when the job ran without a store.
+	StoreHits   int `json:"store_hits,omitempty"`
+	StoreMisses int `json:"store_misses,omitempty"`
 }
 
 // publish appends an event to the history and wakes subscribers.
@@ -185,6 +200,13 @@ func (j *Job) publish(ev Event) {
 	j.events = append(j.events, ev)
 	if cf, ok := ev.(CellFinished); ok {
 		j.cellsDone++
+		if j.storeEnabled {
+			if cf.Cached {
+				j.storeHits++
+			} else {
+				j.storeMisses++
+			}
+		}
 		byGrade := j.grades[cf.Method]
 		if byGrade == nil {
 			byGrade = map[string]int{}
@@ -212,6 +234,7 @@ func (j *Job) run(ctx context.Context, hcfg harness.Config) {
 		j.publish(CellFinished{
 			Index: ev.Index, Method: string(ev.Method), Rep: ev.Rep,
 			Problem: ev.Problem, Outcome: ev.Outcome, Duration: ev.Duration,
+			Cached: ev.Cached,
 		})
 	}
 	hcfg.OnGroup = func(m harness.Method, rep int) {
@@ -231,13 +254,14 @@ func (j *Job) run(ctx context.Context, hcfg harness.Config) {
 	j.err = err
 	exp := j.exp
 	t1, t3 := j.tables["table1"], j.tables["table3"]
+	hits, misses := j.storeHits, j.storeMisses
 	j.mu.Unlock()
 
 	if err == nil {
 		j.publish(TableReady{Name: "table1", Text: t1})
 		j.publish(TableReady{Name: "table3", Text: t3})
 	}
-	j.publish(JobDone{Results: exp, Err: err})
+	j.publish(JobDone{Results: exp, Err: err, StoreHits: hits, StoreMisses: misses})
 
 	j.mu.Lock()
 	j.closed = true

@@ -28,6 +28,15 @@ import (
 //	GET    /v1/criteria           validation criterion names, stable order
 //	POST   /v1/grade              grade a submitted testbench, or
 //	                              generate-and-grade a task
+//	GET    /v1/store/stats        result-store counters (404 when the
+//	                              client has no store)
+//
+// When the client carries a result store (correctbenchd -store-dir),
+// POST /v1/experiments has resume-by-spec semantics: resubmitting an
+// identical spec — after a crash, a cancel, or simply again — replays
+// every already-finished cell from the store and simulates only the
+// remainder, streaming the same events either way. Snapshots report
+// the split as store_hits/store_misses.
 //
 // The handler is stdlib-only and safe for concurrent use. Job
 // retention is bounded by the client (see maxRetainedJobs): snapshots
@@ -43,6 +52,7 @@ func NewServer(c *Client) http.Handler {
 	mux.HandleFunc("GET /v1/llms", s.llms)
 	mux.HandleFunc("GET /v1/criteria", s.criteria)
 	mux.HandleFunc("POST /v1/grade", s.grade)
+	mux.HandleFunc("GET /v1/store/stats", s.storeStats)
 	return mux
 }
 
@@ -180,6 +190,15 @@ func (s *server) llms(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) criteria(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, CriterionNames())
+}
+
+func (s *server) storeStats(w http.ResponseWriter, r *http.Request) {
+	stats, ok := s.client.StoreStats()
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no result store configured (start correctbenchd with -store-dir)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, stats)
 }
 
 // gradeRequest is the POST /v1/grade body. With Testbench set, that

@@ -340,3 +340,79 @@ func TestServiceGrade(t *testing.T) {
 		t.Errorf("unknown llm: %s", r.Status)
 	}
 }
+
+// TestServiceStoreStats covers GET /v1/store/stats and the snapshot
+// counters on a store-backed server: 404 without a store, live
+// counters with one, and resume-by-spec visible as a fully warm
+// resubmit.
+func TestServiceStoreStats(t *testing.T) {
+	// Without a store the endpoint 404s.
+	plain, _ := newTestServer(t)
+	resp, err := http.Get(plain.URL + "/v1/store/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("no-store stats status = %s, want 404", resp.Status)
+	}
+
+	c := NewClient(WithStore(NewMemoryStore(0)))
+	ts := httptest.NewServer(NewServer(c))
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { c.Close(context.Background()) })
+
+	submit := func() Snapshot {
+		resp := postJSON(t, ts.URL+"/v1/experiments", ExperimentSpec{
+			Seed: 3, Reps: 1, Problems: []string{"halfadd", "dff"},
+		})
+		defer resp.Body.Close()
+		var sub struct {
+			ID string `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Job(sub.ID).Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		var snap Snapshot
+		sresp, err := http.Get(ts.URL + "/v1/experiments/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sresp.Body.Close()
+		if err := json.NewDecoder(sresp.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+
+	coldSnap := submit()
+	if coldSnap.StoreHits != 0 || coldSnap.StoreMisses != 6 {
+		t.Errorf("cold snapshot counters = %d/%d, want 0/6", coldSnap.StoreHits, coldSnap.StoreMisses)
+	}
+	warmSnap := submit() // resume-by-spec: identical spec, fully warm
+	if warmSnap.StoreHits != 6 || warmSnap.StoreMisses != 0 {
+		t.Errorf("warm snapshot counters = %d/%d, want 6/0", warmSnap.StoreHits, warmSnap.StoreMisses)
+	}
+	if warmSnap.Tables["table1"] != coldSnap.Tables["table1"] {
+		t.Error("warm resubmit rendered a different Table I")
+	}
+
+	var stats StoreStats
+	resp, err = http.Get(ts.URL + "/v1/store/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status = %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Backend != "memory" || stats.Entries != 6 || stats.Hits != 6 || stats.Misses != 6 {
+		t.Errorf("stats = %+v, want memory/6 entries/6 hits/6 misses", stats)
+	}
+}

@@ -1,0 +1,35 @@
+package correctbench
+
+import (
+	"correctbench/internal/store"
+)
+
+// Store is the content-addressed evaluation-cell store a Client can
+// be built over (WithStore): a cell — one (problem, method, rep)
+// coordinate of an experiment grid — is a pure function of its
+// content key (seed derivation, budgets, LLM/criterion names, dataset
+// fingerprint, schema version), so the store replays previously
+// finished cells instead of re-simulating them. Identical or
+// overlapping specs become O(lookup), and a job killed mid-experiment
+// resumes by resubmitting the same spec: the finished cells replay,
+// only the remainder simulates, and the final tables are
+// byte-identical to an uninterrupted run. Implementations are safe
+// for concurrent use by any number of jobs.
+type Store = store.Store
+
+// StoreStats is a store's live counter snapshot (see Client.StoreStats
+// and GET /v1/store/stats).
+type StoreStats = store.Stats
+
+// NewMemoryStore returns an in-process LRU result store holding at
+// most maxEntries cells (0: unbounded). It is the right choice for
+// one-shot processes; use OpenDiskStore for persistence across
+// restarts.
+func NewMemoryStore(maxEntries int) Store { return store.NewMemory(maxEntries) }
+
+// OpenDiskStore opens (creating if needed) a persistent result store
+// rooted at dir: one append-safe, CRC-protected, fsync'd shard file
+// per problem, with the index held in memory. Corrupt or torn records
+// and stale-schema shards are skipped and counted, never fatal — see
+// cmd/storectl for inspection and garbage collection.
+func OpenDiskStore(dir string) (Store, error) { return store.Open(dir) }

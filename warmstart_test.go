@@ -1,0 +1,295 @@
+package correctbench
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"correctbench/internal/store"
+)
+
+// marshalNormalized renders an event stream to its wire bytes with
+// the operational fields (job ID, Duration) normalized — exactly the
+// reproducibility contract: everything else must be byte-identical.
+func marshalNormalized(t *testing.T, events []Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, ev := range events {
+		if cf, ok := ev.(CellFinished); ok {
+			cf.Duration = 0
+			ev = cf
+		}
+		if js, ok := ev.(JobStarted); ok {
+			js.Job = ""
+			ev = js
+		}
+		line, err := MarshalEvent(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+func drainJob(t *testing.T, c *Client, spec ExperimentSpec) (*Job, []Event, *Experiment) {
+	t.Helper()
+	job, err := c.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	for ev := range job.Events() {
+		events = append(events, ev)
+	}
+	exp, err := job.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return job, events, exp
+}
+
+// TestWarmRerunFullyCached is the tentpole acceptance criterion: a
+// fully warm rerun of an experiment replays every cell from the store
+// (hit counter == cell count, zero simulated), its rendered tables
+// are byte-identical to the cold run's, and the wire event stream —
+// after the contract's two operational normalizations — is
+// byte-identical too, at any worker count.
+func TestWarmRerunFullyCached(t *testing.T) {
+	dir := t.TempDir()
+	spec := ExperimentSpec{Seed: 31, Reps: 1, Problems: testProblems, Workers: 4}
+	total := 3 * len(testProblems)
+
+	st, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := NewClient(WithStore(st))
+	coldJob, coldEvents, coldExp := drainJob(t, cold, spec)
+	if s := coldJob.Snapshot(); s.StoreHits != 0 || s.StoreMisses != total {
+		t.Fatalf("cold hits/misses = %d/%d, want 0/%d", s.StoreHits, s.StoreMisses, total)
+	}
+	if err := cold.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen from disk in a fresh client (fresh evaluator caches too):
+	// everything the warm run needs must come from the shards.
+	st2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := st2.Stats(); s.Entries != total {
+		t.Fatalf("reopened store holds %d cells, want %d", s.Entries, total)
+	}
+	warm := NewClient(WithStore(st2))
+	defer warm.Close(context.Background())
+	warmSpec := spec
+	warmSpec.Workers = 1 // worker count must not matter, warm or cold
+	warmJob, warmEvents, warmExp := drainJob(t, warm, warmSpec)
+
+	if s := warmJob.Snapshot(); s.StoreHits != total || s.StoreMisses != 0 {
+		t.Fatalf("warm run simulated cells: hits=%d misses=%d, want %d/0", s.StoreHits, s.StoreMisses, total)
+	}
+	if coldExp.Table1() != warmExp.Table1() || coldExp.Table3() != warmExp.Table3() {
+		t.Error("warm tables differ from cold tables")
+	}
+	if !bytes.Equal(marshalNormalized(t, coldEvents), marshalNormalized(t, warmEvents)) {
+		t.Error("warm wire event stream differs from cold")
+	}
+	// Cached cells replay with zero Duration and the Cached mark.
+	for _, ev := range warmEvents {
+		if cf, ok := ev.(CellFinished); ok {
+			if !cf.Cached || cf.Duration != 0 {
+				t.Fatalf("warm cell %d: cached=%v duration=%v", cf.Index, cf.Cached, cf.Duration)
+			}
+		}
+	}
+	// JobDone carries the counters (typed, not serialized).
+	done := warmEvents[len(warmEvents)-1].(JobDone)
+	if done.StoreHits != total || done.StoreMisses != 0 {
+		t.Errorf("JobDone counters = %d/%d, want %d/0", done.StoreHits, done.StoreMisses, total)
+	}
+}
+
+// TestCrashRecoveryResume is the resume acceptance criterion: cancel
+// a job mid-experiment, reopen the store as a crashed-and-restarted
+// process would, resubmit the identical spec, and the job completes
+// with only the missing cells simulated and a Table I byte-identical
+// to an uncached run.
+func TestCrashRecoveryResume(t *testing.T) {
+	dir := t.TempDir()
+	// Reps 4 over 4 problems = 48 cells: enough runway that cancelling
+	// after the third cell always leaves unfinished work.
+	spec := ExperimentSpec{Seed: 13, Reps: 4, Problems: testProblems, Workers: 2}
+	total := 3 * 4 * len(testProblems)
+
+	st, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := NewClient(WithStore(st))
+	job, err := c1.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for ev := range job.Events() {
+		if _, ok := ev.(CellFinished); ok {
+			if seen++; seen == 3 {
+				job.Cancel() // the "crash"
+				break
+			}
+		}
+	}
+	if _, err := job.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if err := c1.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": reopen the store from disk. In-flight cells may have
+	// landed after the cancel; whatever is on disk is what resumes.
+	st2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	persisted := st2.Stats().Entries
+	if persisted < 3 || persisted >= total {
+		t.Fatalf("persisted %d cells, want a strict mid-run subset >= 3 of %d", persisted, total)
+	}
+
+	c2 := NewClient(WithStore(st2))
+	defer c2.Close(context.Background())
+	resumed, _, resumedExp := drainJob(t, c2, spec)
+	s := resumed.Snapshot()
+	if s.StoreHits != persisted {
+		t.Errorf("resume replayed %d cells, want the %d persisted", s.StoreHits, persisted)
+	}
+	if s.StoreMisses != total-persisted {
+		t.Errorf("resume simulated %d cells, want only the missing %d", s.StoreMisses, total-persisted)
+	}
+
+	// The resumed tables must be byte-identical to a never-interrupted,
+	// never-cached run of the same spec.
+	_, _, refExp := drainJob(t, NewClient(), spec)
+	if resumedExp.Table1() != refExp.Table1() {
+		t.Errorf("resumed Table I differs from uncached run:\n--- resumed ---\n%s\n--- uncached ---\n%s",
+			resumedExp.Table1(), refExp.Table1())
+	}
+	if resumedExp.Table3() != refExp.Table3() {
+		t.Error("resumed Table III differs from uncached run")
+	}
+}
+
+// TestNoStoreOptOut pins ExperimentSpec.NoStore: the job neither
+// reads nor writes the client's store.
+func TestNoStoreOptOut(t *testing.T) {
+	c := NewClient(WithStore(NewMemoryStore(0)))
+	defer c.Close(context.Background())
+	spec := ExperimentSpec{Seed: 2, Reps: 1, Problems: []string{"halfadd"}, NoStore: true}
+	job, _, _ := drainJob(t, c, spec)
+	if s := job.Snapshot(); s.StoreHits != 0 || s.StoreMisses != 0 {
+		t.Errorf("NoStore job reported store counters: %d/%d", s.StoreHits, s.StoreMisses)
+	}
+	stats, ok := c.StoreStats()
+	if !ok {
+		t.Fatal("StoreStats not ok on a store-backed client")
+	}
+	if stats.Entries != 0 || stats.Puts != 0 {
+		t.Errorf("NoStore job wrote to the store: %+v", stats)
+	}
+
+	// And a plain client reports no store at all.
+	if _, ok := NewClient().StoreStats(); ok {
+		t.Error("StoreStats ok without a store")
+	}
+}
+
+// TestConcurrentJobsSharedStore races several jobs — two identical,
+// one disjoint — against one disk store (the correctbenchd serving
+// pattern). Run under -race in CI; correctness assertions here are
+// that both identical jobs land the same tables and the store ends up
+// with exactly the union of cells.
+func TestConcurrentJobsSharedStore(t *testing.T) {
+	st, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(WithStore(st))
+	defer c.Close(context.Background())
+
+	specA := ExperimentSpec{Seed: 5, Reps: 1, Problems: []string{"halfadd", "dff"}, Workers: 2}
+	specB := ExperimentSpec{Seed: 5, Reps: 1, Problems: []string{"mux2_w4"}, Workers: 2}
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		tables []string
+	)
+	for _, spec := range []ExperimentSpec{specA, specA, specB} {
+		wg.Add(1)
+		go func(spec ExperimentSpec) {
+			defer wg.Done()
+			job, err := c.Submit(context.Background(), spec)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			exp, err := job.Wait(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(spec.Problems) == 2 {
+				mu.Lock()
+				tables = append(tables, exp.Table1())
+				mu.Unlock()
+			}
+		}(spec)
+	}
+	wg.Wait()
+	if len(tables) != 2 || tables[0] != tables[1] {
+		t.Errorf("identical concurrent jobs disagreed (%d tables)", len(tables))
+	}
+	// Union: 2*3 cells from specA (shared by both copies) + 1*3 from
+	// specB. Overlapping puts are deduped by the store.
+	if s := st.Stats(); s.Entries != 9 {
+		t.Errorf("store entries = %d, want 9", s.Entries)
+	}
+}
+
+// TestClientClose pins the shutdown contract correctbenchd relies on:
+// Close cancels in-flight jobs, waits for them, and closes the store.
+func TestClientClose(t *testing.T) {
+	st := NewMemoryStore(0)
+	c := NewClient(WithStore(st))
+	job, err := c.Submit(context.Background(), ExperimentSpec{
+		Seed: 1, Reps: 20, Problems: testProblems, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let at least one cell land so the close has write-backs to flush.
+	for ev := range job.Events() {
+		if _, ok := ev.(CellFinished); ok {
+			break
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.Close(ctx); err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+	if _, err := job.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Errorf("job after Close: %v, want context.Canceled", err)
+	}
+	// The store is closed: puts fail, gets miss.
+	if err := st.Put(store.Key{1}, store.Outcome{Problem: "x"}); err == nil {
+		t.Error("store accepted a put after Close")
+	}
+}
