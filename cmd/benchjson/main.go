@@ -30,8 +30,10 @@ import (
 	"correctbench"
 	"correctbench/internal/dataset"
 	"correctbench/internal/harness"
+	"correctbench/internal/mutate"
 	"correctbench/internal/sim"
 	"correctbench/internal/testbench"
+	"correctbench/internal/verilog"
 )
 
 type measurement struct {
@@ -82,7 +84,7 @@ type eventsReport struct {
 type storeMeasurement struct {
 	Mode        string  `json:"mode"` // "cold" | "warm"
 	Seconds     float64 `json:"seconds"`
-	CellsPerSec float64 `json:"cells_per_sec"`
+	CellsPerSec float64 `json:"cells_per_sec,omitempty"` // omitted when the run is too fast to time
 	StoreHits   int     `json:"store_hits"`
 	StoreMisses int     `json:"store_misses"`
 }
@@ -100,6 +102,33 @@ type storeReport struct {
 	FullyCached bool               `json:"warm_fully_cached"`
 }
 
+// batchMeasurement is one batch-size setting of the mutant-batched
+// engine over the mutant workload: all of a problem's mutant DUTs run
+// as lanes of sim.BatchInstance batches of the given size, sharing one
+// checker simulation per batch.
+type batchMeasurement struct {
+	Batch             int     `json:"batch"`
+	Seconds           float64 `json:"seconds"`
+	StepsPerSecMutant float64 `json:"steps_per_sec_per_mutant"`
+	SpeedupVsCompiled float64 `json:"speedup_vs_compiled,omitempty"`
+}
+
+// batchReport tracks what mutant batching buys over the scalar
+// compiled engine on the workload that dominates AutoEval: N mutants
+// of each golden design run against the golden testbench. The
+// baseline runs the identical DUT set sequentially on the compiled
+// engine; a step is one stimulus application on one mutant lane.
+type batchReport struct {
+	Bench               string             `json:"bench"`
+	Problems            int                `json:"problems"`
+	Mutants             int                `json:"mutants_total"`
+	StepsPerPass        int                `json:"mutant_steps_per_pass"`
+	LevelizedProblems   int                `json:"levelized_problems"`
+	CompiledSeconds     float64            `json:"compiled_seconds"`
+	CompiledStepsPerSec float64            `json:"compiled_steps_per_sec_per_mutant"`
+	Runs                []batchMeasurement `json:"runs"`
+}
+
 type report struct {
 	Bench      string        `json:"bench"`
 	GoMaxProcs int           `json:"gomaxprocs"`
@@ -110,6 +139,7 @@ type report struct {
 	Identical  bool          `json:"tables_identical_across_workers"`
 	Runs       []measurement `json:"runs"`
 	Sim        *simReport    `json:"sim,omitempty"`
+	SimBatched *batchReport  `json:"sim_batched,omitempty"`
 	Events     *eventsReport `json:"events,omitempty"`
 	Store      *storeReport  `json:"store,omitempty"`
 }
@@ -181,6 +211,10 @@ func main() {
 	simRep, err := simBench(probs)
 	exitOn(err)
 	rep.Sim = simRep
+
+	sbRep, err := simBatchedBench(probs)
+	exitOn(err)
+	rep.SimBatched = sbRep
 
 	evRep, err := eventsBench(probs, *reps, *seed)
 	exitOn(err)
@@ -305,6 +339,179 @@ func simBench(probs []*dataset.Problem) (*simReport, error) {
 	return rep, nil
 }
 
+// simBatchedBench measures the mutant-batched engine: for every
+// problem in the mix it derives a fixed-seed set of ~20 elaborable,
+// simulation-clean mutants of the golden RTL and runs them all
+// against the golden testbench — sequentially on the scalar compiled
+// engine (the baseline AutoEval used before batching), then in
+// sim.BatchInstance batches of 1, 4, 10 and 20 lanes. earlyExit is
+// off so every lane executes every step and the step counts match
+// the baseline exactly.
+func simBatchedBench(probs []*dataset.Problem) (*batchReport, error) {
+	type fixture struct {
+		tb    *testbench.Testbench
+		base  *sim.Design
+		duts  []*sim.Design
+		steps int // stimulus steps per pass per DUT
+	}
+	const dutsPerProblem = 20
+	var fixtures []fixture
+	totalSteps, totalDuts, levelized := 0, 0, 0
+	for _, p := range probs {
+		tb, err := testbench.Golden(p, rand.New(rand.NewSource(1)))
+		if err != nil {
+			return nil, fmt.Errorf("batch bench: golden %s: %w", p.Name, err)
+		}
+		tb.Engine = sim.EngineCompiled
+		if err := tb.ElaborateChecker(); err != nil {
+			return nil, fmt.Errorf("batch bench: checker %s: %w", p.Name, err)
+		}
+		base, err := p.Elaborate()
+		if err != nil {
+			return nil, fmt.Errorf("batch bench: elaborate %s: %w", p.Name, err)
+		}
+		mod, err := p.Module()
+		if err != nil {
+			return nil, fmt.Errorf("batch bench: module %s: %w", p.Name, err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		var duts []*sim.Design
+		for attempt := 0; attempt < 200 && len(duts) < dutsPerProblem; attempt++ {
+			mut, applied := mutate.Mutate(mod, rng, 1)
+			if len(applied) == 0 {
+				break
+			}
+			d, err := sim.ElaborateSource(verilog.PrintModule(mut), p.Top)
+			if err != nil {
+				continue
+			}
+			// Keep only mutants that simulate to completion: an
+			// errored run stops mid-scenario and would skew the
+			// per-step throughput comparison.
+			if _, err := tb.RunAgainstDesign(d); err != nil {
+				continue
+			}
+			duts = append(duts, d)
+		}
+		if len(duts) == 0 {
+			continue
+		}
+		steps := 0
+		for _, sc := range tb.Scenarios {
+			steps += len(sc.Steps)
+		}
+		if progs, _, err := sim.CompileBatchSplit(base, duts); err == nil && progs[0].Levelized() {
+			levelized++
+		}
+		fixtures = append(fixtures, fixture{tb: tb, base: base, duts: duts, steps: steps})
+		totalSteps += steps * len(duts)
+		totalDuts += len(duts)
+	}
+	if len(fixtures) == 0 {
+		return nil, fmt.Errorf("batch bench: no problems yielded mutants")
+	}
+	rep := &batchReport{
+		Bench:             "sim.mutant_batch_steps",
+		Problems:          len(fixtures),
+		Mutants:           totalDuts,
+		StepsPerPass:      totalSteps,
+		LevelizedProblems: levelized,
+	}
+
+	// Every configuration is timed as the sum of per-fixture minima
+	// across passes: the totals are sub-second, so a single scheduler
+	// hiccup anywhere in a whole-pass timing would dominate the ratio,
+	// while a hiccup must recur on the same fixture in every pass to
+	// survive a per-fixture minimum.
+	const passes = 7
+	fixMin := make([]float64, len(fixtures))
+	for pass := 0; pass < passes; pass++ {
+		for fi, f := range fixtures {
+			f.tb.Engine = sim.EngineCompiled
+			start := time.Now()
+			for _, d := range f.duts {
+				if _, err := f.tb.RunAgainstDesign(d); err != nil {
+					return nil, fmt.Errorf("batch bench (compiled): %w", err)
+				}
+			}
+			if secs := time.Since(start).Seconds(); pass == 0 || secs < fixMin[fi] {
+				fixMin[fi] = secs
+			}
+		}
+	}
+	var baseSecs float64
+	for _, s := range fixMin {
+		baseSecs += s
+	}
+	rep.CompiledSeconds = round3(baseSecs)
+	if baseSecs > 0 {
+		rep.CompiledStepsPerSec = round3(float64(totalSteps) / baseSecs)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: sim_batched baseline compiled %.2fs/pass (%.0f steps/s/mutant)\n",
+		baseSecs, rep.CompiledStepsPerSec)
+
+	for _, batchSize := range []int{1, 4, 10, 20} {
+		// Compile each group once, like the scalar engine compiles a
+		// design once at elaboration; the timed region measures
+		// simulation, not recompilation. The checker trace is warmed
+		// untimed for the same reason the scalar baseline enters its
+		// loop with a warm checker cache.
+		type group struct {
+			tb    *testbench.Testbench
+			progs []*sim.BatchProgram
+			idx   [][]int
+		}
+		var groups []group
+		for _, f := range fixtures {
+			f.tb.Engine = sim.EngineBatched
+			if err := f.tb.WarmBatchTrace(f.base); err != nil {
+				return nil, fmt.Errorf("batch bench: trace: %w", err)
+			}
+			for lo := 0; lo < len(f.duts); lo += batchSize {
+				hi := lo + batchSize
+				if hi > len(f.duts) {
+					hi = len(f.duts)
+				}
+				progs, idx, err := sim.CompileBatchSplit(f.base, f.duts[lo:hi])
+				if err != nil {
+					return nil, fmt.Errorf("batch bench (batch=%d): %w", batchSize, err)
+				}
+				groups = append(groups, group{tb: f.tb, progs: progs, idx: idx})
+			}
+		}
+		grpMin := make([]float64, len(groups))
+		for pass := 0; pass < passes; pass++ {
+			for gi, g := range groups {
+				start := time.Now()
+				outs := g.tb.RunBatchPrograms(g.progs, g.idx, false)
+				if s := time.Since(start).Seconds(); pass == 0 || s < grpMin[gi] {
+					grpMin[gi] = s
+				}
+				for _, o := range outs {
+					if o.Err != nil {
+						return nil, fmt.Errorf("batch bench (batch=%d): %w", batchSize, o.Err)
+					}
+				}
+			}
+		}
+		var secs float64
+		for _, s := range grpMin {
+			secs += s
+		}
+		m := batchMeasurement{Batch: batchSize, Seconds: round3(secs)}
+		if secs > 0 {
+			m.StepsPerSecMutant = round3(float64(totalSteps) / secs)
+			if baseSecs > 0 {
+				m.SpeedupVsCompiled = round3(baseSecs / secs)
+			}
+		}
+		rep.Runs = append(rep.Runs, m)
+		fmt.Fprintf(os.Stderr, "benchjson: sim_batched batch=%d %.2fs (%.0f steps/s/mutant, %.2fx compiled)\n",
+			batchSize, secs, m.StepsPerSecMutant, m.SpeedupVsCompiled)
+	}
+	return rep, nil
+}
+
 // eventsBench measures the cost of the Client/Job event machinery on
 // the Table-I workload: cells/sec with no subscriber attached versus
 // a subscriber draining and NDJSON-marshaling every event (the
@@ -407,11 +614,16 @@ func storeBench(probs []*dataset.Problem, reps int, seed int64) (*storeReport, e
 		rawSecs[i] = secs
 		tables[i] = exp.Table1()
 		snap := job.Snapshot()
+		// Warm runs can finish in well under a millisecond; round3
+		// would record "seconds": 0 next to a finite cells_per_sec.
+		// Microsecond resolution keeps the pair consistent, and if the
+		// duration still rounds to zero the rate is omitted rather
+		// than derived from an unrepresentable denominator.
 		m := storeMeasurement{
-			Mode: mode, Seconds: round3(secs),
+			Mode: mode, Seconds: round6(secs),
 			StoreHits: snap.StoreHits, StoreMisses: snap.StoreMisses,
 		}
-		if secs > 0 {
+		if m.Seconds > 0 {
 			m.CellsPerSec = round3(float64(cells) / secs)
 		}
 		rep.Runs = append(rep.Runs, m)
@@ -438,6 +650,8 @@ func storeBench(probs []*dataset.Problem, reps int, seed int64) (*storeReport, e
 }
 
 func round3(v float64) float64 { return float64(int(v*1000+0.5)) / 1000 }
+
+func round6(v float64) float64 { return float64(int(v*1_000_000+0.5)) / 1_000_000 }
 
 func exitOn(err error) {
 	if err != nil {

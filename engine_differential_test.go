@@ -33,10 +33,17 @@ func TestTableOutputEngineDifferential(t *testing.T) {
 
 	t1c, t3c := runTables(sim.EngineCompiled)
 	t1i, t3i := runTables(sim.EngineInterp)
+	t1b, t3b := runTables(sim.EngineBatched)
 	if t1c != t1i {
 		t.Errorf("Table I differs between engines\ncompiled:\n%s\ninterp:\n%s", t1c, t1i)
 	}
 	if t3c != t3i {
 		t.Errorf("Table III differs between engines\ncompiled:\n%s\ninterp:\n%s", t3c, t3i)
+	}
+	if t1b != t1i {
+		t.Errorf("Table I differs between engines\nbatched:\n%s\ninterp:\n%s", t1b, t1i)
+	}
+	if t3b != t3i {
+		t.Errorf("Table III differs between engines\nbatched:\n%s\ninterp:\n%s", t3b, t3i)
 	}
 }

@@ -121,6 +121,14 @@ type fixture struct {
 	goldenDesign  *sim.Design
 	mutantDesigns []*sim.Design
 	goldenVerdict []bool // golden TB's pass verdict per mutant
+	// batchProgs is the mutant set precompiled for batched grading
+	// (sim.CompileBatchSplit: a levelized program for static mutants
+	// plus an event-driven one for the rest), with batchIdx giving each
+	// program's variant -> mutant index mapping — immutable, shared by
+	// every Eval2 call. Nil when the engine is the interpreter or the
+	// golden design cannot batch-compile.
+	batchProgs []*sim.BatchProgram
+	batchIdx   [][]int
 }
 
 // fixtureEntry is the per-problem build lock: the entry is installed
@@ -173,6 +181,12 @@ func (e *Evaluator) buildFixture(p *dataset.Problem) (*fixture, error) {
 	// through the evaluator's design cache: the same printed source is
 	// simulated again by the subtlety probe and kept as an Eval2 DUT,
 	// and must not be re-elaborated each time.
+	//
+	// On batch-capable engines the kill checks run wave-at-a-time on
+	// sim.EngineBatched lanes (DistinctMutantsBatch draws the same rng
+	// stream as DistinctMutants, so the fixture is engine-independent);
+	// the interpreter keeps the sequential per-mutant path.
+	batched := resolveEngine(gtb.Engine) != sim.EngineInterp
 	differs := func(m *verilog.Module) (bool, error) {
 		d, err := e.elaborateCached(verilog.PrintModule(m), p.Top)
 		if err != nil {
@@ -183,6 +197,40 @@ func (e *Evaluator) buildFixture(p *dataset.Problem) (*fixture, error) {
 			return false, err
 		}
 		return !res.Pass(), nil
+	}
+	// batchRun elaborates a module set and runs the lanes that
+	// elaborate through one batched pass of tb, returning per-module
+	// outcomes (Err set for elaboration failures).
+	batchRun := func(tb *testbench.Testbench, ms []*verilog.Module) []testbench.BatchOutcome {
+		out := make([]testbench.BatchOutcome, len(ms))
+		designs := make([]*sim.Design, 0, len(ms))
+		idx := make([]int, 0, len(ms))
+		for i, m := range ms {
+			d, err := e.elaborateCached(verilog.PrintModule(m), p.Top)
+			if err != nil {
+				out[i].Err = fmt.Errorf("dut: %w", err)
+				continue
+			}
+			designs = append(designs, d)
+			idx = append(idx, i)
+		}
+		if len(designs) > 0 {
+			for j, o := range tb.RunBatchAgainstDesigns(goldenDesign, designs, true) {
+				out[idx[j]] = o
+			}
+		}
+		return out
+	}
+	batchDiffers := func(ms []*verilog.Module) []mutate.DifferenceResult {
+		res := make([]mutate.DifferenceResult, len(ms))
+		for i, o := range batchRun(gtb, ms) {
+			if o.Err != nil {
+				res[i].Err = o.Err
+			} else {
+				res[i].Differs = !o.Res.Pass()
+			}
+		}
+		return res
 	}
 	// A corner-free random probe separates subtle mutants (killed only
 	// by corner/exhaustive or directed stimuli) from gross ones. The
@@ -204,22 +252,40 @@ func (e *Evaluator) buildFixture(p *dataset.Problem) (*fixture, error) {
 		Problem: p, Scenarios: probeScs,
 		CheckerSource: p.Source, CheckerTop: p.Top, CheckerSticky: -1,
 	}
-	candidates := mutate.DistinctMutants(golden, rng, e.Mutants*3, 1, differs)
-	if len(candidates) < e.Mutants {
-		// Problems with few mutation sites: widen to 2-fault mutants.
-		candidates = append(candidates, mutate.DistinctMutants(golden, rng, e.Mutants*2, 2, differs)...)
+	var candidates []*verilog.Module
+	if batched {
+		candidates = mutate.DistinctMutantsBatch(golden, rng, e.Mutants*3, 1, batchDiffers)
+		if len(candidates) < e.Mutants {
+			// Problems with few mutation sites: widen to 2-fault mutants.
+			candidates = append(candidates, mutate.DistinctMutantsBatch(golden, rng, e.Mutants*2, 2, batchDiffers)...)
+		}
+	} else {
+		candidates = mutate.DistinctMutants(golden, rng, e.Mutants*3, 1, differs)
+		if len(candidates) < e.Mutants {
+			candidates = append(candidates, mutate.DistinctMutants(golden, rng, e.Mutants*2, 2, differs)...)
+		}
 	}
 	var subtle, gross []*verilog.Module
-	for _, m := range candidates {
-		var res *testbench.RunResult
-		d, err := e.elaborateCached(verilog.PrintModule(m), p.Top)
-		if err == nil {
-			res, err = probe.RunAgainstDesign(d)
+	if batched {
+		for i, o := range batchRun(probe, candidates) {
+			if o.Err == nil && o.Res.Pass() {
+				subtle = append(subtle, candidates[i])
+			} else {
+				gross = append(gross, candidates[i])
+			}
 		}
-		if err == nil && res.Pass() {
-			subtle = append(subtle, m)
-		} else {
-			gross = append(gross, m)
+	} else {
+		for _, m := range candidates {
+			var res *testbench.RunResult
+			d, err := e.elaborateCached(verilog.PrintModule(m), p.Top)
+			if err == nil {
+				res, err = probe.RunAgainstDesign(d)
+			}
+			if err == nil && res.Pass() {
+				subtle = append(subtle, m)
+			} else {
+				gross = append(gross, m)
+			}
 		}
 	}
 	// Up to 70% subtle, the rest gross (mirroring the dataset's mix).
@@ -252,6 +318,13 @@ func (e *Evaluator) buildFixture(p *dataset.Problem) (*fixture, error) {
 	if err := gtb.ElaborateChecker(); err != nil {
 		return nil, err
 	}
+	if batched {
+		// The batched runner also lazily records a checker trace; warm
+		// it here for the same reason.
+		if err := gtb.WarmBatchTrace(goldenDesign); err != nil {
+			return nil, err
+		}
+	}
 	f := &fixture{golden: gtb, goldenDesign: goldenDesign}
 	for _, m := range mutants {
 		d, err := e.elaborateCached(verilog.PrintModule(m), p.Top)
@@ -264,6 +337,15 @@ func (e *Evaluator) buildFixture(p *dataset.Problem) (*fixture, error) {
 	if len(f.mutantDesigns) == 0 {
 		return nil, fmt.Errorf("autoeval: no usable mutants for %s", p.Name)
 	}
+	if batched {
+		// Precompile the mutant set once: every Eval2 call replays the
+		// same lanes, so the per-call compile would be pure overhead. A
+		// compile failure just leaves batchProgs nil and Eval2 compiling
+		// per call (with its own scalar fallback).
+		if progs, idx, err := sim.CompileBatchSplit(goldenDesign, f.mutantDesigns); err == nil {
+			f.batchProgs, f.batchIdx = progs, idx
+		}
+	}
 	return f, nil
 }
 
@@ -274,6 +356,15 @@ func containsModule(list []*verilog.Module, m *verilog.Module) bool {
 		}
 	}
 	return false
+}
+
+// resolveEngine maps the testbench's engine selection to the engine
+// that will actually run (EngineAuto follows sim.DefaultEngine).
+func resolveEngine(eng sim.Engine) sim.Engine {
+	if eng == sim.EngineAuto {
+		return sim.DefaultEngine
+	}
+	return eng
 }
 
 func hashName(s string) int64 {
@@ -318,18 +409,44 @@ func (e *Evaluator) EvaluateContext(ctx context.Context, tb *testbench.Testbench
 		return GradeEval0, nil
 	}
 
-	// Eval2: verdict agreement on the mutants.
+	// Eval2: verdict agreement on the mutants. Batch-capable engines
+	// run all mutant DUTs as lanes of one batched pass with early exit
+	// (a lane stops simulating once a scenario has failed it — the
+	// verdict is already known); the interpreter keeps the sequential
+	// per-mutant loop.
 	agree := 0
-	for i, md := range f.mutantDesigns {
-		verdict := false
-		mres, err := tb.RunAgainstDesignContext(ctx, md)
-		if err == nil {
-			verdict = mres.Pass()
-		} else if cerr := ctx.Err(); cerr != nil {
+	if resolveEngine(tb.Engine) != sim.EngineInterp {
+		var outs []testbench.BatchOutcome
+		var err error
+		if f.batchProgs != nil {
+			outs, err = tb.RunBatchProgramsContext(ctx, f.batchProgs, f.batchIdx, true)
+		} else {
+			outs, err = tb.RunBatchAgainstDesignsContext(ctx, f.goldenDesign, f.mutantDesigns, true)
+		}
+		if err != nil {
+			return GradeFailed, err
+		}
+		if cerr := ctx.Err(); cerr != nil {
 			return GradeFailed, cerr
 		}
-		if verdict == f.goldenVerdict[i] {
-			agree++
+		for i, o := range outs {
+			verdict := o.Err == nil && o.Res.Pass()
+			if verdict == f.goldenVerdict[i] {
+				agree++
+			}
+		}
+	} else {
+		for i, md := range f.mutantDesigns {
+			verdict := false
+			mres, err := tb.RunAgainstDesignContext(ctx, md)
+			if err == nil {
+				verdict = mres.Pass()
+			} else if cerr := ctx.Err(); cerr != nil {
+				return GradeFailed, cerr
+			}
+			if verdict == f.goldenVerdict[i] {
+				agree++
+			}
 		}
 	}
 	if float64(agree) >= e.AgreeFrac*float64(len(f.mutantDesigns)) {

@@ -6,6 +6,7 @@ import (
 
 	"correctbench/internal/dataset"
 	"correctbench/internal/mutate"
+	"correctbench/internal/sim"
 	"correctbench/internal/testbench"
 	"correctbench/internal/verilog"
 )
@@ -142,5 +143,75 @@ func TestFixtureCachingIsStable(t *testing.T) {
 	}
 	if len(f1.mutantDesigns) == 0 {
 		t.Error("no mutants in fixture")
+	}
+}
+
+// TestBatchGradingMatchesInterp pins the engine-independence of
+// AutoEval end to end: an evaluator whose fixtures and Eval2 runs go
+// through the batched engine must produce the same fixture (same
+// mutant sources, thanks to DistinctMutantsBatch's rng-exactness) and
+// the same grades as one running everything on the scalar interpreter.
+func TestBatchGradingMatchesInterp(t *testing.T) {
+	buildUnder := func(eng sim.Engine, seed int64, p *dataset.Problem) (*Evaluator, *fixture) {
+		old := sim.DefaultEngine
+		sim.DefaultEngine = eng
+		defer func() { sim.DefaultEngine = old }()
+		e := NewEvaluator(seed)
+		f, err := e.fixtureFor(p)
+		if err != nil {
+			t.Fatalf("fixture under %v: %v", eng, err)
+		}
+		return e, f
+	}
+	rng := rand.New(rand.NewSource(17))
+	for _, name := range []string{"adder8", "mux4_w4", "cnt8", "det101", "fifo2"} {
+		p := dataset.ByName(name)
+		eI, fI := buildUnder(sim.EngineInterp, 7, p)
+		eB, fB := buildUnder(sim.EngineBatched, 7, p)
+
+		if len(fI.mutantDesigns) != len(fB.mutantDesigns) {
+			t.Fatalf("%s: fixture sizes differ: %d interp vs %d batched", name, len(fI.mutantDesigns), len(fB.mutantDesigns))
+		}
+
+		// Grade a spread of testbenches under both: the golden one and
+		// a thin one-scenario probe.
+		thinScs, err := testbench.GenerateScenarios(p, rng, testbench.Coverage{Scenarios: 1, Steps: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		thin := &testbench.Testbench{
+			Problem: p, Scenarios: thinScs,
+			CheckerSource: p.Source, CheckerTop: p.Top, CheckerSticky: -1,
+		}
+		thin.DriverSource = testbench.EmitDriver(thin)
+		for _, tc := range []struct {
+			label string
+			mk    func(e *Evaluator) *testbench.Testbench
+		}{
+			{"golden", func(e *Evaluator) *testbench.Testbench {
+				tb, err := e.GoldenTestbench(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return tb
+			}},
+			{"thin", func(*Evaluator) *testbench.Testbench { return thin }},
+		} {
+			tbI := *tc.mk(eI)
+			tbI.Engine = sim.EngineInterp
+			tbB := *tc.mk(eB)
+			tbB.Engine = sim.EngineBatched
+			gI, err := eI.Evaluate(&tbI)
+			if err != nil {
+				t.Fatalf("%s/%s interp: %v", name, tc.label, err)
+			}
+			gB, err := eB.Evaluate(&tbB)
+			if err != nil {
+				t.Fatalf("%s/%s batched: %v", name, tc.label, err)
+			}
+			if gI != gB {
+				t.Errorf("%s/%s: grade diverged: interp %s vs batched %s", name, tc.label, gI, gB)
+			}
+		}
 	}
 }

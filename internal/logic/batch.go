@@ -1,0 +1,113 @@
+package logic
+
+// Lane-batched kernel entry points for the SoA batch simulator
+// (sim.EngineBatched). Each kernel applies one four-state word kernel
+// across a whole lane vector — dst[i] = Op(x[i], y[i]) for every lane i
+// — with the inline two-plane fast path unrolled per lane and no
+// per-lane dispatch. Results are bit-identical to the scalar entry
+// points (And, Or, Xor, Xnor, NotV and plain assignment): lanes whose
+// operands are wide or width-mismatched delegate to the scalar ops.
+//
+// Kernels report changes through chg: chg[i] is set to true when
+// dst[i]'s value changed (never cleared), which is what the batch
+// scheduler uses for per-lane dirty marking. All slices must have the
+// same length.
+
+// binLanes applies a binary word kernel lane by lane. slow must be the
+// scalar op built from the same kernel, used for wide or mismatched
+// lanes.
+func binLanes(dst, x, y []Vector, chg []bool, f wordOp, slow func(Vector, Vector) Vector) {
+	for i := range dst {
+		a, b := x[i], y[i]
+		if a.small() && b.small() && a.width == b.width {
+			ra, rb := f(a.a0, a.b0, b.a0, b.b0)
+			m := wmask(a.width)
+			r := Vector{width: a.width, a0: ra & m, b0: rb & m}
+			if !r.Equal(dst[i]) {
+				dst[i] = r
+				chg[i] = true
+			}
+			continue
+		}
+		r := slow(a, b)
+		if !r.Equal(dst[i]) {
+			dst[i] = r
+			chg[i] = true
+		}
+	}
+}
+
+// AndLanes computes dst[i] = x[i] & y[i] for every lane.
+func AndLanes(dst, x, y []Vector, chg []bool) { binLanes(dst, x, y, chg, andWords, And) }
+
+// OrLanes computes dst[i] = x[i] | y[i] for every lane.
+func OrLanes(dst, x, y []Vector, chg []bool) { binLanes(dst, x, y, chg, orWords, Or) }
+
+// XorLanes computes dst[i] = x[i] ^ y[i] for every lane.
+func XorLanes(dst, x, y []Vector, chg []bool) { binLanes(dst, x, y, chg, xorWords, Xor) }
+
+// xnorWords composes the xor and not word kernels, matching
+// Xnor = NotV(Xor(x, y)) bit for bit (both kernels are per-bit
+// functions, so a single final mask is equivalent to normalizing
+// between them).
+func xnorWords(pa, pb, qa, qb uint64) (uint64, uint64) {
+	ra, rb := xorWords(pa, pb, qa, qb)
+	return notWords(ra, rb)
+}
+
+// XnorLanes computes dst[i] = x[i] ~^ y[i] for every lane.
+func XnorLanes(dst, x, y []Vector, chg []bool) { binLanes(dst, x, y, chg, xnorWords, Xnor) }
+
+// NotLanes computes dst[i] = ~x[i] for every lane.
+func NotLanes(dst, x []Vector, chg []bool) {
+	for i := range dst {
+		a := x[i]
+		if a.small() {
+			ra, rb := notWords(a.a0, a.b0)
+			m := wmask(a.width)
+			r := Vector{width: a.width, a0: ra & m, b0: rb & m}
+			if !r.Equal(dst[i]) {
+				dst[i] = r
+				chg[i] = true
+			}
+			continue
+		}
+		r := NotV(a)
+		if !r.Equal(dst[i]) {
+			dst[i] = r
+			chg[i] = true
+		}
+	}
+}
+
+// CopyLanes computes dst[i] = x[i] for every lane (a continuous-assign
+// passthrough). Stored values are clones: lanes never alias mutable
+// plane slices of another slot.
+func CopyLanes(dst, x []Vector, chg []bool) {
+	for i := range dst {
+		if !x[i].Equal(dst[i]) {
+			dst[i] = x[i].clone()
+			chg[i] = true
+		}
+	}
+}
+
+// BroadcastLanes computes dst[i] = v for every lane (a constant
+// driver). v is stored as-is; stored vectors are never mutated in
+// place, so sharing the planes across lanes is safe.
+func BroadcastLanes(dst []Vector, v Vector, chg []bool) {
+	for i := range dst {
+		if !v.Equal(dst[i]) {
+			dst[i] = v
+			chg[i] = true
+		}
+	}
+}
+
+// FillXLanes resets every lane of a slot to all-X at the given width,
+// the batch instance's reset state.
+func FillXLanes(dst []Vector, width int) {
+	for i := range dst {
+		dst[i] = AllX(width)
+	}
+}

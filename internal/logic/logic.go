@@ -392,6 +392,11 @@ func (v Vector) Equal(o Vector) bool {
 // SameValue reports case equality after resizing both operands to the
 // wider width (zero extension), mirroring Verilog comparison contexts.
 func (v Vector) SameValue(o Vector) bool {
+	if v.small() && o.small() {
+		// Normalized inline planes already zero-extend: equal words
+		// mean equal values at any pair of widths.
+		return v.a0 == o.a0 && v.b0 == o.b0
+	}
 	w := v.width
 	if o.width > w {
 		w = o.width

@@ -25,6 +25,11 @@ import "math/bits"
 func bitKnown(b Bit) bool { return b == L0 || b == L1 }
 
 func commonWidth(x, y Vector) (Vector, Vector, int) {
+	if x.width == y.width {
+		// No operator kernel writes through its operands, so equal
+		// widths need no defensive resize copy.
+		return x, y, x.width
+	}
 	w := x.width
 	if y.width > w {
 		w = y.width

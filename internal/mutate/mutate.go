@@ -430,6 +430,63 @@ func DistinctMutants(m *verilog.Module, rng *rand.Rand, n int, mutationsEach int
 	return out
 }
 
+// DifferenceResult is one candidate's verdict from a
+// BatchDifferenceChecker: Differs plays the role of DifferenceChecker's
+// bool, Err of its error.
+type DifferenceResult struct {
+	Differs bool
+	Err     error
+}
+
+// BatchDifferenceChecker judges a whole wave of candidate mutants at
+// once; higher layers implement it with a batch simulation of all
+// candidates against the golden design. It must return one result per
+// candidate, in order.
+type BatchDifferenceChecker func(mutants []*verilog.Module) []DifferenceResult
+
+// DistinctMutantsBatch is DistinctMutants with the difference checks
+// batched into waves. Candidates are drawn from rng in exactly the
+// order and quantity the sequential version would draw them — each
+// wave requests only the outstanding need, capped by the remaining
+// attempt budget, and an empty-mutation draw ends generation just like
+// the sequential break — so with an equivalent checker the returned
+// mutants and the post-call rng state are identical to
+// DistinctMutants; only the number of checker invocations changes.
+func DistinctMutantsBatch(m *verilog.Module, rng *rand.Rand, n int, mutationsEach int, differs BatchDifferenceChecker) []*verilog.Module {
+	var out []*verilog.Module
+	maxAttempts := n*20 + 20
+	attempt := 0
+	for attempt < maxAttempts && len(out) < n {
+		want := n - len(out)
+		if rem := maxAttempts - attempt; want > rem {
+			want = rem
+		}
+		wave := make([]*verilog.Module, 0, want)
+		exhausted := false
+		for len(wave) < want {
+			mut, applied := Mutate(m, rng, mutationsEach)
+			attempt++
+			if len(applied) == 0 {
+				exhausted = true
+				break
+			}
+			wave = append(wave, mut)
+		}
+		if len(wave) > 0 {
+			verdicts := differs(wave)
+			for i, mut := range wave {
+				if i < len(verdicts) && verdicts[i].Err == nil && verdicts[i].Differs {
+					out = append(out, mut)
+				}
+			}
+		}
+		if exhausted {
+			break
+		}
+	}
+	return out
+}
+
 // ---- syntax corruption ----
 
 // CorruptSyntax damages source text so that it no longer parses,

@@ -1,6 +1,7 @@
 package mutate
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -263,5 +264,59 @@ func TestMutationDescriptions(t *testing.T) {
 	}
 	if muts[0].Desc == "" || !strings.Contains(muts[0].String(), string(muts[0].Kind)) {
 		t.Errorf("bad mutation description: %+v", muts[0])
+	}
+}
+
+// TestDistinctMutantsBatchMatchesSequential asserts the rng-exactness
+// contract of DistinctMutantsBatch: with an equivalent checker it must
+// return byte-identical mutants AND leave the rng in the same state as
+// DistinctMutants, so fixtures built either way are interchangeable.
+var errFakeElab = errors.New("fake elaboration failure")
+
+func TestDistinctMutantsBatchMatchesSequential(t *testing.T) {
+	predicates := map[string]func(src string) (bool, error){
+		"hash-even": func(src string) (bool, error) {
+			var h uint32
+			for i := 0; i < len(src); i++ {
+				h = h*31 + uint32(src[i])
+			}
+			if h%7 == 0 {
+				return false, errFakeElab
+			}
+			return h%2 == 0, nil
+		},
+		"accept-all": func(string) (bool, error) { return true, nil },
+		"reject-all": func(string) (bool, error) { return false, nil },
+	}
+	for _, src := range []string{goldenAdder, goldenCounter} {
+		m := parse(t, src)
+		for pname, pred := range predicates {
+			for _, n := range []int{1, 3, 10} {
+				seq := func(mut *verilog.Module) (bool, error) { return pred(verilog.PrintModule(mut)) }
+				batch := func(muts []*verilog.Module) []DifferenceResult {
+					out := make([]DifferenceResult, len(muts))
+					for i, mut := range muts {
+						d, err := pred(verilog.PrintModule(mut))
+						out[i] = DifferenceResult{Differs: d, Err: err}
+					}
+					return out
+				}
+				rngA := rand.New(rand.NewSource(int64(n) * 977))
+				rngB := rand.New(rand.NewSource(int64(n) * 977))
+				a := DistinctMutants(m, rngA, n, 1, seq)
+				b := DistinctMutantsBatch(m, rngB, n, 1, batch)
+				if len(a) != len(b) {
+					t.Fatalf("%s n=%d: %d sequential vs %d batched mutants", pname, n, len(a), len(b))
+				}
+				for i := range a {
+					if verilog.PrintModule(a[i]) != verilog.PrintModule(b[i]) {
+						t.Fatalf("%s n=%d: mutant %d differs", pname, n, i)
+					}
+				}
+				if x, y := rngA.Int63(), rngB.Int63(); x != y {
+					t.Fatalf("%s n=%d: rng state diverged after call (%d vs %d)", pname, n, x, y)
+				}
+			}
+		}
 	}
 }

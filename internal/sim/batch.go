@@ -1,0 +1,971 @@
+package sim
+
+// Mutant-batched simulation: one compiled program, N design variants
+// advancing in lockstep.
+//
+// Mutation-based testbench evaluation runs the same golden design
+// plus N mutants — designs that differ from the golden in a handful
+// of process bodies — through identical stimulus. CompileBatch
+// elaborates that structure once: the base design's processes are
+// compiled once, each variant contributes only per-lane patch tables
+// for the bodies it actually changes (detected by comparing printed
+// statements), and all N instances advance together over a flat
+// structure-of-arrays state block addressed [slot*n + lane].
+//
+// Scheduling is levelized when the whole batch's combinational region
+// is provably static (see batch_sched.go): one topological pass per
+// settle, with dense whole-batch kernels (logic.AndLanes and friends)
+// for single-assignment processes. Otherwise every lane runs a
+// replica of the scalar event-driven scheduler over the shared state
+// block — still amortizing compilation, elaboration and the
+// testbench/checker side of every run.
+//
+// Either way each lane is bit-identical to a scalar Instance of the
+// same design: per-lane dirty sets, per-lane bootstrap, per-lane NBA
+// queues (including the queue surviving a no-edge propagate) all
+// replicate instance.go exactly.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"correctbench/internal/logic"
+	"correctbench/internal/verilog"
+)
+
+// BatchProgram is the compiled form of a base design plus N accepted
+// variants. It is immutable after CompileBatch and safe to share
+// across concurrent BatchInstances.
+type BatchProgram struct {
+	base *Design
+	n    int
+
+	laneDesign  []*Design
+	laneVariant []int     // lane -> index into the variants slice
+	variantLane []int     // variant index -> lane, or -1 when rejected
+	rejected    []error   // variant index -> rejection reason, nil when accepted
+	variants    []*Design // the full CompileBatch input, rejected included
+
+	combCode  []bStmt
+	seqCode   []bStmt
+	combNames []string
+	seqNames  []string
+	combSens  [][]int32 // per comb ordinal: base sensitivity slots
+
+	// Patch tables: nil when every lane shares the base body, else a
+	// per-lane slice with nil entries for unpatched lanes.
+	combPatch    [][]bStmt
+	seqPatch     [][]bStmt
+	combSensLane [][][]int32 // sensitivity override for patched comb procs
+
+	levelized  bool
+	levelOrder []int32    // comb ordinals sorted by (level, ordinal)
+	kernels    []*bKernel // per comb ordinal: dense fast path or nil
+
+	// deferInputs marks batches whose settled state is a pure function
+	// of the final input values: levelized, no sequential processes,
+	// and no loop or nonblocking construct in any lane's comb bodies.
+	// Such a batch may apply a group of input writes with a single
+	// propagate (SetInputDeferred + Settle) and remain observationally
+	// identical to settling after every write — there is no
+	// intermediate fixpoint anything could observe (no edges, no NBA
+	// queue) and the closures cannot error (no loop iteration caps).
+	deferInputs bool
+}
+
+// ErrBatchNotStatic marks variants the strict compile (CompileBatchSplit)
+// rejected from a levelized program because their combinational region
+// is not provably static. Such variants batch fine under event-driven
+// scheduling — the split gives them their own event program instead of
+// dragging the whole batch off the levelized schedule.
+var ErrBatchNotStatic = errors.New("sim: batch: variant is not static")
+
+// CompileBatch compiles base and as many of the variants as can share
+// its program. It fails only when the base itself cannot be fully
+// batch-compiled (dynamic constructs, display tasks, delays) — then
+// the caller should fall back to scalar simulation wholesale.
+// Individual variants that are structurally incompatible or whose
+// changed bodies cannot be compiled are rejected (RejectReason) and
+// simply get no lane; reject-handling callers run those few scalars.
+// One non-static variant drops the whole batch to event-driven mode
+// (no lane is lost); use CompileBatchSplit to keep the static majority
+// levelized instead.
+func CompileBatch(base *Design, variants []*Design) (*BatchProgram, error) {
+	return compileBatch(base, variants, false)
+}
+
+// CompileBatchSplit covers the variants with one or two programs: a
+// levelized program for the provably static variants and, when any
+// variant is static-incompatible, a second event-driven program for
+// those. The second return value gives, per program, the original
+// variant index of each of that program's variants. When the base is
+// not static (or levelization fails) the result degrades to the single
+// program CompileBatch would build. Errors only when the base itself
+// cannot batch-compile.
+func CompileBatchSplit(base *Design, variants []*Design) ([]*BatchProgram, [][]int, error) {
+	p1, err := compileBatch(base, variants, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	all := make([]int, len(variants))
+	for i := range all {
+		all[i] = i
+	}
+	var ev []int
+	for i := range variants {
+		if errors.Is(p1.RejectReason(i), ErrBatchNotStatic) {
+			ev = append(ev, i)
+		}
+	}
+	if len(ev) == 0 {
+		return []*BatchProgram{p1}, [][]int{all}, nil
+	}
+	if !p1.Levelized() {
+		// The strict rejections bought nothing (levelization failed
+		// anyway); reclaim those lanes into one event program.
+		p, err := compileBatch(base, variants, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*BatchProgram{p}, [][]int{all}, nil
+	}
+	sub := make([]*Design, len(ev))
+	for i, vi := range ev {
+		sub[i] = variants[vi]
+	}
+	p2, err := compileBatch(base, sub, false)
+	if err != nil {
+		// Unreachable (the base compiled for p1), but degrade safely.
+		p, err2 := compileBatch(base, variants, false)
+		if err2 != nil {
+			return nil, nil, err2
+		}
+		return []*BatchProgram{p}, [][]int{all}, nil
+	}
+	return []*BatchProgram{p1, p2}, [][]int{all, ev}, nil
+}
+
+func compileBatch(base *Design, variants []*Design, strict bool) (*BatchProgram, error) {
+	bc := &batchCompiler{c: compiler{d: base}}
+	prog := &BatchProgram{base: base, variants: variants}
+
+	nComb, nSeq := len(base.combProcs), len(base.seqProcs)
+	prog.combCode = make([]bStmt, nComb)
+	prog.combNames = make([]string, nComb)
+	prog.combSens = make([][]int32, nComb)
+	for ord, p := range base.combProcs {
+		code, err := bc.stmt(p.Body)
+		if err != nil {
+			return nil, fmt.Errorf("sim: batch: %s: %v", p.Name, err)
+		}
+		prog.combCode[ord] = code
+		prog.combNames[ord] = p.Name
+		prog.combSens[ord] = sensSlots(base, p)
+	}
+	prog.seqCode = make([]bStmt, nSeq)
+	prog.seqNames = make([]string, nSeq)
+	for ord, p := range base.seqProcs {
+		code, err := bc.stmt(p.Body)
+		if err != nil {
+			return nil, fmt.Errorf("sim: batch: %s: %v", p.Name, err)
+		}
+		prog.seqCode[ord] = code
+		prog.seqNames[ord] = p.Name
+	}
+
+	// Proc index -> ordinal within its kind (finalize appends in order).
+	ordOf := make([]int, len(base.Procs))
+	ci, si := 0, 0
+	for i, p := range base.Procs {
+		switch p.Kind {
+		case ProcComb:
+			ordOf[i] = ci
+			ci++
+		case ProcSeq:
+			ordOf[i] = si
+			si++
+		default:
+			ordOf[i] = -1
+		}
+	}
+
+	baseStatic, baseErr := analyzeStatic(base)
+	allStatic := baseErr == nil
+	var statics []*combStatic
+	if allStatic {
+		statics = append(statics, baseStatic)
+	}
+
+	type patch struct {
+		comb bool
+		ord  int
+		code bStmt
+		sens []int32
+	}
+	var lanePatches [][]patch
+	prog.variantLane = make([]int, len(variants))
+	prog.rejected = make([]error, len(variants))
+	baseBody := make(map[int]string) // proc index -> printed base body, lazily
+	for vi, v := range variants {
+		prog.variantLane[vi] = -1
+		if err := batchCompatible(base, v); err != nil {
+			prog.rejected[vi] = err
+			continue
+		}
+		var patches []patch
+		var bad error
+		for i, bp := range base.Procs {
+			if bp.Kind != ProcComb && bp.Kind != ProcSeq {
+				continue // initial/timed bodies never run under the cycle API
+			}
+			vp := v.Procs[i]
+			bs, ok := baseBody[i]
+			if !ok {
+				bs = verilog.StmtString(bp.Body)
+				baseBody[i] = bs
+			}
+			if verilog.StmtString(vp.Body) == bs {
+				continue
+			}
+			code, err := bc.stmt(vp.Body) // slots are identical, compile against base
+			if err != nil {
+				bad = fmt.Errorf("sim: batch: %s: %v", bp.Name, err)
+				break
+			}
+			pt := patch{comb: bp.Kind == ProcComb, ord: ordOf[i], code: code}
+			if pt.comb {
+				pt.sens = sensSlots(base, vp)
+			}
+			patches = append(patches, pt)
+		}
+		if bad != nil {
+			prog.rejected[vi] = bad
+			continue
+		}
+		var vs *combStatic
+		if allStatic {
+			var serr error
+			if vs, serr = analyzeStatic(v); serr != nil {
+				if strict {
+					// Keep the batch levelized: this variant gets no
+					// lane here and belongs in an event-driven program
+					// (CompileBatchSplit builds it).
+					prog.rejected[vi] = fmt.Errorf("%w: %v", ErrBatchNotStatic, serr)
+					continue
+				}
+				// One non-static variant drops the whole batch to
+				// event-driven mode; no lane is lost.
+				allStatic = false
+			}
+		}
+		lane := len(prog.laneDesign)
+		prog.laneDesign = append(prog.laneDesign, v)
+		prog.laneVariant = append(prog.laneVariant, vi)
+		prog.variantLane[vi] = lane
+		lanePatches = append(lanePatches, patches)
+		if allStatic {
+			statics = append(statics, vs)
+		}
+	}
+	prog.n = len(prog.laneDesign)
+
+	prog.combPatch = make([][]bStmt, nComb)
+	prog.seqPatch = make([][]bStmt, nSeq)
+	prog.combSensLane = make([][][]int32, nComb)
+	for lane, patches := range lanePatches {
+		for _, pt := range patches {
+			if pt.comb {
+				if prog.combPatch[pt.ord] == nil {
+					prog.combPatch[pt.ord] = make([]bStmt, prog.n)
+					prog.combSensLane[pt.ord] = make([][]int32, prog.n)
+				}
+				prog.combPatch[pt.ord][lane] = pt.code
+				prog.combSensLane[pt.ord][lane] = pt.sens
+			} else {
+				if prog.seqPatch[pt.ord] == nil {
+					prog.seqPatch[pt.ord] = make([]bStmt, prog.n)
+				}
+				prog.seqPatch[pt.ord][lane] = pt.code
+			}
+		}
+	}
+
+	if allStatic {
+		if order, ok := levelize(nComb, statics); ok {
+			prog.levelized = true
+			prog.levelOrder = order
+			prog.kernels = make([]*bKernel, nComb)
+			for ord, p := range base.combProcs {
+				if prog.combPatch[ord] == nil {
+					prog.kernels[ord] = bc.kernel(p)
+				} else {
+					prog.kernels[ord] = bc.maskedKernel(p, prog.combPatch[ord])
+				}
+			}
+		}
+	}
+	if prog.levelized && nSeq == 0 {
+		safe := combDeferSafe(base)
+		for _, d := range prog.laneDesign {
+			if !safe {
+				break
+			}
+			if d != base {
+				safe = combDeferSafe(d)
+			}
+		}
+		prog.deferInputs = safe
+	}
+	return prog, nil
+}
+
+// combDeferSafe reports whether a design's comb bodies are free of the
+// constructs that make intermediate settles observable or fallible:
+// loops (runtime iteration caps can error on transient input combos)
+// and nonblocking assignments (queued effects).
+func combDeferSafe(d *Design) bool {
+	safe := true
+	for _, p := range d.combProcs {
+		verilog.WalkStmts(p.Body, func(s verilog.Stmt) {
+			switch x := s.(type) {
+			case *verilog.For, *verilog.Repeat:
+				safe = false
+			case *verilog.Assign:
+				if x.NonBlocking {
+					safe = false
+				}
+			}
+		})
+	}
+	return safe
+}
+
+// Base returns the design the program was compiled against.
+func (p *BatchProgram) Base() *Design { return p.base }
+
+// Variants returns the full variant design list the program was
+// compiled from, rejected variants included, in input order.
+func (p *BatchProgram) Variants() []*Design { return p.variants }
+
+// Lanes returns the number of accepted variants.
+func (p *BatchProgram) Lanes() int { return p.n }
+
+// Levelized reports whether the batch runs on the levelized static
+// schedule (true) or the per-lane event-driven fallback (false).
+func (p *BatchProgram) Levelized() bool { return p.levelized }
+
+// VariantLane maps an index into the variants slice passed to
+// CompileBatch to its lane, or -1 when the variant was rejected.
+func (p *BatchProgram) VariantLane(vi int) int { return p.variantLane[vi] }
+
+// RejectReason returns why a variant got no lane (nil when accepted).
+func (p *BatchProgram) RejectReason(vi int) error { return p.rejected[vi] }
+
+// LaneDesign returns the design simulated by a lane.
+func (p *BatchProgram) LaneDesign(lane int) *Design { return p.laneDesign[lane] }
+
+// BatchInstance simulates every lane of a BatchProgram in lockstep
+// under the cycle API (SetInput / Settle / Tick). Per-lane failures
+// (simulation errors in one mutant) deactivate that lane and are
+// reported by LaneErr; the shared methods only fail globally on
+// context cancellation or unknown port names.
+type BatchInstance struct {
+	prog *BatchProgram
+	n    int
+
+	vals []logic.Vector // [slot*n + lane]
+	prev []logic.Vector // [edgeIdx*n + lane]
+
+	dirty     []bool    // [slot*n + lane]
+	dirtyList [][]int32 // per lane: dirty slots in write order
+	ranAny    []bool    // per lane: some process ran (scalar ProcRuns>0)
+	boot      []bool    // scratch: bootstrap flag per lane
+
+	nba [][]resolvedWrite // per lane
+
+	active  []bool
+	laneErr []error
+	nActive int
+
+	// Scratch. A BatchInstance is single-goroutine, like Instance.
+	chgBuf   []bool // per lane, for dense kernels
+	pending  []bool // per comb ordinal, event-driven mode
+	npending int
+	runBuf   []int32
+	liveBuf  []int32
+	liveBuf2 []int32
+
+	edgeChg []bool // per edge index, one lane at a time
+	edgePos []bool
+	edgeNeg []bool
+
+	// Now is the current simulation time (cycle count ×10).
+	Now uint64
+
+	ctx context.Context
+}
+
+// NewBatchInstance creates an instance with every lane active and
+// every signal X.
+func NewBatchInstance(prog *BatchProgram) *BatchInstance {
+	n := prog.n
+	d := prog.base
+	b := &BatchInstance{
+		prog:      prog,
+		n:         n,
+		vals:      make([]logic.Vector, len(d.Order)*n),
+		prev:      make([]logic.Vector, len(d.edgeSlots)*n),
+		dirty:     make([]bool, len(d.Order)*n),
+		dirtyList: make([][]int32, n),
+		ranAny:    make([]bool, n),
+		boot:      make([]bool, n),
+		nba:       make([][]resolvedWrite, n),
+		active:    make([]bool, n),
+		laneErr:   make([]error, n),
+		chgBuf:    make([]bool, n),
+		pending:   make([]bool, len(d.combProcs)),
+		runBuf:    make([]int32, 0, len(d.combProcs)),
+		liveBuf:   make([]int32, 0, n),
+		liveBuf2:  make([]int32, 0, n),
+		edgeChg:   make([]bool, len(d.edgeSlots)),
+		edgePos:   make([]bool, len(d.edgeSlots)),
+		edgeNeg:   make([]bool, len(d.edgeSlots)),
+		nActive:   n,
+	}
+	for lane := 0; lane < n; lane++ {
+		b.active[lane] = true
+	}
+	b.Reset()
+	return b
+}
+
+// Reset returns every lane to the freshly constructed simulation state
+// (all X, no pending events, time zero) without reallocating. The
+// active mask and lane errors are preserved — decided lanes stay
+// decided across testbench scenarios.
+func (b *BatchInstance) Reset() {
+	d := b.prog.base
+	n := b.n
+	for slot, w := range d.slotWidths {
+		// One AllX per slot shared by all lanes: writes never mutate a
+		// stored vector in place (applyWrite clones before SetSlice).
+		x := logic.AllX(w)
+		row := b.vals[slot*n : (slot+1)*n]
+		for lane := range row {
+			row[lane] = x
+		}
+	}
+	for i, slot := range d.edgeSlots {
+		row := b.prev[i*n : (i+1)*n]
+		src := b.vals[int(slot)*n : (int(slot)+1)*n]
+		copy(row, src)
+	}
+	for i := range b.dirty {
+		b.dirty[i] = false
+	}
+	for lane := 0; lane < n; lane++ {
+		b.dirtyList[lane] = b.dirtyList[lane][:0]
+		b.ranAny[lane] = false
+		b.nba[lane] = b.nba[lane][:0]
+	}
+	b.Now = 0
+}
+
+// BindContext attaches a cancellation context, mirroring
+// Instance.BindContext: each propagate polls it, never-cancellable
+// contexts are dropped, and the binding survives Reset.
+func (b *BatchInstance) BindContext(ctx context.Context) {
+	if ctx == nil || ctx.Done() == nil {
+		b.ctx = nil
+		return
+	}
+	b.ctx = ctx
+}
+
+// Lanes returns the lane count.
+func (b *BatchInstance) Lanes() int { return b.n }
+
+// Design returns the base design the batch was compiled against.
+func (b *BatchInstance) Design() *Design { return b.prog.base }
+
+// Program returns the shared batch program.
+func (b *BatchInstance) Program() *BatchProgram { return b.prog }
+
+// Active reports whether a lane is still simulating.
+func (b *BatchInstance) Active(lane int) bool { return b.active[lane] }
+
+// ActiveCount returns the number of live lanes.
+func (b *BatchInstance) ActiveCount() int { return b.nActive }
+
+// LaneErr returns the simulation error that killed a lane, if any.
+func (b *BatchInstance) LaneErr(lane int) error { return b.laneErr[lane] }
+
+// Deactivate withdraws a lane from simulation (e.g. a mutant already
+// decided by an earlier scenario). Idempotent.
+func (b *BatchInstance) Deactivate(lane int) {
+	if b.active[lane] {
+		b.active[lane] = false
+		b.nActive--
+	}
+}
+
+func (b *BatchInstance) failLane(lane int32, err error) {
+	if b.laneErr[lane] == nil {
+		b.laneErr[lane] = err
+	}
+	b.Deactivate(int(lane))
+}
+
+// Get returns the current value of a signal in one lane.
+func (b *BatchInstance) Get(name string, lane int) (logic.Vector, error) {
+	slot, ok := b.prog.base.slotOf[name]
+	if !ok {
+		return logic.Vector{}, fmt.Errorf("read of unknown signal %q", name)
+	}
+	return b.vals[slot*b.n+lane], nil
+}
+
+// SlotOf resolves a signal name to its slot index so hot read loops
+// (one read per output per lane per step) can use GetSlot without
+// repeating the map lookup.
+func (b *BatchInstance) SlotOf(name string) (int, bool) {
+	slot, ok := b.prog.base.slotOf[name]
+	return slot, ok
+}
+
+// GetSlot reads one lane of a slot resolved with SlotOf.
+func (b *BatchInstance) GetSlot(slot, lane int) logic.Vector {
+	return b.vals[slot*b.n+lane]
+}
+
+// SetInput drives a top-level input on every active lane and
+// propagates, like Instance.SetInput.
+func (b *BatchInstance) SetInput(name string, v logic.Vector) error {
+	if err := b.writeInput(name, v); err != nil {
+		return err
+	}
+	return b.propagate()
+}
+
+// SetInputDeferred drives an input without propagating. Only valid on
+// programs where InputsDeferrable reports true; the caller finishes
+// the group of writes with one Settle, which reaches the identical
+// state a propagate per write would have (see BatchProgram.deferInputs).
+func (b *BatchInstance) SetInputDeferred(name string, v logic.Vector) error {
+	return b.writeInput(name, v)
+}
+
+// InputsDeferrable reports whether this batch may group input writes
+// under a single Settle via SetInputDeferred.
+func (b *BatchInstance) InputsDeferrable() bool { return b.prog.deferInputs }
+
+func (b *BatchInstance) writeInput(name string, v logic.Vector) error {
+	p := b.prog.base.Port(name)
+	if p == nil || p.Dir == Out {
+		return fmt.Errorf("sim: %q is not an input port", name)
+	}
+	slot := b.prog.base.slotOf[name]
+	w := resolvedWrite{slot: int32(slot), val: v.Resize(p.Width), whole: true}
+	for lane := int32(0); lane < int32(b.n); lane++ {
+		if b.active[lane] {
+			b.applyWrite(lane, w)
+		}
+	}
+	return nil
+}
+
+// SetInputUint is SetInput with a uint64 value.
+func (b *BatchInstance) SetInputUint(name string, v uint64) error {
+	p := b.prog.base.Port(name)
+	if p == nil {
+		return fmt.Errorf("sim: unknown port %q", name)
+	}
+	return b.SetInput(name, logic.FromUint64(p.Width, v))
+}
+
+// Settle propagates all active lanes to quiescence.
+func (b *BatchInstance) Settle() error { return b.propagate() }
+
+// Tick runs one full clock cycle on the named clock input.
+func (b *BatchInstance) Tick(clk string) error {
+	if err := b.SetInputUint(clk, 1); err != nil {
+		return err
+	}
+	b.Now += 5
+	if err := b.SetInputUint(clk, 0); err != nil {
+		return err
+	}
+	b.Now += 5
+	return nil
+}
+
+// TickN runs n clock cycles.
+func (b *BatchInstance) TickN(clk string, n int) error {
+	for i := 0; i < n; i++ {
+		if err := b.Tick(clk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ZeroInputs drives every input port on every active lane to zero.
+// Deferrable batches group all the writes under one settle.
+func (b *BatchInstance) ZeroInputs() error {
+	for _, p := range b.prog.base.Ports {
+		if p.Dir == Out {
+			continue
+		}
+		if b.prog.deferInputs {
+			if err := b.writeInput(p.Name, logic.New(p.Width)); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := b.SetInput(p.Name, logic.New(p.Width)); err != nil {
+			return err
+		}
+	}
+	if b.prog.deferInputs {
+		return b.propagate()
+	}
+	return nil
+}
+
+// markDirty records a changed slot for one lane.
+func (b *BatchInstance) markDirty(lane, slot int32) {
+	i := int(slot)*b.n + int(lane)
+	if !b.dirty[i] {
+		b.dirty[i] = true
+		b.dirtyList[lane] = append(b.dirtyList[lane], slot)
+	}
+}
+
+// applyWrite mirrors Instance.applyWrite for one lane.
+func (b *BatchInstance) applyWrite(lane int32, w resolvedWrite) {
+	i := int(w.slot)*b.n + int(lane)
+	cur := b.vals[i]
+	var next logic.Vector
+	if w.whole {
+		next = w.val
+	} else {
+		next = cur.Resize(cur.Width())
+		next.SetSlice(w.hi, w.lo, w.val)
+	}
+	if !next.Equal(cur) {
+		b.vals[i] = next
+		b.markDirty(lane, w.slot)
+	}
+}
+
+// propagate advances every active lane to quiescence.
+func (b *BatchInstance) propagate() error {
+	if b.ctx != nil {
+		if err := b.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if b.nActive == 0 {
+		return nil
+	}
+	// No-work fast path: with every live lane booted and nothing dirty,
+	// settling is a no-op and no edge slot can have changed since the
+	// previous propagate synced prev (common when a step re-drives
+	// inputs with unchanged values).
+	work := false
+	for lane := 0; lane < b.n; lane++ {
+		if b.active[lane] && (len(b.dirtyList[lane]) > 0 || !b.ranAny[lane]) {
+			work = true
+			break
+		}
+	}
+	if !work {
+		return nil
+	}
+	if b.prog.levelized {
+		return b.propagateLevel()
+	}
+	for lane := int32(0); lane < int32(b.n); lane++ {
+		if b.active[lane] {
+			b.propagateED(lane)
+		}
+	}
+	return nil
+}
+
+// Levelized mode --------------------------------------------------------
+
+// propagateLevel is the batched propagate: settle all live lanes in
+// one levelized pass, then fire edges per lane, repeating for lanes
+// that fired.
+func (b *BatchInstance) propagateLevel() error {
+	live := b.liveBuf[:0]
+	for lane := int32(0); lane < int32(b.n); lane++ {
+		if b.active[lane] {
+			live = append(live, lane)
+		}
+	}
+	defer func() { b.liveBuf = live[:0] }()
+	for wave := 0; wave < maxEdgeWaves; wave++ {
+		if len(live) == 0 {
+			return nil
+		}
+		b.settleLevel(live)
+		next := b.liveBuf2[:0]
+		for _, lane := range live {
+			if !b.active[lane] {
+				continue // settle error killed it
+			}
+			if b.fireEdgesLane(lane) && b.active[lane] {
+				next = append(next, lane)
+			}
+		}
+		b.liveBuf2 = live[:0]
+		live = next
+	}
+	for _, lane := range live {
+		b.failLane(lane, fmt.Errorf("sim: edge cascade did not settle after %d waves", maxEdgeWaves))
+	}
+	return nil
+}
+
+// settleLevel runs one topological pass over the comb processes. For
+// each process, the set of lanes to run replicates the scalar
+// scheduler's pending test exactly: bootstrap (nothing dirty, nothing
+// ever ran) or a dirty sensitivity slot. Because every combinational
+// writer of a sensitivity slot is scheduled at a lower level, one run
+// per process reaches the same fixpoint as the scalar iteration.
+func (b *BatchInstance) settleLevel(live []int32) {
+	prog := b.prog
+	n := b.n
+	for _, lane := range live {
+		b.boot[lane] = len(b.dirtyList[lane]) == 0 && !b.ranAny[lane]
+	}
+	for _, ord := range prog.levelOrder {
+		run := b.runBuf[:0]
+		for _, lane := range live {
+			if b.laneErr[lane] != nil {
+				continue
+			}
+			ok := b.boot[lane]
+			if !ok {
+				sens := prog.combSens[ord]
+				if ovs := prog.combSensLane[ord]; ovs != nil && ovs[lane] != nil {
+					sens = ovs[lane]
+				}
+				for _, s := range sens {
+					if b.dirty[int(s)*n+int(lane)] {
+						ok = true
+						break
+					}
+				}
+			}
+			if ok {
+				run = append(run, lane)
+			}
+		}
+		if len(run) == 0 {
+			b.runBuf = run[:0]
+			continue
+		}
+		if k := prog.kernels[ord]; k != nil {
+			// Dense fast path: compute the base body for all (unpatched)
+			// lanes at once. Kernels exist only for static processes, so
+			// recomputing a lane whose inputs are unchanged is idempotent
+			// (chgBuf stays false) — running the whole batch is safe even
+			// when only some lanes are due. Inactive lanes are computed
+			// too but never read again. Patched lanes are skipped by the
+			// masked kernel and interpreted below, due lanes only.
+			k.run(b)
+			for lane := 0; lane < n; lane++ {
+				if b.chgBuf[lane] {
+					b.chgBuf[lane] = false
+					b.markDirty(int32(lane), k.dst)
+				}
+			}
+			ovs := prog.combPatch[ord]
+			for _, lane := range run {
+				b.ranAny[lane] = true
+				if ovs == nil || ovs[lane] == nil {
+					continue
+				}
+				if err := ovs[lane](b, lane); err != nil {
+					b.failLane(lane, fmt.Errorf("sim: in %s: %v", prog.combNames[ord], err))
+				}
+			}
+			b.runBuf = run[:0]
+			continue
+		}
+		code := prog.combCode[ord]
+		ovs := prog.combPatch[ord]
+		for _, lane := range run {
+			c := code
+			if ovs != nil && ovs[lane] != nil {
+				c = ovs[lane]
+			}
+			b.ranAny[lane] = true
+			if err := c(b, lane); err != nil {
+				b.failLane(lane, fmt.Errorf("sim: in %s: %v", prog.combNames[ord], err))
+			}
+		}
+		b.runBuf = run[:0]
+	}
+	// The schedule consumed the whole dirty set; clear it per lane.
+	for _, lane := range live {
+		if b.laneErr[lane] != nil {
+			continue // dead lane, state frozen
+		}
+		for _, s := range b.dirtyList[lane] {
+			b.dirty[int(s)*n+int(lane)] = false
+		}
+		b.dirtyList[lane] = b.dirtyList[lane][:0]
+	}
+}
+
+// fireEdgesLane mirrors Instance.fireEdges for one lane. Used by both
+// modes: edge structure (watched slots, sequential sensitivities) is
+// identical across the whole batch by construction, only bodies can
+// be patched. The early return on "nothing changed" leaves the lane's
+// NBA queue untouched, exactly like the scalar engine.
+func (b *BatchInstance) fireEdgesLane(lane int32) bool {
+	prog := b.prog
+	d := prog.base
+	n := b.n
+	changed := false
+	for i, slot := range d.edgeSlots {
+		pi := i*n + int(lane)
+		prev, now := b.prev[pi], b.vals[int(slot)*n+int(lane)]
+		if prev.Equal(now) {
+			b.edgeChg[i] = false
+			continue
+		}
+		pb, nb := prev.Bit(0), now.Bit(0)
+		b.edgeChg[i] = true
+		b.edgePos[i] = isPosedge(pb, nb)
+		b.edgeNeg[i] = isNegedge(pb, nb)
+		b.prev[pi] = now
+		changed = true
+	}
+	if !changed {
+		return false
+	}
+	var fired bool
+	for ord, p := range d.seqProcs {
+		trigger := false
+		for _, s := range p.edgeSens {
+			if !b.edgeChg[s.idx] {
+				continue
+			}
+			if (s.edge == verilog.EdgePos && b.edgePos[s.idx]) || (s.edge == verilog.EdgeNeg && b.edgeNeg[s.idx]) {
+				trigger = true
+				break
+			}
+		}
+		if !trigger {
+			continue
+		}
+		fired = true
+		b.ranAny[lane] = true
+		code := prog.seqCode[ord]
+		if ovs := prog.seqPatch[ord]; ovs != nil && ovs[lane] != nil {
+			code = ovs[lane]
+		}
+		if err := code(b, lane); err != nil {
+			// The scalar run dies here with the NBA queue unapplied.
+			b.failLane(lane, fmt.Errorf("sim: in %s: %v", prog.seqNames[ord], err))
+			return fired
+		}
+	}
+	for i := range b.nba[lane] {
+		b.applyWrite(lane, b.nba[lane][i])
+	}
+	b.nba[lane] = b.nba[lane][:0]
+	return fired
+}
+
+// Event-driven mode -----------------------------------------------------
+
+// propagateED replicates Instance.propagate for one lane.
+func (b *BatchInstance) propagateED(lane int32) {
+	for wave := 0; wave < maxEdgeWaves; wave++ {
+		if err := b.settleED(lane); err != nil {
+			b.failLane(lane, err)
+			return
+		}
+		fired := b.fireEdgesLane(lane)
+		if b.laneErr[lane] != nil {
+			return
+		}
+		if !fired {
+			return
+		}
+	}
+	b.failLane(lane, fmt.Errorf("sim: edge cascade did not settle after %d waves", maxEdgeWaves))
+}
+
+// settleED replicates Instance.settleComb for one lane, scheduling
+// with the lane design's own combBySlot index (patched processes keep
+// their variant sensitivities there). The pending set is shared
+// scratch; it starts and ends empty on every call.
+func (b *BatchInstance) settleED(lane int32) error {
+	prog := b.prog
+	d := prog.laneDesign[lane]
+	if len(b.dirtyList[lane]) == 0 && !b.ranAny[lane] {
+		for i := range b.pending {
+			if !b.pending[i] {
+				b.pending[i] = true
+				b.npending++
+			}
+		}
+	}
+	b.schedulePendingED(lane, d)
+
+	for iter := 0; b.npending > 0; iter++ {
+		if iter > maxSettleIterations {
+			for i := range b.pending {
+				b.pending[i] = false
+			}
+			b.npending = 0
+			return fmt.Errorf("sim: combinational logic did not settle (%d iterations); possible feedback loop", maxSettleIterations)
+		}
+		run := b.runBuf[:0]
+		for ord := range b.pending {
+			if b.pending[ord] {
+				run = append(run, int32(ord))
+				b.pending[ord] = false
+			}
+		}
+		b.npending = 0
+		for _, ord := range run {
+			b.ranAny[lane] = true
+			code := prog.combCode[ord]
+			if ovs := prog.combPatch[ord]; ovs != nil && ovs[lane] != nil {
+				code = ovs[lane]
+			}
+			if err := code(b, lane); err != nil {
+				b.runBuf = run[:0]
+				return fmt.Errorf("sim: in %s: %v", prog.combNames[ord], err)
+			}
+		}
+		b.runBuf = run[:0]
+		b.schedulePendingED(lane, d)
+	}
+	return nil
+}
+
+// schedulePendingED moves one lane's dirty set into the shared pending
+// process set, mirroring Instance.schedulePending.
+func (b *BatchInstance) schedulePendingED(lane int32, d *Design) {
+	n := b.n
+	for _, slot := range b.dirtyList[lane] {
+		b.dirty[int(slot)*n+int(lane)] = false
+		for _, ord := range d.combBySlot[slot] {
+			if !b.pending[ord] {
+				b.pending[ord] = true
+				b.npending++
+			}
+		}
+	}
+	b.dirtyList[lane] = b.dirtyList[lane][:0]
+}

@@ -1,0 +1,1049 @@
+package sim
+
+// Per-lane compilation for the SoA batch engine (EngineBatched).
+//
+// The batch compiler is the scalar compiler (compile.go) with one
+// twist: compiled closures take a (BatchInstance, lane) pair and read
+// and write the flat [slot][lane] state block instead of a scalar
+// instance's slot array. Every case mirrors the corresponding
+// compiler/evalExpr/exec case exactly — same width contexts, same
+// X-propagation, same no-op rules for unknown indices and bounds —
+// so a batch lane is bit-identical to a scalar instance running the
+// same design (TestBatchEngineDifferential and the testbench-level
+// differentials assert this across the dataset).
+//
+// Anything the scalar compiler leaves to the AST interpreter is a
+// hard error here (errDynamic): a batch program has no interpreter to
+// fall back to, so the caller falls back to scalar simulation for the
+// whole design (CompileBatch error) or for one variant (lane
+// rejection). Display-family system tasks and $finish/$stop are
+// rejected too — they would need per-lane I/O and finish state.
+
+import (
+	"fmt"
+
+	"correctbench/internal/logic"
+	"correctbench/internal/verilog"
+)
+
+// bStmt executes a statement for one lane of a batch instance.
+type bStmt func(b *BatchInstance, lane int32) error
+
+// bExpr evaluates an expression for one lane; like compiledExpr it
+// cannot fail at runtime.
+type bExpr func(b *BatchInstance, lane int32) logic.Vector
+
+// bLV applies an already-evaluated RHS value to an lvalue for one
+// lane, writing through (blocking) or queueing on the lane's NBA list.
+type bLV func(b *BatchInstance, lane int32, val logic.Vector, nb bool)
+
+var bNoop bStmt = func(b *BatchInstance, lane int32) error { return nil }
+
+// batchCompiler compiles process bodies into per-lane closures. It
+// embeds the scalar compiler for the shared static analysis
+// (selfWidth, constUint) — those depend only on the design.
+type batchCompiler struct {
+	c compiler
+}
+
+// expr compiles e under context width ctx, mirroring compiler.expr.
+func (bc *batchCompiler) expr(e verilog.Expr, ctx int) (bExpr, int, error) {
+	self, err := bc.c.selfWidth(e)
+	if err != nil {
+		return nil, 0, err
+	}
+	want := self
+	if ctx > want {
+		want = ctx
+	}
+	switch x := e.(type) {
+	case *verilog.Number:
+		v := x.Val.Resize(want)
+		return func(b *BatchInstance, lane int32) logic.Vector { return v }, want, nil
+
+	case *verilog.StringLit:
+		return nil, 0, errDynamic
+
+	case *verilog.Ident:
+		slot, ok := bc.c.d.slotOf[x.Name]
+		if !ok {
+			return nil, 0, errDynamic
+		}
+		s := int32(slot)
+		if bc.c.d.slotWidths[slot] == want {
+			return func(b *BatchInstance, lane int32) logic.Vector {
+				return b.vals[int(s)*b.n+int(lane)]
+			}, want, nil
+		}
+		return func(b *BatchInstance, lane int32) logic.Vector {
+			return b.vals[int(s)*b.n+int(lane)].Resize(want)
+		}, want, nil
+
+	case *verilog.Unary:
+		switch x.Op {
+		case "~":
+			v, _, err := bc.expr(x.X, want)
+			if err != nil {
+				return nil, 0, err
+			}
+			return func(b *BatchInstance, lane int32) logic.Vector { return logic.NotV(v(b, lane)) }, want, nil
+		case "-":
+			v, _, err := bc.expr(x.X, want)
+			if err != nil {
+				return nil, 0, err
+			}
+			return func(b *BatchInstance, lane int32) logic.Vector { return logic.Neg(v(b, lane)) }, want, nil
+		case "!":
+			v, _, err := bc.expr(x.X, 0)
+			if err != nil {
+				return nil, 0, err
+			}
+			return bc.resized(func(b *BatchInstance, lane int32) logic.Vector { return logic.Not(v(b, lane)) }, 1, want), want, nil
+		case "&", "|", "^", "~&", "~|", "~^", "^~":
+			v, _, err := bc.expr(x.X, 0)
+			if err != nil {
+				return nil, 0, err
+			}
+			var red func(logic.Vector) logic.Vector
+			switch x.Op {
+			case "&":
+				red = logic.RedAnd
+			case "|":
+				red = logic.RedOr
+			case "^":
+				red = logic.RedXor
+			case "~&":
+				red = logic.RedNand
+			case "~|":
+				red = logic.RedNor
+			default:
+				red = logic.RedXnor
+			}
+			return bc.resized(func(b *BatchInstance, lane int32) logic.Vector { return red(v(b, lane)) }, 1, want), want, nil
+		default:
+			return nil, 0, errDynamic
+		}
+
+	case *verilog.Binary:
+		return bc.binary(x, want)
+
+	case *verilog.Ternary:
+		cond, _, err := bc.expr(x.Cond, 0)
+		if err != nil {
+			return nil, 0, err
+		}
+		th, _, err := bc.expr(x.Then, want)
+		if err != nil {
+			return nil, 0, err
+		}
+		el, _, err := bc.expr(x.Else, want)
+		if err != nil {
+			return nil, 0, err
+		}
+		return func(b *BatchInstance, lane int32) logic.Vector {
+			return logic.Mux(cond(b, lane), th(b, lane), el(b, lane))
+		}, want, nil
+
+	case *verilog.Concat:
+		parts := make([]bExpr, len(x.Parts))
+		for i, p := range x.Parts {
+			pc, _, err := bc.expr(p, 0)
+			if err != nil {
+				return nil, 0, err
+			}
+			parts[i] = pc
+		}
+		total := self
+		return bc.resized(func(b *BatchInstance, lane int32) logic.Vector {
+			vals := make([]logic.Vector, len(parts))
+			for i, pc := range parts {
+				vals[i] = pc(b, lane)
+			}
+			return logic.Concat(vals...)
+		}, total, want), want, nil
+
+	case *verilog.Repl:
+		nV, err := evalExpr(x.Count, constOnlyEnv{}, 0)
+		if err != nil {
+			return nil, 0, errDynamic
+		}
+		n, ok := nV.Uint64()
+		if !ok || n < 1 || n > 4096 {
+			return nil, 0, errDynamic
+		}
+		v, vw, err := bc.expr(x.Value, 0)
+		if err != nil {
+			return nil, 0, err
+		}
+		return bc.resized(func(b *BatchInstance, lane int32) logic.Vector {
+			return logic.Replicate(int(n), v(b, lane))
+		}, int(n)*vw, want), want, nil
+
+	case *verilog.Index:
+		base, _, err := bc.expr(x.X, 0)
+		if err != nil {
+			return nil, 0, err
+		}
+		idx, _, err := bc.expr(x.Index, 0)
+		if err != nil {
+			return nil, 0, err
+		}
+		xext := logic.AllX(1).Resize(want)
+		return func(b *BatchInstance, lane int32) logic.Vector {
+			bv := base(b, lane)
+			iv, ok := idx(b, lane).Uint64()
+			if !ok || iv >= uint64(bv.Width()) {
+				return xext
+			}
+			r := logic.Slice(bv, int(iv), int(iv))
+			if want != 1 {
+				r = r.Resize(want)
+			}
+			return r
+		}, want, nil
+
+	case *verilog.PartSelect:
+		base, _, err := bc.expr(x.X, 0)
+		if err != nil {
+			return nil, 0, err
+		}
+		hiV, errHi := evalExpr(x.MSB, constOnlyEnv{}, 0)
+		loV, errLo := evalExpr(x.LSB, constOnlyEnv{}, 0)
+		if errHi != nil || errLo != nil {
+			return nil, 0, errDynamic
+		}
+		hi, ok1 := hiV.Uint64()
+		lo, ok2 := loV.Uint64()
+		if !ok1 || !ok2 {
+			allx := logic.AllX(want)
+			return func(b *BatchInstance, lane int32) logic.Vector { return allx }, want, nil
+		}
+		w := self
+		return bc.resized(func(b *BatchInstance, lane int32) logic.Vector {
+			return logic.Slice(base(b, lane), int(hi), int(lo))
+		}, w, want), want, nil
+
+	default:
+		return nil, 0, errDynamic
+	}
+}
+
+func (bc *batchCompiler) resized(f bExpr, natural, want int) bExpr {
+	if natural == want {
+		return f
+	}
+	return func(b *BatchInstance, lane int32) logic.Vector { return f(b, lane).Resize(want) }
+}
+
+func (bc *batchCompiler) binary(x *verilog.Binary, want int) (bExpr, int, error) {
+	switch x.Op {
+	case "+", "-", "*", "/", "%", "&", "|", "^", "~^", "^~":
+		l, _, err := bc.expr(x.X, want)
+		if err != nil {
+			return nil, 0, err
+		}
+		r, _, err := bc.expr(x.Y, want)
+		if err != nil {
+			return nil, 0, err
+		}
+		var op func(a, b logic.Vector) logic.Vector
+		switch x.Op {
+		case "+":
+			op = logic.Add
+		case "-":
+			op = logic.Sub
+		case "*":
+			op = logic.Mul
+		case "/":
+			op = logic.Div
+		case "%":
+			op = logic.Mod
+		case "&":
+			op = logic.And
+		case "|":
+			op = logic.Or
+		case "^":
+			op = logic.Xor
+		default:
+			op = logic.Xnor
+		}
+		return func(b *BatchInstance, lane int32) logic.Vector { return op(l(b, lane), r(b, lane)) }, want, nil
+
+	case "<<", ">>", ">>>", "<<<":
+		l, _, err := bc.expr(x.X, want)
+		if err != nil {
+			return nil, 0, err
+		}
+		amt, _, err := bc.expr(x.Y, 0)
+		if err != nil {
+			return nil, 0, err
+		}
+		var op func(a, b logic.Vector) logic.Vector
+		switch x.Op {
+		case "<<", "<<<":
+			op = logic.Shl
+		case ">>":
+			op = logic.Shr
+		default:
+			op = logic.Sshr
+		}
+		return func(b *BatchInstance, lane int32) logic.Vector { return op(l(b, lane), amt(b, lane)) }, want, nil
+
+	case "**":
+		l, _, err := bc.expr(x.X, want)
+		if err != nil {
+			return nil, 0, err
+		}
+		r, _, err := bc.expr(x.Y, 0)
+		if err != nil {
+			return nil, 0, err
+		}
+		return func(b *BatchInstance, lane int32) logic.Vector {
+			base, ok1 := l(b, lane).Uint64()
+			exp, ok2 := r(b, lane).Uint64()
+			if !ok1 || !ok2 || exp > 64 {
+				return logic.AllX(want)
+			}
+			acc := uint64(1)
+			for i := uint64(0); i < exp; i++ {
+				acc *= base
+			}
+			return logic.FromUint64(want, acc)
+		}, want, nil
+
+	case "==", "!=", "===", "!==", "<", "<=", ">", ">=", "&&", "||":
+		l, _, err := bc.expr(x.X, 0)
+		if err != nil {
+			return nil, 0, err
+		}
+		r, _, err := bc.expr(x.Y, 0)
+		if err != nil {
+			return nil, 0, err
+		}
+		var op func(a, b logic.Vector) logic.Vector
+		switch x.Op {
+		case "==":
+			op = logic.Eq
+		case "!=":
+			op = logic.Neq
+		case "===":
+			op = logic.CaseEq
+		case "!==":
+			op = logic.CaseNeq
+		case "<":
+			op = logic.Lt
+		case "<=":
+			op = logic.Lte
+		case ">":
+			op = logic.Gt
+		case ">=":
+			op = logic.Gte
+		case "&&":
+			op = logic.LAnd
+		default:
+			op = logic.LOr
+		}
+		return bc.resized(func(b *BatchInstance, lane int32) logic.Vector { return op(l(b, lane), r(b, lane)) }, 1, want), want, nil
+
+	default:
+		return nil, 0, errDynamic
+	}
+}
+
+// lvalue compiles an assignment target, mirroring compiler.lvalue.
+func (bc *batchCompiler) lvalue(lhs verilog.Expr) (bLV, error) {
+	switch x := lhs.(type) {
+	case *verilog.Ident:
+		slot, ok := bc.c.d.slotOf[x.Name]
+		if !ok {
+			return nil, errDynamic
+		}
+		width := bc.c.d.slotWidths[slot]
+		s := int32(slot)
+		return func(b *BatchInstance, lane int32, val logic.Vector, nb bool) {
+			w := resolvedWrite{slot: s, val: val.Resize(width), whole: true}
+			if nb {
+				b.nba[lane] = append(b.nba[lane], w)
+			} else {
+				b.applyWrite(lane, w)
+			}
+		}, nil
+
+	case *verilog.Index:
+		id, ok := x.X.(*verilog.Ident)
+		if !ok {
+			return nil, errDynamic
+		}
+		slot, ok2 := bc.c.d.slotOf[id.Name]
+		if !ok2 {
+			return nil, errDynamic
+		}
+		width := bc.c.d.slotWidths[slot]
+		idx, _, err := bc.expr(x.Index, 0)
+		if err != nil {
+			return nil, err
+		}
+		s := int32(slot)
+		return func(b *BatchInstance, lane int32, val logic.Vector, nb bool) {
+			iv, ok := idx(b, lane).Uint64()
+			if !ok || iv >= uint64(width) {
+				return // write through unknown/out-of-range index: no-op
+			}
+			w := resolvedWrite{slot: s, hi: int(iv), lo: int(iv), val: val.Resize(1)}
+			if nb {
+				b.nba[lane] = append(b.nba[lane], w)
+			} else {
+				b.applyWrite(lane, w)
+			}
+		}, nil
+
+	case *verilog.PartSelect:
+		id, ok := x.X.(*verilog.Ident)
+		if !ok {
+			return nil, errDynamic
+		}
+		slot, ok2 := bc.c.d.slotOf[id.Name]
+		if !ok2 {
+			return nil, errDynamic
+		}
+		width := bc.c.d.slotWidths[slot]
+		hiV, errHi := evalExpr(x.MSB, constOnlyEnv{}, 0)
+		loV, errLo := evalExpr(x.LSB, constOnlyEnv{}, 0)
+		if errHi != nil || errLo != nil {
+			return nil, errDynamic
+		}
+		hi, ok3 := hiV.Uint64()
+		lo, ok4 := loV.Uint64()
+		if !ok3 || !ok4 {
+			return func(b *BatchInstance, lane int32, val logic.Vector, nb bool) {}, nil
+		}
+		h, l := int(hi), int(lo)
+		if h < l {
+			h, l = l, h
+		}
+		if l >= width {
+			return func(b *BatchInstance, lane int32, val logic.Vector, nb bool) {}, nil
+		}
+		if h >= width {
+			h = width - 1
+		}
+		s, span := int32(slot), h-l+1
+		return func(b *BatchInstance, lane int32, val logic.Vector, nb bool) {
+			w := resolvedWrite{slot: s, hi: h, lo: l, val: val.Resize(span)}
+			if nb {
+				b.nba[lane] = append(b.nba[lane], w)
+			} else {
+				b.applyWrite(lane, w)
+			}
+		}, nil
+
+	case *verilog.Concat:
+		total, err := bc.c.lhsWidth(lhs)
+		if err != nil {
+			return nil, err
+		}
+		type part struct {
+			lv     bLV
+			hi, lo int
+		}
+		parts := make([]part, 0, len(x.Parts))
+		offset := total
+		for _, p := range x.Parts {
+			w, err := bc.c.lhsWidth(p)
+			if err != nil {
+				return nil, err
+			}
+			offset -= w
+			lv, err := bc.lvalue(p)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, part{lv: lv, hi: offset + w - 1, lo: offset})
+		}
+		return func(b *BatchInstance, lane int32, val logic.Vector, nb bool) {
+			vt := val.Resize(total)
+			for _, p := range parts {
+				p.lv(b, lane, logic.Slice(vt, p.hi, p.lo), nb)
+			}
+		}, nil
+
+	default:
+		return nil, errDynamic
+	}
+}
+
+// stmt compiles a statement, mirroring compiler.stmt.
+func (bc *batchCompiler) stmt(s verilog.Stmt) (bStmt, error) {
+	switch x := s.(type) {
+	case nil, *verilog.Null:
+		return bNoop, nil
+
+	case *verilog.Block:
+		stmts := make([]bStmt, len(x.Stmts))
+		for i, sub := range x.Stmts {
+			cs, err := bc.stmt(sub)
+			if err != nil {
+				return nil, err
+			}
+			stmts[i] = cs
+		}
+		return func(b *BatchInstance, lane int32) error {
+			for _, st := range stmts {
+				if err := st(b, lane); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, nil
+
+	case *verilog.Assign:
+		ctx, err := bc.c.lhsWidth(x.LHS)
+		if err != nil {
+			return nil, err
+		}
+		rhs, _, err := bc.expr(x.RHS, ctx)
+		if err != nil {
+			return nil, err
+		}
+		lv, err := bc.lvalue(x.LHS)
+		if err != nil {
+			return nil, err
+		}
+		nb := x.NonBlocking
+		return func(b *BatchInstance, lane int32) error {
+			lv(b, lane, rhs(b, lane), nb)
+			return nil
+		}, nil
+
+	case *verilog.If:
+		cond, _, err := bc.expr(x.Cond, 0)
+		if err != nil {
+			return nil, err
+		}
+		th, err := bc.stmt(x.Then)
+		if err != nil {
+			return nil, err
+		}
+		var el bStmt
+		if x.Else != nil {
+			el, err = bc.stmt(x.Else)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return func(b *BatchInstance, lane int32) error {
+			if logic.Truth(cond(b, lane)) == logic.L1 {
+				return th(b, lane)
+			}
+			if el != nil {
+				return el(b, lane)
+			}
+			return nil
+		}, nil
+
+	case *verilog.Case:
+		sel, _, err := bc.expr(x.Expr, 0)
+		if err != nil {
+			return nil, err
+		}
+		type caseArm struct {
+			exprs []bExpr
+			body  bStmt
+		}
+		var arms []caseArm
+		var deflt bStmt
+		for _, item := range x.Items {
+			body, err := bc.stmt(item.Body)
+			if err != nil {
+				return nil, err
+			}
+			if item.Exprs == nil {
+				deflt = body
+				continue
+			}
+			arm := caseArm{body: body}
+			for _, e := range item.Exprs {
+				ce, _, err := bc.expr(e, 0)
+				if err != nil {
+					return nil, err
+				}
+				arm.exprs = append(arm.exprs, ce)
+			}
+			arms = append(arms, arm)
+		}
+		kind := x.Kind
+		return func(b *BatchInstance, lane int32) error {
+			sv := sel(b, lane)
+			for _, arm := range arms {
+				for _, le := range arm.exprs {
+					lv := le(b, lane)
+					var hit bool
+					switch kind {
+					case verilog.CaseZ:
+						hit = logic.CaseZMatch(sv, lv)
+					case verilog.CaseX:
+						hit = logic.CaseXMatch(sv, lv)
+					default:
+						hit = sv.SameValue(lv)
+					}
+					if hit {
+						return arm.body(b, lane)
+					}
+				}
+			}
+			if deflt != nil {
+				return deflt(b, lane)
+			}
+			return nil
+		}, nil
+
+	case *verilog.For:
+		init, err := bc.stmt(x.Init)
+		if err != nil {
+			return nil, err
+		}
+		cond, _, err := bc.expr(x.Cond, 0)
+		if err != nil {
+			return nil, err
+		}
+		step, err := bc.stmt(x.Step)
+		if err != nil {
+			return nil, err
+		}
+		body, err := bc.stmt(x.Body)
+		if err != nil {
+			return nil, err
+		}
+		return func(b *BatchInstance, lane int32) error {
+			if err := init(b, lane); err != nil {
+				return err
+			}
+			for iter := 0; ; iter++ {
+				if iter > maxLoopIterations {
+					return fmt.Errorf("for loop exceeded %d iterations", maxLoopIterations)
+				}
+				if logic.Truth(cond(b, lane)) != logic.L1 {
+					return nil
+				}
+				if err := body(b, lane); err != nil {
+					return err
+				}
+				if err := step(b, lane); err != nil {
+					return err
+				}
+			}
+		}, nil
+
+	case *verilog.Repeat:
+		cnt, _, err := bc.expr(x.Count, 0)
+		if err != nil {
+			return nil, err
+		}
+		body, err := bc.stmt(x.Body)
+		if err != nil {
+			return nil, err
+		}
+		return func(b *BatchInstance, lane int32) error {
+			n, ok := cnt(b, lane).Uint64()
+			if !ok {
+				return nil // repeat (x) runs zero times
+			}
+			if n > maxLoopIterations {
+				return fmt.Errorf("repeat count %d too large", n)
+			}
+			for i := uint64(0); i < n; i++ {
+				if err := body(b, lane); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, nil
+
+	case *verilog.SysCall:
+		switch x.Name {
+		case "$time", "$random", "$dumpfile", "$dumpvars", "$timeformat":
+			// Accepted, no effect — exactly the scalar no-op list, and
+			// those calls never evaluate their arguments.
+			return bNoop, nil
+		default:
+			// $display and friends need per-lane output streams and
+			// $finish/$stop per-lane finish state: not batchable.
+			return nil, errDynamic
+		}
+
+	case *verilog.Delay:
+		// Delay controls error at runtime under the cycle API; a design
+		// using them in comb/seq processes stays on the scalar engines.
+		return nil, errDynamic
+
+	default:
+		return nil, errDynamic
+	}
+}
+
+// kernel recognizes processes whose whole evaluation collapses to one
+// dense lane-batched fast path. Two tiers: denseKernel runs a whole
+// batch through a word-parallel logic kernel (`assign y = a OP b`
+// shapes), selectKernel covers any single-destination decision tree
+// (case/if chains ending in `y = expr`) with per-lane expression
+// closures that skip statement dispatch and the lvalue/applyWrite
+// machinery. Used only in levelized mode for procs that are unpatched
+// in every lane.
+func (bc *batchCompiler) kernel(p *Process) *bKernel {
+	body := unwrapBody(p.Body)
+	if k := bc.denseKernel(body); k != nil {
+		return k
+	}
+	dst, val, ok := bc.selectVal(body)
+	if !ok {
+		return nil
+	}
+	return &bKernel{dst: dst, run: func(b *BatchInstance) {
+		n := b.n
+		lanes := b.vals[int(dst)*n : (int(dst)+1)*n]
+		for lane := 0; lane < n; lane++ {
+			if next, wrote := val(b, int32(lane)); wrote && !next.Equal(lanes[lane]) {
+				lanes[lane] = next
+				b.chgBuf[lane] = true
+			}
+		}
+	}}
+}
+
+// maskedKernel is the select kernel for a process patched in some
+// lanes: the base body runs densely for every unpatched lane while
+// patched lanes are skipped, left to the per-lane interpreter
+// (settleLevel runs them right after the kernel).
+func (bc *batchCompiler) maskedKernel(p *Process, patched []bStmt) *bKernel {
+	dst, val, ok := bc.selectVal(unwrapBody(p.Body))
+	if !ok {
+		return nil
+	}
+	return &bKernel{dst: dst, run: func(b *BatchInstance) {
+		n := b.n
+		lanes := b.vals[int(dst)*n : (int(dst)+1)*n]
+		for lane := 0; lane < n; lane++ {
+			if patched[lane] != nil {
+				continue
+			}
+			if next, wrote := val(b, int32(lane)); wrote && !next.Equal(lanes[lane]) {
+				lanes[lane] = next
+				b.chgBuf[lane] = true
+			}
+		}
+	}}
+}
+
+// unwrapBody strips single-statement begin/end nesting, so always
+// blocks and bare continuous assigns kernel-match alike.
+func unwrapBody(body verilog.Stmt) verilog.Stmt {
+	for {
+		blk, ok := body.(*verilog.Block)
+		if !ok || len(blk.Stmts) != 1 {
+			return body
+		}
+		body = blk.Stmts[0]
+	}
+}
+
+// denseKernel matches `y = a OP b` (OP in &,|,^,~^), `y = ~a`,
+// `y = a` and `y = K` with every operand width equal to the target
+// width (so the scalar path has no resizes either) and returns a
+// whole-batch word-parallel kernel.
+func (bc *batchCompiler) denseKernel(body verilog.Stmt) *bKernel {
+	a, ok := body.(*verilog.Assign)
+	if !ok || a.NonBlocking {
+		return nil
+	}
+	lhs, ok := a.LHS.(*verilog.Ident)
+	if !ok {
+		return nil
+	}
+	d := bc.c.d
+	slot, ok := d.slotOf[lhs.Name]
+	if !ok {
+		return nil
+	}
+	w := d.slotWidths[slot]
+	dst := int32(slot)
+	slotLanes := func(b *BatchInstance, s int32) []logic.Vector {
+		return b.vals[int(s)*b.n : (int(s)+1)*b.n]
+	}
+	identSlot := func(e verilog.Expr) (int32, bool) {
+		id, ok := e.(*verilog.Ident)
+		if !ok {
+			return 0, false
+		}
+		s, ok := d.slotOf[id.Name]
+		if !ok || d.slotWidths[s] != w {
+			return 0, false
+		}
+		return int32(s), true
+	}
+
+	switch r := a.RHS.(type) {
+	case *verilog.Ident:
+		src, ok := identSlot(r)
+		if !ok {
+			return nil
+		}
+		return &bKernel{dst: dst, run: func(b *BatchInstance) {
+			logic.CopyLanes(slotLanes(b, dst), slotLanes(b, src), b.chgBuf)
+		}}
+
+	case *verilog.Number:
+		// Mirror the compiled path: RHS evaluated at want =
+		// max(lhsWidth, selfWidth), then the whole write resizes to the
+		// target width.
+		self := 32
+		if r.Width != 0 {
+			self = r.Width
+		}
+		want := w
+		if self > want {
+			want = self
+		}
+		v := r.Val.Resize(want).Resize(w)
+		return &bKernel{dst: dst, run: func(b *BatchInstance) {
+			logic.BroadcastLanes(slotLanes(b, dst), v, b.chgBuf)
+		}}
+
+	case *verilog.Unary:
+		if r.Op != "~" {
+			return nil
+		}
+		src, ok := identSlot(r.X)
+		if !ok {
+			return nil
+		}
+		return &bKernel{dst: dst, run: func(b *BatchInstance) {
+			logic.NotLanes(slotLanes(b, dst), slotLanes(b, src), b.chgBuf)
+		}}
+
+	case *verilog.Binary:
+		var fn func(dst, x, y []logic.Vector, chg []bool)
+		switch r.Op {
+		case "&":
+			fn = logic.AndLanes
+		case "|":
+			fn = logic.OrLanes
+		case "^":
+			fn = logic.XorLanes
+		case "~^", "^~":
+			fn = logic.XnorLanes
+		default:
+			return nil
+		}
+		sx, ok1 := identSlot(r.X)
+		sy, ok2 := identSlot(r.Y)
+		if !ok1 || !ok2 {
+			return nil
+		}
+		return &bKernel{dst: dst, run: func(b *BatchInstance) {
+			fn(slotLanes(b, dst), slotLanes(b, sx), slotLanes(b, sy), b.chgBuf)
+		}}
+	}
+	return nil
+}
+
+// bVal evaluates a single-destination process body for one lane: the
+// value the body assigns and whether the taken path assigned at all
+// (a case with no matching arm and no default writes nothing).
+type bVal func(b *BatchInstance, lane int32) (logic.Vector, bool)
+
+// selectVal matches process bodies that are a decision tree — if/else
+// chains and case statements, each leaf a single blocking
+// whole-identifier assignment to one shared destination (the classic
+// mux/ALU/decoder shape) — and compiles them to a per-lane value
+// closure plus the destination slot. The RHS leaves compile through
+// bc.expr, so width contexts and X-propagation are exactly the
+// interpreted path's; a kernel built on the closure only skips
+// per-statement dispatch, lvalue resolution and applyWrite
+// bookkeeping, writing the destination lane directly.
+func (bc *batchCompiler) selectVal(body verilog.Stmt) (int32, bVal, bool) {
+	name, ok := singleAssignTarget(body)
+	if !ok {
+		return 0, nil, false
+	}
+	d := bc.c.d
+	slot, ok := d.slotOf[name]
+	if !ok {
+		return 0, nil, false
+	}
+	val, err := bc.valueStmt(body, d.slotWidths[slot])
+	if err != nil {
+		return 0, nil, false
+	}
+	return int32(slot), val, true
+}
+
+// singleAssignTarget reports the destination identifier when every
+// statement in the tree is a decision construct (if/case/single-stmt
+// block/null) whose leaves are blocking whole-identifier assignments
+// to one shared name. Multi-statement blocks are rejected: a second
+// write could transiently dirty the slot in ways a final-value kernel
+// would not replicate.
+func singleAssignTarget(s verilog.Stmt) (string, bool) {
+	name, ok := "", true
+	var walk func(verilog.Stmt)
+	walk = func(s verilog.Stmt) {
+		if !ok {
+			return
+		}
+		switch x := s.(type) {
+		case nil, *verilog.Null:
+		case *verilog.Block:
+			if len(x.Stmts) > 1 {
+				ok = false
+				return
+			}
+			for _, sub := range x.Stmts {
+				walk(sub)
+			}
+		case *verilog.Assign:
+			id, isID := x.LHS.(*verilog.Ident)
+			if x.NonBlocking || !isID {
+				ok = false
+				return
+			}
+			if name == "" {
+				name = id.Name
+			} else if name != id.Name {
+				ok = false
+			}
+		case *verilog.If:
+			walk(x.Then)
+			walk(x.Else)
+		case *verilog.Case:
+			for _, it := range x.Items {
+				walk(it.Body)
+			}
+		default:
+			ok = false
+		}
+	}
+	walk(s)
+	return name, ok && name != ""
+}
+
+// valueStmt compiles a singleAssignTarget-shaped tree into a bVal.
+// Each case mirrors the corresponding bc.stmt case with the write
+// replaced by a value return, preserving evaluation order, width
+// contexts and match semantics exactly.
+func (bc *batchCompiler) valueStmt(s verilog.Stmt, width int) (bVal, error) {
+	noWrite := func(b *BatchInstance, lane int32) (logic.Vector, bool) { return logic.Vector{}, false }
+	switch x := s.(type) {
+	case nil, *verilog.Null:
+		return noWrite, nil
+
+	case *verilog.Block:
+		if len(x.Stmts) == 0 {
+			return noWrite, nil
+		}
+		return bc.valueStmt(x.Stmts[0], width)
+
+	case *verilog.Assign:
+		ctx, err := bc.c.lhsWidth(x.LHS)
+		if err != nil {
+			return nil, err
+		}
+		rhs, want, err := bc.expr(x.RHS, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if want == width {
+			return func(b *BatchInstance, lane int32) (logic.Vector, bool) {
+				return rhs(b, lane), true
+			}, nil
+		}
+		return func(b *BatchInstance, lane int32) (logic.Vector, bool) {
+			return rhs(b, lane).Resize(width), true
+		}, nil
+
+	case *verilog.If:
+		cond, _, err := bc.expr(x.Cond, 0)
+		if err != nil {
+			return nil, err
+		}
+		th, err := bc.valueStmt(x.Then, width)
+		if err != nil {
+			return nil, err
+		}
+		el := noWrite
+		if x.Else != nil {
+			if el, err = bc.valueStmt(x.Else, width); err != nil {
+				return nil, err
+			}
+		}
+		return func(b *BatchInstance, lane int32) (logic.Vector, bool) {
+			if logic.Truth(cond(b, lane)) == logic.L1 {
+				return th(b, lane)
+			}
+			return el(b, lane)
+		}, nil
+
+	case *verilog.Case:
+		sel, _, err := bc.expr(x.Expr, 0)
+		if err != nil {
+			return nil, err
+		}
+		type caseArm struct {
+			exprs []bExpr
+			body  bVal
+		}
+		var arms []caseArm
+		deflt := noWrite
+		for _, item := range x.Items {
+			body, err := bc.valueStmt(item.Body, width)
+			if err != nil {
+				return nil, err
+			}
+			if item.Exprs == nil {
+				deflt = body
+				continue
+			}
+			arm := caseArm{body: body}
+			for _, e := range item.Exprs {
+				ce, _, err := bc.expr(e, 0)
+				if err != nil {
+					return nil, err
+				}
+				arm.exprs = append(arm.exprs, ce)
+			}
+			arms = append(arms, arm)
+		}
+		kind := x.Kind
+		return func(b *BatchInstance, lane int32) (logic.Vector, bool) {
+			sv := sel(b, lane)
+			for _, arm := range arms {
+				for _, le := range arm.exprs {
+					lv := le(b, lane)
+					var hit bool
+					switch kind {
+					case verilog.CaseZ:
+						hit = logic.CaseZMatch(sv, lv)
+					case verilog.CaseX:
+						hit = logic.CaseXMatch(sv, lv)
+					default:
+						hit = sv.SameValue(lv)
+					}
+					if hit {
+						return arm.body(b, lane)
+					}
+				}
+			}
+			return deflt(b, lane)
+		}, nil
+
+	default:
+		return nil, errDynamic
+	}
+}
+
+// bKernel is a dense SoA fast path for one process: run computes every
+// lane of the destination slot in one pass, reporting per-lane changes
+// through the instance's chgBuf scratch.
+type bKernel struct {
+	dst int32
+	run func(b *BatchInstance)
+}

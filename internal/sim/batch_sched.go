@@ -1,0 +1,469 @@
+package sim
+
+// Levelized static scheduling for the batch engine.
+//
+// The event-driven scheduler (settleComb) re-runs combinational
+// processes until a fixpoint because a process may observe stale
+// values of signals produced by processes that happen to run after it.
+// When the combinational region is provably static — every process is
+// a pure function of its sensitivity list, every signal has a single
+// combinational writer and the writer→reader graph is acyclic — a
+// single topologically ordered pass computes the identical fixpoint,
+// with each process running at most once per settle.
+//
+// analyzeStatic proves those conditions per design; levelize builds
+// the schedule over the union graph of the whole batch (base plus
+// every accepted variant), so one order is valid for all lanes. Any
+// failure simply drops the batch to its per-lane event-driven mode,
+// which replicates the scalar scheduler exactly — levelization is an
+// optimization, never a semantic requirement.
+
+import (
+	"errors"
+	"fmt"
+
+	"correctbench/internal/verilog"
+)
+
+// combStatic is the per-design result of a successful static
+// analysis: which comb process ordinal blocking-writes each slot, and
+// each ordinal's sensitivity slots.
+type combStatic struct {
+	writer map[int32]int32
+	deps   [][]int32
+}
+
+var errNotStatic = errors.New("not static")
+
+// analyzeStatic proves the design's combinational region static.
+// A process passes when it is a pure function of its sensitivity list:
+// every read of a signal the process blocking-writes is preceded by a
+// definite whole-signal assignment (no state carried across runs),
+// nonblocking targets are whole identifiers, and every other signal it
+// reads appears in its sensitivity list. Globally, each slot has at
+// most one combinational blocking writer and one combinational NBA
+// writer.
+func analyzeStatic(d *Design) (*combStatic, error) {
+	st := &combStatic{writer: map[int32]int32{}, deps: make([][]int32, len(d.combProcs))}
+	nbaWriter := map[int32]int32{}
+	for ord, p := range d.combProcs {
+		an := &pureAnalyzer{bt: map[string]bool{}}
+		collectBlockingTargets(p.Body, an.bt)
+		final, err := an.walk(p.Body, assignSet{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		// Every blocking target must be definitely assigned on every
+		// path: a target left unassigned on some path (a latch) keeps
+		// its previous value, which a run-once schedule cannot honor.
+		for name := range an.bt {
+			if !final[name] {
+				return nil, fmt.Errorf("%s: %w: %q is not assigned on every path (latch)", p.Name, errNotStatic, name)
+			}
+		}
+		for _, name := range an.nbaTargets {
+			slot, ok := d.slotOf[name]
+			if !ok {
+				continue
+			}
+			if w, dup := nbaWriter[int32(slot)]; dup && w != int32(ord) {
+				return nil, fmt.Errorf("%s: %w: signal %q has multiple combinational nonblocking writers", p.Name, errNotStatic, name)
+			}
+			nbaWriter[int32(slot)] = int32(ord)
+		}
+		sens := map[string]bool{}
+		for _, se := range p.Sens {
+			sens[se.Sig] = true
+		}
+		for _, se := range readSetExcludingTargets(p.Body) {
+			if _, ok := d.slotOf[se.Sig]; !ok {
+				continue
+			}
+			if !sens[se.Sig] {
+				return nil, fmt.Errorf("%s: %w: reads %q outside its sensitivity list", p.Name, errNotStatic, se.Sig)
+			}
+		}
+		for name := range an.bt {
+			slot, ok := d.slotOf[name]
+			if !ok {
+				continue
+			}
+			if w, dup := st.writer[int32(slot)]; dup && w != int32(ord) {
+				return nil, fmt.Errorf("%s: %w: signal %q has multiple combinational writers", p.Name, errNotStatic, name)
+			}
+			st.writer[int32(slot)] = int32(ord)
+		}
+		st.deps[ord] = sensSlots(d, p)
+	}
+	return st, nil
+}
+
+// sensSlots resolves a process's sensitivity list to design slots,
+// skipping names that resolve to nothing (mirroring combBySlot).
+func sensSlots(d *Design, p *Process) []int32 {
+	out := make([]int32, 0, len(p.Sens))
+	for _, se := range p.Sens {
+		if slot, ok := d.slotOf[se.Sig]; ok {
+			out = append(out, int32(slot))
+		}
+	}
+	return out
+}
+
+// collectBlockingTargets gathers every signal name the body assigns
+// with a blocking assignment (whole, indexed, part-selected, or inside
+// a concat target).
+func collectBlockingTargets(body verilog.Stmt, into map[string]bool) {
+	verilog.WalkStmts(body, func(s verilog.Stmt) {
+		if a, ok := s.(*verilog.Assign); ok && !a.NonBlocking {
+			for _, n := range verilog.LHSTargets(a.LHS) {
+				into[n] = true
+			}
+		}
+	})
+}
+
+// assignSet tracks signals definitely whole-assigned so far on every
+// execution path through a process body.
+type assignSet map[string]bool
+
+func (a assignSet) clone() assignSet {
+	out := make(assignSet, len(a))
+	for k := range a {
+		out[k] = true
+	}
+	return out
+}
+
+func intersectAssign(a, b assignSet) assignSet {
+	out := assignSet{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// pureAnalyzer runs a definitely-assigned analysis over one process
+// body: a read of a blocking-target signal before its definite whole
+// assignment means the process observes its own previous run (latch
+// behavior), which the single-pass levelized schedule cannot honor.
+type pureAnalyzer struct {
+	bt         map[string]bool // blocking-write targets of this process
+	nbaTargets []string
+}
+
+// checkReads rejects reads of not-yet-assigned blocking targets.
+func (an *pureAnalyzer) checkReads(e verilog.Expr, a assignSet) error {
+	var bad string
+	verilog.WalkExprs(e, func(x verilog.Expr) {
+		if id, ok := x.(*verilog.Ident); ok && an.bt[id.Name] && !a[id.Name] && bad == "" {
+			bad = id.Name
+		}
+	})
+	if bad != "" {
+		return fmt.Errorf("%w: reads %q before assigning it", errNotStatic, bad)
+	}
+	return nil
+}
+
+// assignLHS processes a blocking-assignment target: whole idents
+// become definitely assigned; partial writes require the target to be
+// definitely assigned already (otherwise unwritten bits carry state).
+func (an *pureAnalyzer) assignLHS(lhs verilog.Expr, a assignSet) error {
+	switch x := lhs.(type) {
+	case *verilog.Ident:
+		a[x.Name] = true
+		return nil
+	case *verilog.Index:
+		if err := an.checkReads(x.Index, a); err != nil {
+			return err
+		}
+		id, ok := x.X.(*verilog.Ident)
+		if !ok {
+			return fmt.Errorf("%w: unsupported assignment target", errNotStatic)
+		}
+		if !a[id.Name] {
+			return fmt.Errorf("%w: partial write to %q before whole assignment", errNotStatic, id.Name)
+		}
+		return nil
+	case *verilog.PartSelect:
+		if err := an.checkReads(x.MSB, a); err != nil {
+			return err
+		}
+		if err := an.checkReads(x.LSB, a); err != nil {
+			return err
+		}
+		id, ok := x.X.(*verilog.Ident)
+		if !ok {
+			return fmt.Errorf("%w: unsupported assignment target", errNotStatic)
+		}
+		if !a[id.Name] {
+			return fmt.Errorf("%w: partial write to %q before whole assignment", errNotStatic, id.Name)
+		}
+		return nil
+	case *verilog.Concat:
+		for _, p := range x.Parts {
+			if err := an.assignLHS(p, a); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: unsupported assignment target", errNotStatic)
+	}
+}
+
+// walk analyzes s starting from assigned-set a, returning the set of
+// signals definitely assigned after s on every path.
+func (an *pureAnalyzer) walk(s verilog.Stmt, a assignSet) (assignSet, error) {
+	switch x := s.(type) {
+	case nil, *verilog.Null:
+		return a, nil
+
+	case *verilog.Block:
+		var err error
+		for _, sub := range x.Stmts {
+			if a, err = an.walk(sub, a); err != nil {
+				return nil, err
+			}
+		}
+		return a, nil
+
+	case *verilog.Assign:
+		if err := an.checkReads(x.RHS, a); err != nil {
+			return nil, err
+		}
+		if x.NonBlocking {
+			id, ok := x.LHS.(*verilog.Ident)
+			if !ok {
+				return nil, fmt.Errorf("%w: nonblocking write to a partial target", errNotStatic)
+			}
+			an.nbaTargets = append(an.nbaTargets, id.Name)
+			return a, nil
+		}
+		if err := an.assignLHS(x.LHS, a); err != nil {
+			return nil, err
+		}
+		return a, nil
+
+	case *verilog.If:
+		if err := an.checkReads(x.Cond, a); err != nil {
+			return nil, err
+		}
+		th, err := an.walk(x.Then, a.clone())
+		if err != nil {
+			return nil, err
+		}
+		el := a
+		if x.Else != nil {
+			if el, err = an.walk(x.Else, a.clone()); err != nil {
+				return nil, err
+			}
+		}
+		return intersectAssign(th, el), nil
+
+	case *verilog.Case:
+		if err := an.checkReads(x.Expr, a); err != nil {
+			return nil, err
+		}
+		hasDefault := false
+		var result assignSet
+		for _, item := range x.Items {
+			for _, e := range item.Exprs {
+				if err := an.checkReads(e, a); err != nil {
+					return nil, err
+				}
+			}
+			if item.Exprs == nil {
+				hasDefault = true
+			}
+			arm, err := an.walk(item.Body, a.clone())
+			if err != nil {
+				return nil, err
+			}
+			if result == nil {
+				result = arm
+			} else {
+				result = intersectAssign(result, arm)
+			}
+		}
+		if result == nil {
+			return a, nil
+		}
+		if !hasDefault {
+			// No arm may match: only what was assigned before survives.
+			result = intersectAssign(result, a)
+		}
+		return result, nil
+
+	case *verilog.For:
+		a, err := an.walk(x.Init, a)
+		if err != nil {
+			return nil, err
+		}
+		if err := an.checkReads(x.Cond, a); err != nil {
+			return nil, err
+		}
+		// The body may run zero times; anything assigned inside does
+		// not survive, but reads inside must still be clean against the
+		// post-init state.
+		ab, err := an.walk(x.Body, a.clone())
+		if err != nil {
+			return nil, err
+		}
+		if _, err := an.walk(x.Step, ab); err != nil {
+			return nil, err
+		}
+		return a, nil
+
+	case *verilog.Repeat:
+		if err := an.checkReads(x.Count, a); err != nil {
+			return nil, err
+		}
+		if _, err := an.walk(x.Body, a.clone()); err != nil {
+			return nil, err
+		}
+		return a, nil
+
+	case *verilog.SysCall:
+		// Only the argument-ignoring no-op calls survive batch
+		// compilation, so nothing is read here.
+		return a, nil
+
+	default:
+		return nil, fmt.Errorf("%w: unsupported statement", errNotStatic)
+	}
+}
+
+// levelize builds one topological schedule over the union dependency
+// graph of every design in the batch: an edge W→R whenever W
+// blocking-writes a slot in R's sensitivity list in any design.
+// Nonblocking writes do not create edges (they land in the NBA region
+// after settling, like sequential outputs). Returns the comb ordinals
+// sorted by (level, ordinal) and whether the union graph is acyclic.
+func levelize(nProcs int, statics []*combStatic) ([]int32, bool) {
+	adj := make([][]int32, nProcs)
+	indeg := make([]int, nProcs)
+	seen := make(map[int64]bool)
+	for _, st := range statics {
+		for k := 0; k < nProcs; k++ {
+			for _, s := range st.deps[k] {
+				w, ok := st.writer[s]
+				if !ok || w == int32(k) {
+					// Self-edges are fine: a pure process re-reading its
+					// own output computes the same value.
+					continue
+				}
+				key := int64(w)<<32 | int64(k)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				adj[w] = append(adj[w], int32(k))
+				indeg[k]++
+			}
+		}
+	}
+
+	level := make([]int, nProcs)
+	queue := make([]int32, 0, nProcs)
+	for k := 0; k < nProcs; k++ {
+		if indeg[k] == 0 {
+			queue = append(queue, int32(k))
+		}
+	}
+	done := 0
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		done++
+		for _, v := range adj[u] {
+			if level[u]+1 > level[v] {
+				level[v] = level[u] + 1
+			}
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if done < nProcs {
+		return nil, false
+	}
+
+	order := make([]int32, nProcs)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	// Insertion sort by (level, ordinal); nProcs is small.
+	for i := 1; i < nProcs; i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if level[a] < level[b] || (level[a] == level[b] && a < b) {
+				break
+			}
+			order[j-1], order[j] = b, a
+		}
+	}
+	return order, true
+}
+
+// batchCompatible reports whether a variant can share the base
+// design's batch program: identical slot layout, port interface and
+// process skeleton (kinds and edge sensitivities), so only process
+// bodies may differ.
+func batchCompatible(base, v *Design) error {
+	if len(v.Order) != len(base.Order) {
+		return fmt.Errorf("sim: batch: variant has %d signals, base has %d", len(v.Order), len(base.Order))
+	}
+	for i, name := range base.Order {
+		if v.Order[i] != name {
+			return fmt.Errorf("sim: batch: signal layout differs at slot %d (%q vs %q)", i, v.Order[i], name)
+		}
+		if v.slotWidths[i] != base.slotWidths[i] {
+			return fmt.Errorf("sim: batch: width of %q differs (%d vs %d)", name, v.slotWidths[i], base.slotWidths[i])
+		}
+	}
+	if len(v.Ports) != len(base.Ports) {
+		return fmt.Errorf("sim: batch: port count differs")
+	}
+	for i, p := range base.Ports {
+		vp := v.Ports[i]
+		if vp.Name != p.Name || vp.Dir != p.Dir || vp.Width != p.Width {
+			return fmt.Errorf("sim: batch: port %q differs", p.Name)
+		}
+	}
+	if len(v.Procs) != len(base.Procs) {
+		return fmt.Errorf("sim: batch: process count differs")
+	}
+	for i, p := range base.Procs {
+		if v.Procs[i].Kind != p.Kind {
+			return fmt.Errorf("sim: batch: process %d kind differs", i)
+		}
+	}
+	if len(v.seqProcs) != len(base.seqProcs) {
+		return fmt.Errorf("sim: batch: sequential process count differs")
+	}
+	for i, p := range base.seqProcs {
+		vp := v.seqProcs[i]
+		if len(vp.Sens) != len(p.Sens) {
+			return fmt.Errorf("sim: batch: edge sensitivity of %s differs", p.Name)
+		}
+		for j, se := range p.Sens {
+			if vp.Sens[j].Sig != se.Sig || vp.Sens[j].Edge != se.Edge {
+				return fmt.Errorf("sim: batch: edge sensitivity of %s differs", p.Name)
+			}
+		}
+	}
+	if len(v.edgeSlots) != len(base.edgeSlots) {
+		return fmt.Errorf("sim: batch: edge-watched signal set differs")
+	}
+	for i, s := range base.edgeSlots {
+		if v.edgeSlots[i] != s {
+			return fmt.Errorf("sim: batch: edge-watched signal set differs")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,628 @@
+package sim
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"correctbench/internal/logic"
+)
+
+// The batch engine must be bit-for-bit identical, lane by lane, to a
+// scalar interpreter instance of the same design. These tests replay
+// the micro-differential suite through BatchInstance, then cover the
+// batch-specific machinery: patch tables for mutated variants, the
+// levelized/event-driven mode split, per-lane bootstrap, per-lane
+// failure isolation, and variant rejection.
+
+// batchSnapshot renders every signal of one lane.
+func batchSnapshot(t *testing.T, b *BatchInstance, lane int) string {
+	t.Helper()
+	out := ""
+	for _, name := range b.prog.base.Order {
+		v, err := b.Get(name, lane)
+		if err != nil {
+			t.Fatalf("get %s: %v", name, err)
+		}
+		out += name + "=" + v.String() + "\n"
+	}
+	return out
+}
+
+// batchExtraModules exercise constructs with batch-specific handling
+// on top of the shared engineDiffModules suite.
+var batchExtraModules = []struct {
+	name, src, top string
+	clock          string
+	wantLevelized  bool
+}{
+	{
+		// Dense kernel shapes: copy, not, and/or/xor/xnor, constant.
+		name: "kernel_shapes",
+		src: `
+module m(input [7:0] a, input [7:0] b, output [7:0] w, output [7:0] x, output [7:0] y, output [7:0] z, output [7:0] k, output [7:0] c);
+    assign w = a & b;
+    assign x = a | b;
+    assign y = a ^ b;
+    assign z = ~a;
+    assign k = 8'h5a;
+    assign c = b;
+endmodule`,
+		top:           "m",
+		wantLevelized: true,
+	},
+	{
+		// Wide (>64 bit) vectors cross the word-parallel plane boundary.
+		name: "wide_vectors",
+		src: `
+module m(input [99:0] a, input [99:0] b, output [99:0] y, output [99:0] z, output [49:0] hi);
+    assign y = a & b;
+    assign z = a + b;
+    assign hi = a[99:50];
+endmodule`,
+		top:           "m",
+		wantLevelized: true,
+	},
+	{
+		// Multi-level comb chain: levelized order must follow the data
+		// flow regardless of process declaration order.
+		name: "comb_chain",
+		src: `
+module m(input [3:0] a, input [3:0] b, output [3:0] r);
+    wire [3:0] s1, s2;
+    assign r = s2 + 4'd1;
+    assign s2 = s1 & b;
+    assign s1 = a | b;
+endmodule`,
+		top:           "m",
+		wantLevelized: true,
+	},
+	{
+		// A latch (read of own target without prior assignment) is not
+		// static: the batch must fall back to event-driven mode and
+		// still match the scalar engine.
+		name: "latch_fallback",
+		src: `
+module m(input en, input [3:0] d, output reg [3:0] q);
+    always @(*)
+        if (en) q = d;
+endmodule`,
+		top:           "m",
+		wantLevelized: false,
+	},
+	{
+		// Combinational feedback cycle: settles trivially (both X) but
+		// is unschedulable statically.
+		name: "cycle_fallback",
+		src: `
+module m(input [3:0] d, output [3:0] a, output [3:0] b);
+    assign a = b;
+    assign b = a;
+endmodule`,
+		top:           "m",
+		wantLevelized: false,
+	},
+	{
+		// Nonblocking assignment from a combinational process: queued
+		// at settle time, applied only when an edge wave runs. The NBA
+		// queue surviving a no-edge propagate is part of the contract.
+		name: "comb_nba",
+		src: `
+module m(input clk, input [3:0] d, output reg [3:0] p, output reg [3:0] q);
+    always @(*) p <= d;
+    always @(posedge clk) q <= d;
+endmodule`,
+		top:           "m",
+		clock:         "clk",
+		wantLevelized: true,
+	},
+	{
+		// Sequential process with blocking partial writes: seq bodies
+		// need no purity, only comb processes are levelized.
+		name: "seq_partial_writes",
+		src: `
+module m(input clk, input rst, input [7:0] d, output reg [7:0] q);
+    always @(posedge clk or posedge rst) begin
+        if (rst) q <= 8'd0;
+        else begin
+            q[3:0] <= d[7:4];
+            q[7:4] <= d[3:0];
+        end
+    end
+endmodule`,
+		top:           "m",
+		clock:         "clk",
+		wantLevelized: true,
+	},
+	{
+		// Constant-only process: runs solely via the bootstrap pass.
+		name: "constant_bootstrap",
+		src: `
+module m(input [3:0] a, output reg [3:0] k, output [3:0] y);
+    always @(*) k = 4'd5;
+    assign y = a + 4'd1;
+endmodule`,
+		top:           "m",
+		wantLevelized: true,
+	},
+}
+
+func TestBatchDifferentialMicro(t *testing.T) {
+	type diffCase struct {
+		name, src, top, clock string
+	}
+	var cases []diffCase
+	for _, tc := range engineDiffModules {
+		cases = append(cases, diffCase{tc.name, tc.src, tc.top, tc.clock})
+	}
+	for _, tc := range batchExtraModules {
+		cases = append(cases, diffCase{tc.name, tc.src, tc.top, tc.clock})
+	}
+	const lanes = 3
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := mustElab(t, tc.src, tc.top)
+			variants := make([]*Design, lanes)
+			refs := make([]*Instance, lanes)
+			for i := range variants {
+				// Separate elaborations: distinct ASTs, identical bodies.
+				variants[i] = mustElab(t, tc.src, tc.top)
+				refs[i] = NewInstanceEngine(variants[i], EngineInterp)
+			}
+			prog, err := CompileBatch(d, variants)
+			if err != nil {
+				t.Fatalf("CompileBatch: %v", err)
+			}
+			if prog.Lanes() != lanes {
+				for i := 0; i < lanes; i++ {
+					if r := prog.RejectReason(i); r != nil {
+						t.Errorf("variant %d rejected: %v", i, r)
+					}
+				}
+				t.Fatalf("lanes = %d, want %d", prog.Lanes(), lanes)
+			}
+			b := NewBatchInstance(prog)
+			rng := rand.New(rand.NewSource(99))
+
+			step := func(label string, bf func() error, sf func(in *Instance) error) {
+				if err := bf(); err != nil {
+					t.Fatalf("%s (batch): %v", label, err)
+				}
+				for lane, ref := range refs {
+					if err := sf(ref); err != nil {
+						t.Fatalf("%s (interp lane %d): %v", label, lane, err)
+					}
+					if le := b.LaneErr(lane); le != nil {
+						t.Fatalf("%s: batch lane %d failed: %v", label, lane, le)
+					}
+					bs, ss := batchSnapshot(t, b, lane), snapshot(t, ref)
+					if bs != ss {
+						t.Fatalf("%s: lane %d diverges\nbatch:\n%s\ninterp:\n%s", label, lane, bs, ss)
+					}
+				}
+			}
+
+			step("zero", b.ZeroInputs, func(in *Instance) error { return in.ZeroInputs() })
+			var inputs []Port
+			for _, p := range d.Ports {
+				if p.Dir != Out && p.Name != tc.clock {
+					inputs = append(inputs, p)
+				}
+			}
+			for i := 0; i < 30; i++ {
+				for _, p := range inputs {
+					p := p
+					// Mix defined and X/Z stimulus.
+					v := logic.New(p.Width)
+					if i%3 == 0 {
+						for bit := 0; bit < p.Width; bit++ {
+							v.SetBit(bit, logic.Bit(rng.Intn(4)))
+						}
+					} else {
+						v = logic.FromUint64(p.Width, rng.Uint64())
+					}
+					step(p.Name,
+						func() error { return b.SetInput(p.Name, v) },
+						func(in *Instance) error { return in.SetInput(p.Name, v) })
+				}
+				if tc.clock != "" {
+					step("tick",
+						func() error { return b.Tick(tc.clock) },
+						func(in *Instance) error { return in.Tick(tc.clock) })
+				} else {
+					step("settle", b.Settle, func(in *Instance) error { return in.Settle() })
+				}
+			}
+		})
+	}
+}
+
+func TestBatchModeSelection(t *testing.T) {
+	for _, tc := range batchExtraModules {
+		t.Run(tc.name, func(t *testing.T) {
+			d := mustElab(t, tc.src, tc.top)
+			prog, err := CompileBatch(d, []*Design{mustElab(t, tc.src, tc.top)})
+			if err != nil {
+				t.Fatalf("CompileBatch: %v", err)
+			}
+			if prog.Levelized() != tc.wantLevelized {
+				t.Errorf("levelized = %v, want %v", prog.Levelized(), tc.wantLevelized)
+			}
+		})
+	}
+}
+
+// TestBatchMutantPatches batches hand-written "mutants" against their
+// base design and checks each lane tracks a scalar interpreter run of
+// the corresponding variant.
+func TestBatchMutantPatches(t *testing.T) {
+	cases := []struct {
+		name  string
+		base  string
+		vars  []string
+		top   string
+		clock string
+	}{
+		{
+			name: "comb_op_mutants",
+			base: `
+module m(input [3:0] a, input [3:0] b, output [3:0] y, output [3:0] z);
+    assign y = a & b;
+    assign z = a | b;
+endmodule`,
+			vars: []string{`
+module m(input [3:0] a, input [3:0] b, output [3:0] y, output [3:0] z);
+    assign y = a | b;
+    assign z = a | b;
+endmodule`, `
+module m(input [3:0] a, input [3:0] b, output [3:0] y, output [3:0] z);
+    assign y = a & b;
+    assign z = a ^ b;
+endmodule`, `
+module m(input [3:0] a, input [3:0] b, output [3:0] y, output [3:0] z);
+    assign y = ~(a & b);
+    assign z = a | ~b;
+endmodule`},
+			top: "m",
+		},
+		{
+			name: "seq_mutants",
+			base: `
+module c(input clk, input rst, input [3:0] d, output reg [3:0] q);
+    always @(posedge clk or posedge rst)
+        if (rst) q <= 4'd0;
+        else q <= q + d;
+endmodule`,
+			vars: []string{`
+module c(input clk, input rst, input [3:0] d, output reg [3:0] q);
+    always @(posedge clk or posedge rst)
+        if (rst) q <= 4'd0;
+        else q <= q - d;
+endmodule`, `
+module c(input clk, input rst, input [3:0] d, output reg [3:0] q);
+    always @(posedge clk or posedge rst)
+        if (rst) q <= 4'd1;
+        else q <= q + d;
+endmodule`},
+			top:   "c",
+			clock: "clk",
+		},
+		{
+			// Base is a latch -> event-driven mode with patches.
+			name: "latch_mutants",
+			base: `
+module m(input en, input [3:0] d, output reg [3:0] q);
+    always @(*)
+        if (en) q = d;
+endmodule`,
+			vars: []string{`
+module m(input en, input [3:0] d, output reg [3:0] q);
+    always @(*)
+        if (en) q = ~d;
+endmodule`},
+			top: "m",
+		},
+		{
+			// A mutated sensitivity list: the patched process carries
+			// the variant's own @* read set.
+			name: "sens_change_mutant",
+			base: `
+module m(input [3:0] a, input [3:0] b, input sel, output reg [3:0] y);
+    always @(*)
+        y = sel ? a : b;
+endmodule`,
+			vars: []string{`
+module m(input [3:0] a, input [3:0] b, input sel, output reg [3:0] y);
+    always @(*)
+        y = a;
+endmodule`},
+			top: "m",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := mustElab(t, tc.base, tc.top)
+			variants := make([]*Design, len(tc.vars))
+			refs := make([]*Instance, len(tc.vars))
+			for i, src := range tc.vars {
+				variants[i] = mustElab(t, src, tc.top)
+				refs[i] = NewInstanceEngine(variants[i], EngineInterp)
+			}
+			prog, err := CompileBatch(base, variants)
+			if err != nil {
+				t.Fatalf("CompileBatch: %v", err)
+			}
+			if prog.Lanes() != len(variants) {
+				t.Fatalf("lanes = %d, want %d", prog.Lanes(), len(variants))
+			}
+			b := NewBatchInstance(prog)
+			rng := rand.New(rand.NewSource(1))
+
+			check := func(label string) {
+				for lane, ref := range refs {
+					if le := b.LaneErr(lane); le != nil {
+						t.Fatalf("%s: lane %d failed: %v", label, lane, le)
+					}
+					bs, ss := batchSnapshot(t, b, lane), snapshot(t, ref)
+					if bs != ss {
+						t.Fatalf("%s: lane %d diverges\nbatch:\n%s\ninterp:\n%s", label, lane, bs, ss)
+					}
+				}
+			}
+			if err := b.ZeroInputs(); err != nil {
+				t.Fatal(err)
+			}
+			for _, ref := range refs {
+				if err := ref.ZeroInputs(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			check("zero")
+			for i := 0; i < 50; i++ {
+				for _, p := range base.Ports {
+					if p.Dir == Out || p.Name == tc.clock {
+						continue
+					}
+					v := logic.FromUint64(p.Width, rng.Uint64())
+					if err := b.SetInput(p.Name, v); err != nil {
+						t.Fatal(err)
+					}
+					for _, ref := range refs {
+						if err := ref.SetInput(p.Name, v); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				if tc.clock != "" {
+					if err := b.Tick(tc.clock); err != nil {
+						t.Fatal(err)
+					}
+					for _, ref := range refs {
+						if err := ref.Tick(tc.clock); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				check("step")
+			}
+		})
+	}
+}
+
+// TestBatchVariantRejection: structurally incompatible variants get no
+// lane and a reason; compatible ones still batch.
+func TestBatchVariantRejection(t *testing.T) {
+	base := mustElab(t, `
+module m(input [3:0] a, output [3:0] y);
+    assign y = a + 4'd1;
+endmodule`, "m")
+	good := mustElab(t, `
+module m(input [3:0] a, output [3:0] y);
+    assign y = a + 4'd2;
+endmodule`, "m")
+	wrongWidth := mustElab(t, `
+module m(input [7:0] a, output [7:0] y);
+    assign y = a + 8'd1;
+endmodule`, "m")
+	extraSignal := mustElab(t, `
+module m(input [3:0] a, output [3:0] y);
+    wire [3:0] t;
+    assign t = a ^ 4'd3;
+    assign y = t + 4'd1;
+endmodule`, "m")
+
+	prog, err := CompileBatch(base, []*Design{wrongWidth, good, extraSignal})
+	if err != nil {
+		t.Fatalf("CompileBatch: %v", err)
+	}
+	if prog.Lanes() != 1 {
+		t.Fatalf("lanes = %d, want 1", prog.Lanes())
+	}
+	if prog.RejectReason(0) == nil || prog.RejectReason(2) == nil {
+		t.Errorf("incompatible variants not rejected: %v / %v", prog.RejectReason(0), prog.RejectReason(2))
+	}
+	if prog.RejectReason(1) != nil {
+		t.Errorf("compatible variant rejected: %v", prog.RejectReason(1))
+	}
+	if got := prog.VariantLane(1); got != 0 {
+		t.Errorf("VariantLane(1) = %d, want 0", got)
+	}
+	if got := prog.VariantLane(0); got != -1 {
+		t.Errorf("VariantLane(0) = %d, want -1", got)
+	}
+	b := NewBatchInstance(prog)
+	b.ZeroInputs()
+	b.SetInputUint("a", 3)
+	v, err := b.Get("y", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u, _ := v.Uint64(); u != 5 {
+		t.Errorf("y = %s, want 5", v)
+	}
+}
+
+// TestBatchDisplayFallsBackWholesale: a base design with $display
+// cannot batch-compile at all.
+func TestBatchDisplayFallsBackWholesale(t *testing.T) {
+	d := mustElab(t, `
+module m(input [3:0] a, output reg [3:0] y);
+    always @(*) begin
+        y = a + 4'd1;
+        $display("y=%d", y);
+    end
+endmodule`, "m")
+	if _, err := CompileBatch(d, nil); err == nil {
+		t.Fatal("CompileBatch accepted a $display body")
+	}
+}
+
+// TestBatchLaneFailureIsolation: one lane hitting a simulation error
+// (unsettleable feedback) must not disturb the other lanes.
+func TestBatchLaneFailureIsolation(t *testing.T) {
+	base := mustElab(t, `
+module m(input [3:0] a, output [3:0] y, output [3:0] z);
+    assign y = a + 4'd1;
+    assign z = y;
+endmodule`, "m")
+	// Oscillator mutant: the === makes the feedback X-immune, so the
+	// loop flips between defined values and never settles.
+	osc := mustElab(t, `
+module m(input [3:0] a, output [3:0] y, output [3:0] z);
+    assign y = ((z + a) === 4'd0) ? 4'd1 : 4'd0;
+    assign z = y;
+endmodule`, "m")
+	ok := mustElab(t, `
+module m(input [3:0] a, output [3:0] y, output [3:0] z);
+    assign y = a + 4'd2;
+    assign z = y;
+endmodule`, "m")
+	prog, err := CompileBatch(base, []*Design{osc, ok})
+	if err != nil {
+		t.Fatalf("CompileBatch: %v", err)
+	}
+	if prog.Levelized() {
+		t.Fatal("oscillating variant should force event-driven mode")
+	}
+	if prog.Lanes() != 2 {
+		t.Fatalf("lanes = %d", prog.Lanes())
+	}
+	b := NewBatchInstance(prog)
+	if err := b.ZeroInputs(); err != nil {
+		t.Fatal(err)
+	}
+	if b.LaneErr(0) == nil {
+		t.Fatal("oscillator lane should have failed")
+	}
+	if b.Active(0) {
+		t.Fatal("failed lane still active")
+	}
+	if err := b.SetInputUint("a", 4); err != nil {
+		t.Fatal(err)
+	}
+	if le := b.LaneErr(1); le != nil {
+		t.Fatalf("healthy lane failed: %v", le)
+	}
+	v, _ := b.Get("y", 1)
+	if u, _ := v.Uint64(); u != 6 {
+		t.Errorf("lane 1 y = %s, want 6", v)
+	}
+	if b.ActiveCount() != 1 {
+		t.Errorf("ActiveCount = %d, want 1", b.ActiveCount())
+	}
+}
+
+// TestBatchResetEqualsFresh pins the pooling contract for batches.
+func TestBatchResetEqualsFresh(t *testing.T) {
+	src := `
+module c(input clk, input rst, input [3:0] d, output reg [3:0] q);
+    always @(posedge clk or posedge rst)
+        if (rst) q <= 4'd0;
+        else q <= q + d;
+endmodule`
+	d := mustElab(t, src, "c")
+	prog, err := CompileBatch(d, []*Design{mustElab(t, src, "c"), mustElab(t, src, "c")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatchInstance(prog)
+	run := func(seed int64) string {
+		rng := rand.New(rand.NewSource(seed))
+		if err := b.ZeroInputs(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			if err := b.SetInputUint("d", rng.Uint64()); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Tick("clk"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return batchSnapshot(t, b, 0) + batchSnapshot(t, b, 1)
+	}
+	first := run(42)
+	b.Reset()
+	if second := run(42); second != first {
+		t.Fatalf("reset batch diverges from fresh:\n%s\nvs\n%s", second, first)
+	}
+}
+
+// TestBatchProgramSharedConcurrently: one program, many instances, in
+// parallel (race detector coverage for the shared compiled closures).
+func TestBatchProgramSharedConcurrently(t *testing.T) {
+	src := `
+module m(input clk, input [7:0] d, output reg [7:0] q, output [7:0] y);
+    assign y = d ^ q;
+    always @(posedge clk) q <= d;
+endmodule`
+	d := mustElab(t, src, "m")
+	prog, err := CompileBatch(d, []*Design{mustElab(t, src, "m"), mustElab(t, src, "m")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			b := NewBatchInstance(prog)
+			rng := rand.New(rand.NewSource(seed))
+			if err := b.ZeroInputs(); err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 50; i++ {
+				if err := b.SetInputUint("d", rng.Uint64()); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := b.Tick("clk"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}
+
+func TestParseEngine(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Engine
+		ok   bool
+	}{
+		{"auto", EngineAuto, true},
+		{"", EngineAuto, true},
+		{"compiled", EngineCompiled, true},
+		{"interp", EngineInterp, true},
+		{"batched", EngineBatched, true},
+		{"bogus", EngineAuto, false},
+	} {
+		got, err := ParseEngine(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseEngine(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+}

@@ -39,6 +39,12 @@ const (
 	EngineCompiled
 	// EngineInterp always walks the AST, the pre-compilation engine.
 	EngineInterp
+	// EngineBatched advances N design variants per step over one shared
+	// SoA batch program (CompileBatch / BatchInstance) with levelized
+	// static scheduling. A scalar Instance created with this engine
+	// behaves exactly like EngineCompiled; the batching happens in the
+	// layers that run many DUTs against one testbench.
+	EngineBatched
 )
 
 // DefaultEngine is the engine NewInstance uses. The compiled engine is
@@ -52,8 +58,26 @@ func (e Engine) String() string {
 		return "compiled"
 	case EngineInterp:
 		return "interp"
+	case EngineBatched:
+		return "batched"
 	default:
 		return "auto"
+	}
+}
+
+// ParseEngine parses an engine name as printed by Engine.String.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "auto", "":
+		return EngineAuto, nil
+	case "compiled":
+		return EngineCompiled, nil
+	case "interp":
+		return EngineInterp, nil
+	case "batched":
+		return EngineBatched, nil
+	default:
+		return EngineAuto, fmt.Errorf("sim: unknown engine %q (want auto|interp|compiled|batched)", s)
 	}
 }
 

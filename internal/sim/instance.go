@@ -166,9 +166,12 @@ func (in *Instance) markDirty(slot int32) {
 	}
 }
 
-// runProc executes one process body on the instance's engine.
+// runProc executes one process body on the instance's engine. Every
+// engine except the reference interpreter runs the compiled program
+// when the body compiled (EngineBatched on a scalar instance is just
+// the compiled engine; batching lives in BatchInstance).
 func (in *Instance) runProc(p *Process) error {
-	if in.engine == EngineCompiled && p.code != nil {
+	if in.engine != EngineInterp && p.code != nil {
 		return p.code(in)
 	}
 	return in.exec(p.Body)

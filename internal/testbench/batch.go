@@ -1,0 +1,525 @@
+package testbench
+
+// Batched testbench runs: N DUT variants (typically mutants of one
+// golden design) advance through every scenario together on a single
+// sim.BatchInstance, sharing one checker simulation. The scalar path
+// re-simulates the checker once per DUT even though its trajectory is
+// DUT-independent; here the checker runs once per testbench — its
+// output samples are recorded into a trace (batchTrace) the first
+// time and replayed for every batch — and the DUT side shares one
+// compiled batch program across all lanes.
+//
+// With earlyExit=false a lane's outcome is identical to
+// RunAgainstDesignContext for the same design: the same ScenarioPass
+// vector and an error exactly when the scalar run errors
+// (TestBatchRunMatchesScalar asserts this over mutated DUTs). With
+// earlyExit=true, lanes stop simulating once a scenario has failed;
+// the overall Pass()/error verdict is unchanged but later
+// ScenarioPass entries stay false — the mode AutoEval's kill checks
+// use.
+
+import (
+	"context"
+	"fmt"
+
+	"correctbench/internal/dataset"
+	"correctbench/internal/logic"
+	"correctbench/internal/sim"
+)
+
+// BatchOutcome is one DUT's result from a batched run: exactly one of
+// Res and Err is set, mirroring RunAgainstDesignContext's return.
+type BatchOutcome struct {
+	Res *RunResult
+	Err error
+}
+
+// checkerTrace is one complete checker simulation, recorded sample by
+// sample in the exact order the scalar runner interleaves the checker
+// with a DUT. Samples hold the live vectors (the engine never mutates
+// a stored vector in place — writes install fresh vectors — so no
+// clone is needed) and are only ever read during replay.
+type checkerTrace struct {
+	outs      []string // output port order of every sample row
+	scenarios []scenarioTrace
+}
+
+type scenarioTrace struct {
+	pre  [][]traceSample // [step][output], sampled before the clock edge
+	post [][]traceSample // [step][output], sampled after the edge (SEQ)
+	// fail is the checker-side simulation error that ended this
+	// scenario, if any; every scalar run errors at the same point, so
+	// the trace stops here (later scenarios are unreachable).
+	fail *traceFail
+}
+
+type traceFail struct {
+	step  int // step index, -1 for scenario init
+	phase int // 0 init, 1 step, 2 tick
+	err   error
+}
+
+type traceSample struct {
+	val logic.Vector
+	ok  bool // false when the checker had no readable value (Get error)
+}
+
+// batchTrace simulates the checker once over all scenarios and caches
+// the recorded trace on the testbench, keyed on checker source, engine
+// and the output port list being compared. Only checker elaboration
+// failures are returned as errors; simulation failures are part of the
+// trace (they decide run outcomes, exactly as a live checker would).
+// The build is never bound to a context: trace contents must not
+// depend on a caller's cancellation.
+func (tb *Testbench) batchTrace(outs []string) (*checkerTrace, error) {
+	if tb.cachedTrace != nil && tb.cachedTraceSrc == tb.CheckerSource &&
+		tb.cachedTraceEng == tb.Engine && sameStrings(tb.cachedTrace.outs, outs) {
+		return tb.cachedTrace, nil
+	}
+	cd, err := tb.checkerDesign()
+	if err != nil {
+		return nil, err
+	}
+	p := tb.Problem
+	chk := sim.NewInstanceEngine(cd, tb.Engine)
+	tr := &checkerTrace{outs: outs}
+	for i, sc := range tb.Scenarios {
+		if i > 0 {
+			chk.Reset()
+		}
+		st := scenarioTrace{}
+		if err := tb.initScenario(chk); err != nil {
+			st.fail = &traceFail{step: -1, phase: 0, err: err}
+			tr.scenarios = append(tr.scenarios, st)
+			break
+		}
+		for si, step := range sc.Steps {
+			if err := applyStep(chk, step); err != nil {
+				st.fail = &traceFail{step: si, phase: 1, err: err}
+				break
+			}
+			st.pre = append(st.pre, sampleOutputs(chk, outs))
+			if p.Kind == dataset.SEQ {
+				if err := chk.Tick(p.Clock); err != nil {
+					st.fail = &traceFail{step: si, phase: 2, err: err}
+					break
+				}
+				st.post = append(st.post, sampleOutputs(chk, outs))
+			}
+		}
+		tr.scenarios = append(tr.scenarios, st)
+		if st.fail != nil {
+			break
+		}
+	}
+	tb.cachedTrace = tr
+	tb.cachedTraceSrc = tb.CheckerSource
+	tb.cachedTraceEng = tb.Engine
+	return tr, nil
+}
+
+// WarmBatchTrace records the checker trace for batched runs against
+// DUTs sharing base's port list, so a testbench warmed under its
+// owner's control (like ElaborateChecker) is afterwards read-only and
+// safe for concurrent batched runs.
+func (tb *Testbench) WarmBatchTrace(base *sim.Design) error {
+	if err := tb.ElaborateChecker(); err != nil {
+		return err
+	}
+	_, err := tb.batchTrace(outputPorts(base))
+	return err
+}
+
+func sampleOutputs(chk *sim.Instance, outs []string) []traceSample {
+	samples := make([]traceSample, len(outs))
+	for i, o := range outs {
+		v, err := chk.Get(o)
+		samples[i] = traceSample{val: v, ok: err == nil}
+	}
+	return samples
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RunBatchAgainstDesigns is RunBatchAgainstDesignsContext without
+// cancellation.
+func (tb *Testbench) RunBatchAgainstDesigns(base *sim.Design, duts []*sim.Design, earlyExit bool) []BatchOutcome {
+	out, _ := tb.RunBatchAgainstDesignsContext(context.Background(), base, duts, earlyExit)
+	return out
+}
+
+// RunBatchAgainstDesignsContext runs every DUT design against the
+// testbench in one batched pass. base is the design the batch programs
+// are compiled against (the golden design the duts are mutants of; any
+// dut may alias it). Compilation is split (sim.CompileBatchSplit):
+// static variants share a levelized program, the rest batch under a
+// separate event-driven program. DUTs every program rejects — and
+// every DUT, when the base itself cannot batch-compile — fall back to
+// individual scalar runs, so the result is total: out[i] always
+// corresponds to duts[i]. The returned error is non-nil only on
+// context cancellation.
+func (tb *Testbench) RunBatchAgainstDesignsContext(ctx context.Context, base *sim.Design, duts []*sim.Design, earlyExit bool) ([]BatchOutcome, error) {
+	out := make([]BatchOutcome, len(duts))
+	trace, err := tb.batchTrace(outputPorts(base))
+	if err != nil {
+		err = fmt.Errorf("checker: %w", err)
+		for i := range out {
+			out[i].Err = err
+		}
+		return out, nil
+	}
+	progs, idxs, perr := sim.CompileBatchSplit(base, duts)
+	if perr != nil {
+		// Wholesale fallback: the base itself cannot batch-compile.
+		for i := range duts {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			res, err := tb.RunAgainstDesignContext(ctx, duts[i])
+			out[i] = BatchOutcome{Res: res, Err: err}
+		}
+		return out, nil
+	}
+	return out, tb.runBatchPrograms(ctx, progs, idxs, trace, out, earlyExit)
+}
+
+// RunBatchProgram is RunBatchProgramContext without cancellation.
+func (tb *Testbench) RunBatchProgram(prog *sim.BatchProgram, earlyExit bool) []BatchOutcome {
+	out, _ := tb.RunBatchProgramContext(context.Background(), prog, earlyExit)
+	return out
+}
+
+// RunBatchProgramContext is RunBatchAgainstDesignsContext for a
+// precompiled program: callers that run the same DUT set repeatedly
+// (graders, benchmark passes) compile once with sim.CompileBatch and
+// skip the per-call compile. Outcomes are indexed like
+// prog.Variants().
+func (tb *Testbench) RunBatchProgramContext(ctx context.Context, prog *sim.BatchProgram, earlyExit bool) ([]BatchOutcome, error) {
+	idx := make([]int, len(prog.Variants()))
+	for i := range idx {
+		idx[i] = i
+	}
+	return tb.RunBatchProgramsContext(ctx, []*sim.BatchProgram{prog}, [][]int{idx}, earlyExit)
+}
+
+// RunBatchPrograms is RunBatchProgramsContext without cancellation.
+func (tb *Testbench) RunBatchPrograms(progs []*sim.BatchProgram, idx [][]int, earlyExit bool) []BatchOutcome {
+	out, _ := tb.RunBatchProgramsContext(context.Background(), progs, idx, earlyExit)
+	return out
+}
+
+// RunBatchProgramsContext runs a precompiled program set — typically
+// the (programs, index lists) pair from sim.CompileBatchSplit — in one
+// batched pass. idx[k][i] gives the outcome slot of progs[k]'s i-th
+// variant; every program must share the same base design. A variant no
+// program accepted falls back to a scalar run, so outcomes are total
+// over the indexed variants.
+func (tb *Testbench) RunBatchProgramsContext(ctx context.Context, progs []*sim.BatchProgram, idx [][]int, earlyExit bool) ([]BatchOutcome, error) {
+	if len(progs) == 0 {
+		return nil, nil
+	}
+	n := 0
+	for _, ix := range idx {
+		for _, vi := range ix {
+			if vi >= n {
+				n = vi + 1
+			}
+		}
+	}
+	out := make([]BatchOutcome, n)
+	trace, err := tb.batchTrace(outputPorts(progs[0].Base()))
+	if err != nil {
+		err = fmt.Errorf("checker: %w", err)
+		for i := range out {
+			out[i].Err = err
+		}
+		return out, nil
+	}
+	return out, tb.runBatchPrograms(ctx, progs, idx, trace, out, earlyExit)
+}
+
+// runBatchPrograms fills out by running every program's lanes and, for
+// variants no program accepted, individual scalar fallbacks. The
+// returned error is non-nil only on context cancellation.
+func (tb *Testbench) runBatchPrograms(ctx context.Context, progs []*sim.BatchProgram, idxs [][]int, trace *checkerTrace, out []BatchOutcome, earlyExit bool) error {
+	// A variant rejected by one program may hold a lane in another
+	// (CompileBatchSplit routes non-static variants to the second,
+	// event-driven program); only variants no program accepted run
+	// scalar.
+	handled := make([]bool, len(out))
+	dutOf := make([]*sim.Design, len(out))
+	for k, p := range progs {
+		vs := p.Variants()
+		for i := range vs {
+			vi := idxs[k][i]
+			if dutOf[vi] == nil {
+				dutOf[vi] = vs[i]
+			}
+			if p.VariantLane(i) >= 0 {
+				handled[vi] = true
+			}
+		}
+	}
+	for vi, d := range dutOf {
+		if handled[vi] || d == nil {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		res, err := tb.RunAgainstDesignContext(ctx, d)
+		out[vi] = BatchOutcome{Res: res, Err: err}
+	}
+	for k, p := range progs {
+		if p.Lanes() == 0 {
+			continue
+		}
+		if err := tb.runBatchLanes(ctx, p, idxs[k], trace, out, earlyExit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runBatchLanes runs one program's accepted lanes together and
+// scatters their outcomes to out via idx. The returned error is
+// non-nil only on context cancellation.
+func (tb *Testbench) runBatchLanes(ctx context.Context, prog *sim.BatchProgram, idx []int, trace *checkerTrace, out []BatchOutcome, earlyExit bool) error {
+	n := prog.Lanes()
+	results := make([]*RunResult, n)
+	laneErrs := make([]error, n)
+	for lane := 0; lane < n; lane++ {
+		results[lane] = &RunResult{ScenarioPass: make([]bool, len(tb.Scenarios))}
+	}
+	b := sim.NewBatchInstance(prog)
+	b.BindContext(ctx)
+
+	// recordLaneErrs harvests lanes newly killed by a simulation error,
+	// attributing them like the scalar runner does. The message is
+	// only formatted when a lane actually erred — this runs after
+	// every step.
+	recordLaneErrs := func(format string, args ...interface{}) {
+		for lane := 0; lane < n; lane++ {
+			if laneErrs[lane] != nil {
+				continue
+			}
+			if le := b.LaneErr(lane); le != nil {
+				laneErrs[lane] = fmt.Errorf("dut: "+fmt.Sprintf(format, args...)+": %w", le)
+			}
+		}
+	}
+	// failActive gives every still-undecided lane a shared (checker- or
+	// stimulus-side) error, which is what each scalar run would return.
+	failActive := func(err error) {
+		for lane := 0; lane < n; lane++ {
+			if laneErrs[lane] == nil && b.Active(lane) {
+				laneErrs[lane] = err
+				b.Deactivate(lane)
+			}
+		}
+	}
+
+	for i, sc := range tb.Scenarios {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if b.ActiveCount() == 0 {
+			break
+		}
+		if i >= len(trace.scenarios) {
+			// Unreachable: the trace only stops early after a checker
+			// failure, which deactivates every lane below.
+			break
+		}
+		if i > 0 {
+			b.Reset()
+		}
+		if err := tb.runScenarioBatch(ctx, sc, i, b, trace, results, laneErrs, recordLaneErrs, failActive, earlyExit); err != nil {
+			return err
+		}
+	}
+
+	for vi := range prog.Variants() {
+		lane := prog.VariantLane(vi)
+		if lane < 0 {
+			continue // scalar fallback or another program covers it
+		}
+		if laneErrs[lane] != nil {
+			out[idx[vi]] = BatchOutcome{Err: laneErrs[lane]}
+		} else {
+			out[idx[vi]] = BatchOutcome{Res: results[lane]}
+		}
+	}
+	return nil
+}
+
+// runScenarioBatch mirrors runScenario with the DUT side batched and
+// the checker side replayed from the recorded trace. Checker failures
+// are re-raised at the exact point of the interleaving where a live
+// checker would have erred, preserving scalar error attribution (DUT
+// errors at the same step win, as the scalar sides order runs the DUT
+// first).
+func (tb *Testbench) runScenarioBatch(
+	ctx context.Context,
+	sc Scenario,
+	scIdx int,
+	b *sim.BatchInstance,
+	trace *checkerTrace,
+	results []*RunResult,
+	laneErrs []error,
+	recordLaneErrs func(string, ...interface{}),
+	failActive func(error),
+	earlyExit bool,
+) error {
+	p := tb.Problem
+	n := b.Lanes()
+	st := &trace.scenarios[scIdx]
+	chkFail := func(step, phase int) *traceFail {
+		if st.fail != nil && st.fail.step == step && st.fail.phase == phase {
+			return st.fail
+		}
+		return nil
+	}
+
+	// Init, DUT side first like the scalar sides loop.
+	if err := tb.initScenarioBatch(b); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		failActive(fmt.Errorf("dut: scenario %d init: %w", sc.Index, err))
+		return nil
+	}
+	recordLaneErrs("scenario %d init", sc.Index)
+	if f := chkFail(-1, 0); f != nil {
+		failActive(fmt.Errorf("checker: scenario %d init: %w", sc.Index, f.err))
+		return nil
+	}
+
+	pass := make([]bool, n)
+	for lane := range pass {
+		pass[lane] = true
+	}
+	outSlots := make([]int, len(trace.outs))
+	for oi, o := range trace.outs {
+		slot, ok := b.SlotOf(o)
+		if !ok {
+			slot = -1
+		}
+		outSlots[oi] = slot
+	}
+	compare := func(samples []traceSample) {
+		for oi := range trace.outs {
+			s := samples[oi]
+			slot := outSlots[oi]
+			for lane := 0; lane < n; lane++ {
+				if !b.Active(lane) || !pass[lane] {
+					continue
+				}
+				if !s.ok || slot < 0 || !b.GetSlot(slot, lane).SameValue(s.val) {
+					pass[lane] = false
+				}
+			}
+		}
+	}
+
+	for si, step := range sc.Steps {
+		if b.ActiveCount() == 0 {
+			return nil
+		}
+		if err := applyStepBatch(b, step); err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			failActive(fmt.Errorf("dut: scenario %d step %d: %w", sc.Index, si, err))
+			return nil
+		}
+		recordLaneErrs("scenario %d step %d", sc.Index, si)
+		if f := chkFail(si, 1); f != nil {
+			failActive(fmt.Errorf("checker: scenario %d step %d: %w", sc.Index, si, f.err))
+			return nil
+		}
+		// Sample combinational/Mealy outputs before the clock edge.
+		compare(st.pre[si])
+		if p.Kind == dataset.SEQ {
+			if err := b.Tick(p.Clock); err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return cerr
+				}
+				failActive(fmt.Errorf("dut: scenario %d step %d tick: %w", sc.Index, si, err))
+				return nil
+			}
+			recordLaneErrs("scenario %d step %d tick", sc.Index, si)
+			if f := chkFail(si, 2); f != nil {
+				failActive(fmt.Errorf("checker: scenario %d step %d tick: %w", sc.Index, si, f.err))
+				return nil
+			}
+			// Sample registered outputs after the edge as well.
+			compare(st.post[si])
+		}
+	}
+	for lane := 0; lane < n; lane++ {
+		if laneErrs[lane] != nil || !b.Active(lane) {
+			continue
+		}
+		results[lane].ScenarioPass[scIdx] = pass[lane]
+		if earlyExit && !pass[lane] {
+			b.Deactivate(lane)
+		}
+	}
+	return nil
+}
+
+func (tb *Testbench) initScenarioBatch(b *sim.BatchInstance) error {
+	p := tb.Problem
+	if err := b.ZeroInputs(); err != nil {
+		return err
+	}
+	if p.Kind == dataset.SEQ && p.Reset != "" {
+		if err := b.SetInputUint(p.Reset, 1); err != nil {
+			return err
+		}
+		if err := b.Tick(p.Clock); err != nil {
+			return err
+		}
+		if err := b.SetInputUint(p.Reset, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyStepBatch drives one step on every active lane, in the same
+// sorted port order as the scalar applyStep. Deferrable batches
+// (pure-blocking levelized comb, no sequential processes) apply the
+// whole step under a single settle — same final state, one levelized
+// pass instead of one per input.
+func applyStepBatch(b *sim.BatchInstance, st Step) error {
+	deferred := b.InputsDeferrable()
+	for _, name := range st.SortedNames() {
+		port := b.Design().Port(name)
+		if port == nil {
+			return fmt.Errorf("stimulus for unknown port %q", name)
+		}
+		v := logic.FromUint64(port.Width, st.Inputs[name])
+		if deferred {
+			if err := b.SetInputDeferred(name, v); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := b.SetInput(name, v); err != nil {
+			return err
+		}
+	}
+	return b.Settle()
+}

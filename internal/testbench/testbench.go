@@ -111,6 +111,15 @@ type Testbench struct {
 
 	cachedChecker    *sim.Design
 	cachedCheckerSrc string
+
+	// Cached checker trace for batched runs (see batchTrace): the
+	// checker's trajectory depends only on the stimulus, so one
+	// recorded simulation serves every batch of DUTs. Same concurrency
+	// convention as cachedChecker: warm it (WarmBatchTrace) before
+	// sharing the testbench across goroutines.
+	cachedTrace    *checkerTrace
+	cachedTraceSrc string
+	cachedTraceEng sim.Engine
 }
 
 // ScenarioCount returns the number of scenarios.

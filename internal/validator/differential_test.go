@@ -15,8 +15,10 @@ import (
 // entire dataset: for every problem it builds the golden testbench and
 // an imperfect RTL group (mutated, correct and syntax-broken
 // candidates, exactly as the paper's validator does) and asserts that
-// the RS matrices produced by the two engines render identically —
-// same rows, same red/green cells, same discards.
+// the RS matrices produced by the interpreter, the compiled engine and
+// the batched engine render identically — same rows, same red/green
+// cells, same discards — and that the same candidates run as lanes of
+// one batch produce the same rows again.
 func TestCompiledEngineDifferential(t *testing.T) {
 	prof := llm.GPT4o()
 	v := &Validator{Criterion: Wrong70}
@@ -49,11 +51,52 @@ func TestCompiledEngineDifferential(t *testing.T) {
 
 			compiled, okC := run(sim.EngineCompiled)
 			interp, okI := run(sim.EngineInterp)
-			if okC != okI {
-				t.Fatalf("engines disagree on testbench viability: compiled=%v interp=%v", okC, okI)
+			batched, okB := run(sim.EngineBatched)
+			if okC != okI || okB != okI {
+				t.Fatalf("engines disagree on testbench viability: compiled=%v interp=%v batched=%v", okC, okI, okB)
 			}
 			if compiled != interp {
 				t.Fatalf("RS matrices differ between engines\ncompiled:\n%s\ninterp:\n%s", compiled, interp)
+			}
+			if batched != interp {
+				t.Fatalf("RS matrices differ between engines\nbatched:\n%s\ninterp:\n%s", batched, interp)
+			}
+
+			// The matrix rows above run each candidate on its own scalar
+			// instance; now run the same candidates as lanes of one
+			// sim.BatchInstance and require identical per-scenario rows.
+			goldenDesign, err := p.Elaborate()
+			if err != nil {
+				t.Fatalf("golden design: %v", err)
+			}
+			var duts []*sim.Design
+			for _, cand := range group {
+				d, err := sim.ElaborateSource(cand.Source, p.Top)
+				if err != nil {
+					continue // syntax-broken rows are discarded either way
+				}
+				duts = append(duts, d)
+			}
+			if len(duts) == 0 {
+				t.Fatalf("no elaborable candidates in RTL group")
+			}
+			btb := *gtb
+			btb.Engine = sim.EngineInterp
+			outs := btb.RunBatchAgainstDesigns(goldenDesign, duts, false)
+			for i, d := range duts {
+				res, rerr := btb.RunAgainstDesign(d)
+				if (outs[i].Err != nil) != (rerr != nil) {
+					t.Fatalf("candidate %d: batch err=%v scalar err=%v", i, outs[i].Err, rerr)
+				}
+				if rerr != nil {
+					continue
+				}
+				for s := range res.ScenarioPass {
+					if outs[i].Res.ScenarioPass[s] != res.ScenarioPass[s] {
+						t.Fatalf("candidate %d scenario %d: batch %v, scalar %v",
+							i, s, outs[i].Res.ScenarioPass[s], res.ScenarioPass[s])
+					}
+				}
 			}
 		})
 	}

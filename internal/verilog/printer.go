@@ -146,6 +146,16 @@ func sensString(a *Always) string {
 	return strings.Join(parts, " or ")
 }
 
+// StmtString renders one statement exactly as the printer emits it
+// inside a process body. Structurally identical statements render
+// identically, which is what the batch simulator's patch detection
+// compares to find the process bodies a mutant actually changed.
+func StmtString(s Stmt) string {
+	var sb strings.Builder
+	printStmt(&sb, s, "")
+	return sb.String()
+}
+
 // printBody prints a statement that follows a header (always/initial),
 // inline for blocks, indented on the next line otherwise.
 func printBody(sb *strings.Builder, s Stmt, indent string) {
