@@ -1,0 +1,507 @@
+package correctbench
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"correctbench/internal/faults"
+	"correctbench/internal/store"
+)
+
+// chaosSpec is the Table-1 subset the chaos differentials run: small
+// enough to iterate, wide enough to cover CMB and SEQ cells.
+var chaosSpec = ExperimentSpec{Seed: 47, Reps: 1, Problems: []string{"halfadd", "dff"}, Workers: 4}
+
+const chaosCells = 3 * 2 // methods x problems
+
+// cellCount tallies CellFinished events in a stream.
+func cellCount(events []Event) int {
+	n := 0
+	for _, ev := range events {
+		if _, ok := ev.(CellFinished); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// TestChaosDifferentialFaultSchedules is the tentpole acceptance
+// criterion: under distinct seeded fault schedules — transient write
+// errors, lost acknowledgements, and a store that dies a few
+// operations in — the job completes with zero lost cells, an event
+// stream byte-identical to the fault-free run, and identical tables.
+// The only thing faults may change is the accounting.
+func TestChaosDifferentialFaultSchedules(t *testing.T) {
+	_, cleanEvents, cleanExp := drainJob(t, NewClient(), chaosSpec)
+	ref := marshalNormalized(t, cleanEvents)
+	refTable := cleanExp.Table1()
+
+	schedules := []struct {
+		name     string
+		plan     faults.Plan
+		degraded bool // the schedule must trip the breaker
+	}{
+		{name: "transient_errors", plan: faults.Plan{
+			Seed: 101, PutErrorRate: 0.5, GetMissRate: 0.3,
+			LatencyRate: 0.3, MaxLatency: 2 * time.Millisecond,
+		}},
+		{name: "lost_acks", plan: faults.Plan{
+			Seed: 102, LostAckRate: 0.5, PutErrorRate: 0.2,
+			CellDelayRate: 0.5, MaxCellDelay: 2 * time.Millisecond,
+		}},
+		{name: "store_dies", plan: faults.Plan{Seed: 103, FailAfterOps: 3}, degraded: true},
+	}
+	for _, sched := range schedules {
+		t.Run(sched.name, func(t *testing.T) {
+			fs := faults.Wrap(NewMemoryStore(0), sched.plan)
+			c := NewClient(WithStore(fs))
+			job, events, exp := drainJob(t, c, chaosSpec)
+			if got := cellCount(events); got != chaosCells {
+				t.Fatalf("lost cells: stream has %d CellFinished, want %d", got, chaosCells)
+			}
+			if got := marshalNormalized(t, events); !bytes.Equal(got, ref) {
+				t.Errorf("event stream diverged from the clean run under %s faults", sched.name)
+			}
+			if exp.Table1() != refTable {
+				t.Errorf("Table 1 diverged under %s faults", sched.name)
+			}
+			snap := job.Snapshot()
+			if sched.degraded && !snap.StoreDegraded {
+				t.Errorf("schedule %s did not degrade the run: %+v", sched.name, snap)
+			}
+			if c := fs.Counts(); c.PutErrors+c.LostAcks+c.GetMisses+c.DeadOps == 0 {
+				t.Fatalf("schedule %s injected nothing — the differential proved nothing", sched.name)
+			}
+		})
+	}
+}
+
+// TestChaosTornWritesCrashReopen covers the crash schedule: a faulted
+// cold run populates a disk store, the process "crashes" leaving torn
+// shard tails (TearShards), and the reopened store serves a resumed
+// run that re-simulates the lost cells — with an event stream still
+// byte-identical to the clean run.
+func TestChaosTornWritesCrashReopen(t *testing.T) {
+	_, cleanEvents, cleanExp := drainJob(t, NewClient(), chaosSpec)
+	ref := marshalNormalized(t, cleanEvents)
+
+	dir := t.TempDir()
+	st, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := NewClient(WithStore(faults.Wrap(st, faults.Plan{Seed: 104, LostAckRate: 0.4})))
+	_, coldEvents, _ := drainJob(t, cold, chaosSpec)
+	if got := marshalNormalized(t, coldEvents); !bytes.Equal(got, ref) {
+		t.Error("faulted cold run's stream diverged from the clean run")
+	}
+	if err := cold.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash: tear the shard tails. The tear coin is per (seed, file);
+	// walk seeds until the schedule tears at least one shard so the
+	// test always exercises the torn-record path.
+	torn := 0
+	for seed := int64(1); torn == 0 && seed < 32; seed++ {
+		if torn, err = faults.TearShards(dir, seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if torn == 0 {
+		t.Fatal("no shard torn across 31 seeds")
+	}
+
+	st2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := NewClient(WithStore(st2))
+	defer warm.Close(context.Background())
+	job, warmEvents, warmExp := drainJob(t, warm, chaosSpec)
+	if got := cellCount(warmEvents); got != chaosCells {
+		t.Fatalf("resumed run lost cells: %d != %d", got, chaosCells)
+	}
+	if got := marshalNormalized(t, warmEvents); !bytes.Equal(got, ref) {
+		t.Error("resumed run's stream diverged from the clean run after torn shards")
+	}
+	if warmExp.Table1() != cleanExp.Table1() {
+		t.Error("resumed Table 1 diverged after torn shards")
+	}
+	// A torn tail clips the shard's last record, so at least one cell
+	// per torn shard must have been re-simulated.
+	if snap := job.Snapshot(); snap.StoreMisses < torn {
+		t.Errorf("store misses = %d after %d torn shards; the tear lost nothing", snap.StoreMisses, torn)
+	}
+}
+
+// TestChaosDrainWithInflightFaultedWrites is the SIGTERM path: the
+// client closes (cancelling jobs, draining write-backs) while a job
+// is mid-flight against an erroring, slow store — Close must return
+// promptly, and a resumed run against the surviving store bytes must
+// still match the clean stream.
+func TestChaosDrainWithInflightFaultedWrites(t *testing.T) {
+	spec := ExperimentSpec{Seed: 47, Reps: 1, Problems: testProblems, Workers: 2}
+	total := 3 * len(testProblems)
+	_, cleanEvents, _ := drainJob(t, NewClient(), spec)
+	ref := marshalNormalized(t, cleanEvents)
+
+	dir := t.TempDir()
+	st, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(WithStore(faults.Wrap(st, faults.Plan{
+		Seed: 105, PutErrorRate: 0.6, LatencyRate: 0.5, MaxLatency: 2 * time.Millisecond,
+	})))
+	job, err := c.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let at least one faulted write-back happen before the drain.
+	for ev := range job.Events() {
+		if _, ok := ev.(CellFinished); ok {
+			break
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := c.Close(ctx); err != nil {
+		t.Fatalf("drain against a faulted store failed: %v", err)
+	}
+	if d := time.Since(start); d > 20*time.Second {
+		t.Fatalf("drain took %v — write-back retries are not bounded by the drain context", d)
+	}
+
+	st2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := NewClient(WithStore(st2))
+	defer resumed.Close(context.Background())
+	_, events, _ := drainJob(t, resumed, spec)
+	if got := cellCount(events); got != total {
+		t.Fatalf("resumed run lost cells: %d != %d", got, total)
+	}
+	if got := marshalNormalized(t, events); !bytes.Equal(got, ref) {
+		t.Error("resumed run's stream diverged from the clean run after a faulted drain")
+	}
+}
+
+// erroringStore fails every Put (after an optional artificial delay)
+// but serves Gets; the shape of a store whose disk died mid-flight.
+type erroringStore struct {
+	mu   sync.Mutex
+	puts int
+}
+
+func (e *erroringStore) Get(store.Key) (store.Outcome, bool) { return store.Outcome{}, false }
+func (e *erroringStore) Put(store.Key, store.Outcome) error {
+	e.mu.Lock()
+	e.puts++
+	e.mu.Unlock()
+	return errors.New("erroring store: disk gone")
+}
+func (e *erroringStore) Stats() store.Stats { return store.Stats{Backend: "erroring"} }
+func (e *erroringStore) Close() error       { return nil }
+
+// TestFaultedStoreCloseDrain is the satellite: Client.Close(ctx) must
+// drain cleanly and inside its deadline when every write-back errors
+// — previously only the happy path was covered.
+func TestFaultedStoreCloseDrain(t *testing.T) {
+	c := NewClient(WithStore(&erroringStore{}))
+	spec := ExperimentSpec{Seed: 47, Reps: 1, Problems: testProblems, Workers: 2}
+	job, err := c.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ev := range job.Events() {
+		if _, ok := ev.(CellFinished); ok {
+			break
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.Close(ctx); err != nil {
+		t.Fatalf("Close against an erroring store: %v", err)
+	}
+	if _, err := job.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Errorf("drained job err = %v, want context.Canceled", err)
+	}
+	// The job is fully terminated: its stream replays and closes.
+	done := false
+	for ev := range job.Events() {
+		if _, ok := ev.(JobDone); ok {
+			done = true
+		}
+	}
+	if !done {
+		t.Error("drained job's stream has no JobDone")
+	}
+}
+
+// blockingStore parks every Get until released, which keeps a
+// store-backed job deterministically in-flight — the saturation tests
+// use it to hold a job slot open without racing wall clocks.
+type blockingStore struct {
+	release chan struct{}
+	once    sync.Once
+}
+
+func newBlockingStore() *blockingStore { return &blockingStore{release: make(chan struct{})} }
+
+func (b *blockingStore) unblock() { b.once.Do(func() { close(b.release) }) }
+
+func (b *blockingStore) Get(store.Key) (store.Outcome, bool) {
+	<-b.release
+	return store.Outcome{}, false
+}
+func (b *blockingStore) Put(store.Key, store.Outcome) error { return nil }
+func (b *blockingStore) Stats() store.Stats                 { return store.Stats{Backend: "blocking"} }
+func (b *blockingStore) Close() error                       { return nil }
+
+// waitGoroutines polls until the goroutine count settles back to at
+// most base+slack, failing the test if it never does (a leak).
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+4 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("goroutines did not settle: %d now vs %d at start", runtime.NumGoroutine(), base)
+}
+
+// TestChaosServiceSaturation pins the admission-control contract: a
+// saturated server answers 429 with Retry-After instead of queueing,
+// frees the slot when the job ends, and leaks no goroutines.
+func TestChaosServiceSaturation(t *testing.T) {
+	base := runtime.NumGoroutine()
+	bs := newBlockingStore()
+	c := NewClient(WithStore(bs))
+	ts := httptest.NewServer(NewServer(c, WithLimits(Limits{
+		MaxActiveJobs: 1,
+		RetryAfter:    3 * time.Second,
+	})))
+	defer ts.Close()
+
+	submit := func() *http.Response {
+		t.Helper()
+		return postJSON(t, ts.URL+"/v1/experiments", chaosSpec)
+	}
+	resp := submit()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %s", resp.Status)
+	}
+	resp.Body.Close()
+
+	resp = submit()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit: %s, want 429", resp.Status)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Errorf("Retry-After = %q, want \"3\"", ra)
+	}
+	resp.Body.Close()
+
+	// Release the held job; its completion frees the slot.
+	bs.unblock()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp = submit()
+		if resp.StatusCode == http.StatusAccepted {
+			resp.Body.Close()
+			break
+		}
+		resp.Body.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("job slot never freed after the first job finished")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for _, j := range c.Jobs() {
+		<-j.done
+	}
+	ts.Close()
+	waitGoroutines(t, base)
+}
+
+// TestChaosPerClientQuota: one tenant at its cap is refused while
+// another is admitted — the quota is per client, not global.
+func TestChaosPerClientQuota(t *testing.T) {
+	bs := newBlockingStore()
+	defer bs.unblock()
+	c := NewClient(WithStore(bs))
+	ts := httptest.NewServer(NewServer(c, WithLimits(Limits{MaxJobsPerClient: 1})))
+	defer ts.Close()
+
+	submitAs := func(id string) *http.Response {
+		t.Helper()
+		body := strings.NewReader(fmt.Sprintf(`{"seed":47,"reps":1,"problems":["halfadd"],"workers":1,"llm":"","criterion":""}`))
+		req, err := http.NewRequest("POST", ts.URL+"/v1/experiments", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Client-ID", id)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	resp := submitAs("tenant-a")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("tenant-a first submit: %s", resp.Status)
+	}
+	resp.Body.Close()
+	resp = submitAs("tenant-a")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("tenant-a over quota: %s, want 429", resp.Status)
+	}
+	resp.Body.Close()
+	resp = submitAs("tenant-b")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("tenant-b blocked by tenant-a's quota: %s", resp.Status)
+	}
+	resp.Body.Close()
+	bs.unblock()
+	for _, j := range c.Jobs() {
+		<-j.done
+	}
+}
+
+// TestChaosRateLimit: the per-client token bucket refuses the burst
+// overflow with 429 + Retry-After.
+func TestChaosRateLimit(t *testing.T) {
+	c := NewClient()
+	ts := httptest.NewServer(NewServer(c, WithLimits(Limits{RatePerSec: 0.001, Burst: 2})))
+	defer ts.Close()
+
+	codes := []int{}
+	for i := 0; i < 3; i++ {
+		// An invalid body still spends a token — rate limiting happens
+		// before any request work.
+		resp := postJSON(t, ts.URL+"/v1/experiments", map[string]any{"problems": []string{"nosuch"}})
+		codes = append(codes, resp.StatusCode)
+		resp.Body.Close()
+	}
+	want := []int{http.StatusBadRequest, http.StatusBadRequest, http.StatusTooManyRequests}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Fatalf("request %d: status %d, want %d (all: %v)", i, codes[i], want[i], codes)
+		}
+	}
+}
+
+// TestFaultBodyTooLarge: oversized submit and grade bodies map to 413
+// via MaxBytesReader, not an unbounded read then 400.
+func TestFaultBodyTooLarge(t *testing.T) {
+	c := NewClient()
+	ts := httptest.NewServer(NewServer(c, WithLimits(Limits{MaxBodyBytes: 128})))
+	defer ts.Close()
+
+	big := fmt.Sprintf(`{"problems":[%q]}`, strings.Repeat("x", 4096))
+	for _, path := range []string{"/v1/experiments", "/v1/grade"} {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(big))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("POST %s with oversized body: %s, want 413", path, resp.Status)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestFaultStatusMapping pins the reworked statusFor: client
+// disconnects are 499, server deadlines 504, drain cancellations 503,
+// and everything else 500 — the old code folded the first three into
+// 408.
+func TestFaultStatusMapping(t *testing.T) {
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	live := context.Background()
+	cases := []struct {
+		name string
+		ctx  context.Context
+		err  error
+		want int
+	}{
+		{"client_closed", cancelled, context.Canceled, statusClientClosedRequest},
+		{"server_deadline", live, context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{"drain_cancel", live, context.Canceled, http.StatusServiceUnavailable},
+		{"other", live, errors.New("boom"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		if got := statusFor(tc.ctx, tc.err); got != tc.want {
+			t.Errorf("%s: statusFor = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestFaultGradeTimeout: a server-imposed request timeout surfaces as
+// 504 on the grade endpoint.
+func TestFaultGradeTimeout(t *testing.T) {
+	c := NewClient()
+	ts := httptest.NewServer(NewServer(c, WithLimits(Limits{RequestTimeout: time.Nanosecond})))
+	defer ts.Close()
+	resp := postJSON(t, ts.URL+"/v1/grade", map[string]any{"problem": "halfadd", "seed": 1})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("timed-out grade: %s, want 504", resp.Status)
+	}
+}
+
+// TestFaultPanicRecovery: a panicking handler answers 500 and the
+// server keeps serving; http.ErrAbortHandler passes through untouched.
+func TestFaultPanicRecovery(t *testing.T) {
+	calls := 0
+	h := recoverPanics(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls == 1 {
+			panic("boom")
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: %s, want 500", resp.Status)
+	}
+	resp, err = http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after panic: %s, want 200 — the daemon must survive", resp.Status)
+	}
+
+	abort := recoverPanics(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	defer func() {
+		if recover() != http.ErrAbortHandler {
+			t.Error("ErrAbortHandler was swallowed instead of re-raised")
+		}
+	}()
+	abort.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+}

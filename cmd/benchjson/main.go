@@ -29,9 +29,11 @@ import (
 
 	"correctbench"
 	"correctbench/internal/dataset"
+	"correctbench/internal/faults"
 	"correctbench/internal/harness"
 	"correctbench/internal/mutate"
 	"correctbench/internal/sim"
+	"correctbench/internal/store"
 	"correctbench/internal/testbench"
 	"correctbench/internal/verilog"
 )
@@ -129,19 +131,45 @@ type batchReport struct {
 	Runs                []batchMeasurement `json:"runs"`
 }
 
+// robustnessMeasurement is one fault schedule's run of the Table-I
+// workload against a fault-injected store: what was injected, what
+// the harness's fault-tolerance layer did about it, and whether the
+// run stayed correct.
+type robustnessMeasurement struct {
+	Schedule     string  `json:"schedule"` // "clean" | "transient_faults" | "store_dies"
+	Seconds      float64 `json:"seconds"`
+	InjectedOps  int64   `json:"injected_ops,omitempty"` // fault-injector decisions that fired
+	PutRetries   int     `json:"store_put_retries"`
+	PutDrops     int     `json:"store_put_drops"`
+	BreakerTrips int     `json:"store_breaker_trips"`
+	Degraded     bool    `json:"store_degraded"`
+}
+
+// robustnessReport tracks the store fault-tolerance guarantee from PR
+// to PR: the same workload under seeded fault schedules must produce
+// a Table I byte-identical to the clean run, with the retry/breaker
+// counters showing the machinery actually engaged.
+type robustnessReport struct {
+	Bench           string                  `json:"bench"`
+	Cells           int                     `json:"cells"`
+	Runs            []robustnessMeasurement `json:"runs"`
+	TablesIdentical bool                    `json:"tables_identical_across_schedules"`
+}
+
 type report struct {
-	Bench      string        `json:"bench"`
-	GoMaxProcs int           `json:"gomaxprocs"`
-	Problems   int           `json:"problems"`
-	Methods    int           `json:"methods"`
-	Reps       int           `json:"reps"`
-	Seed       int64         `json:"seed"`
-	Identical  bool          `json:"tables_identical_across_workers"`
-	Runs       []measurement `json:"runs"`
-	Sim        *simReport    `json:"sim,omitempty"`
-	SimBatched *batchReport  `json:"sim_batched,omitempty"`
-	Events     *eventsReport `json:"events,omitempty"`
-	Store      *storeReport  `json:"store,omitempty"`
+	Bench      string            `json:"bench"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	Problems   int               `json:"problems"`
+	Methods    int               `json:"methods"`
+	Reps       int               `json:"reps"`
+	Seed       int64             `json:"seed"`
+	Identical  bool              `json:"tables_identical_across_workers"`
+	Runs       []measurement     `json:"runs"`
+	Sim        *simReport        `json:"sim,omitempty"`
+	SimBatched *batchReport      `json:"sim_batched,omitempty"`
+	Events     *eventsReport     `json:"events,omitempty"`
+	Store      *storeReport      `json:"store,omitempty"`
+	Robustness *robustnessReport `json:"robustness,omitempty"`
 }
 
 func main() {
@@ -223,6 +251,10 @@ func main() {
 	stRep, err := storeBench(probs, *reps, *seed)
 	exitOn(err)
 	rep.Store = stRep
+
+	roRep, err := robustnessBench(probs, *reps, *seed)
+	exitOn(err)
+	rep.Robustness = roRep
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	exitOn(err)
@@ -645,6 +677,72 @@ func storeBench(probs []*dataset.Problem, reps int, seed int64) (*storeReport, e
 	// sub-millisecond, far below the JSON's 1ms display resolution.
 	if rawSecs[1] > 0 {
 		rep.WarmSpeedup = round3(rawSecs[0] / rawSecs[1])
+	}
+	return rep, nil
+}
+
+// robustnessBench runs the Table-I workload against an in-memory
+// result store three times: clean, under a seeded transient-fault
+// schedule (write errors, lost acks, forced read misses), and with
+// the store dying a few operations in (the breaker must degrade the
+// run to cache-bypass mode). All three runs start cold and must
+// produce byte-identical tables — faults may cost retries and cache
+// efficiency, never correctness.
+func robustnessBench(probs []*dataset.Problem, reps int, seed int64) (*robustnessReport, error) {
+	cfgFor := func(st store.Store) harness.Config {
+		return harness.Config{Reps: reps, Seed: seed, Problems: probs, Store: st}
+	}
+	cells := len(harness.AllMethods()) * max(reps, 1) * len(probs)
+	rep := &robustnessReport{Bench: "harness.Run/table1_faulted_store", Cells: cells, TablesIdentical: true}
+
+	schedules := []struct {
+		name string
+		plan *faults.Plan
+	}{
+		{name: "clean"},
+		{name: "transient_faults", plan: &faults.Plan{
+			Seed: seed, PutErrorRate: 0.3, LostAckRate: 0.1, GetMissRate: 0.2,
+		}},
+		{name: "store_dies", plan: &faults.Plan{Seed: seed, FailAfterOps: 5}},
+	}
+	var refTable string
+	for i, sched := range schedules {
+		var st store.Store = store.NewMemory(0)
+		var fs *faults.Store
+		if sched.plan != nil {
+			fs = faults.Wrap(st, *sched.plan)
+			st = fs
+		}
+		start := time.Now()
+		res, err := harness.Run(cfgFor(st))
+		if err != nil {
+			return nil, fmt.Errorf("robustness bench (%s): %w", sched.name, err)
+		}
+		secs := time.Since(start).Seconds()
+		table := res.Table1()
+		if i == 0 {
+			refTable = table
+		} else if table != refTable {
+			rep.TablesIdentical = false
+		}
+		m := robustnessMeasurement{
+			Schedule:     sched.name,
+			Seconds:      round3(secs),
+			PutRetries:   res.Store.PutRetries,
+			PutDrops:     res.Store.PutDrops,
+			BreakerTrips: res.Store.BreakerTrips,
+			Degraded:     res.Store.Degraded,
+		}
+		if fs != nil {
+			c := fs.Counts()
+			m.InjectedOps = c.PutErrors + c.LostAcks + c.GetMisses + c.DeadOps
+		}
+		rep.Runs = append(rep.Runs, m)
+		fmt.Fprintf(os.Stderr, "benchjson: robustness schedule=%s %.2fs (injected=%d retries=%d drops=%d degraded=%v)\n",
+			sched.name, secs, m.InjectedOps, m.PutRetries, m.PutDrops, m.Degraded)
+	}
+	if !rep.TablesIdentical {
+		fmt.Fprintln(os.Stderr, "benchjson: WARNING: faulted runs produced a different Table I — fault-tolerance regression")
 	}
 	return rep, nil
 }

@@ -11,6 +11,16 @@
 // the remainder, and SIGTERM drains in-flight jobs and flushes the
 // store before the listener shuts down.
 //
+// The daemon ships with admission control on by default: bounded
+// concurrent jobs globally (-max-jobs) and per client
+// (-max-jobs-per-client), a per-client token-bucket rate limit on
+// submit/grade (-rate/-burst), a grading request timeout
+// (-request-timeout), and request body caps (-max-body-bytes).
+// Refused work is answered with 429 + Retry-After (never queued), and
+// a store that errors mid-job degrades that job to cache-bypass mode
+// instead of failing it — see the README's "Operations & fault
+// tolerance" section.
+//
 // Usage:
 //
 //	correctbenchd -addr :8080
@@ -56,6 +66,14 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		storeDir  = flag.String("store-dir", "", "directory for the persistent result store (empty: no store; completed cells are then never reused across restarts)")
 		selfcheck = flag.Bool("selfcheck", false, "start an ephemeral server, run a 2-problem experiment over HTTP, compare with the in-process run, prove a warm resubmit replays every cell from the store, and exit")
+
+		maxJobs       = flag.Int("max-jobs", 16, "max concurrently running experiments across all clients; over the cap submits get 429 + Retry-After (0: unlimited)")
+		maxJobsClient = flag.Int("max-jobs-per-client", 4, "max concurrently running experiments per client, keyed by X-Client-ID or remote host (0: unlimited)")
+		rate          = flag.Float64("rate", 5, "per-client token-bucket rate for submit/grade, requests per second (0: unlimited)")
+		burst         = flag.Int("burst", 10, "per-client token-bucket burst for submit/grade")
+		reqTimeout    = flag.Duration("request-timeout", 5*time.Minute, "per-request timeout for synchronous grading work; exceeding it answers 504 (0: none)")
+		maxBody       = flag.Int64("max-body-bytes", 8<<20, "request body cap for submit/grade; overflow answers 413")
+		retryAfter    = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 	)
 	flag.Parse()
 
@@ -85,7 +103,23 @@ func main() {
 	}
 	client := correctbench.NewClient(opts...)
 
-	srv := &http.Server{Addr: *addr, Handler: correctbench.NewServer(client)}
+	limits := correctbench.Limits{
+		MaxActiveJobs:    *maxJobs,
+		MaxJobsPerClient: *maxJobsClient,
+		RatePerSec:       *rate,
+		Burst:            *burst,
+		RequestTimeout:   *reqTimeout,
+		MaxBodyBytes:     *maxBody,
+		RetryAfter:       *retryAfter,
+	}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: correctbench.NewServer(client, correctbench.WithLimits(limits)),
+		// Slow-loris defense: a client gets 10s to finish its headers.
+		// No blanket write timeout — NDJSON streams are long-lived by
+		// design and bounded by their own job lifecycle instead.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	done := make(chan struct{})

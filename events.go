@@ -108,6 +108,13 @@ type JobDone struct {
 	// serialized, so warm and cold wire streams stay byte-identical.
 	StoreHits   int
 	StoreMisses int
+	// Store is the run's full result-store accounting including the
+	// fault-tolerance counters (write-back retries and drops, breaker
+	// trips, degraded cache-bypass mode). Also not serialized: a run
+	// against a misbehaving store streams the same bytes as a clean
+	// one — that is the robustness contract, and these counters are
+	// how operators see what it cost.
+	Store StoreUsage
 }
 
 // Type implements Event.

@@ -1,0 +1,208 @@
+package faults
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"correctbench/internal/store"
+)
+
+func key(b byte) store.Key { return store.Key{b} }
+
+// TestFaultPlanDeterministic: the same plan makes the same decision
+// for the same (kind, op) forever — the property every chaos
+// differential rests on.
+func TestFaultPlanDeterministic(t *testing.T) {
+	p := Plan{Seed: 7, PutErrorRate: 0.4, GetMissRate: 0.3, LatencyRate: 0.5, MaxLatency: time.Millisecond}
+	for n := int64(0); n < 200; n++ {
+		for _, kind := range []string{"puterr", "getmiss", "lostack"} {
+			if p.decide(kind, n, 0.4) != p.decide(kind, n, 0.4) {
+				t.Fatalf("decide(%s, %d) nondeterministic", kind, n)
+			}
+		}
+		if p.delay("get", n, 0.5, time.Millisecond) != p.delay("get", n, 0.5, time.Millisecond) {
+			t.Fatalf("delay(get, %d) nondeterministic", n)
+		}
+	}
+	// Different seeds must actually produce different schedules.
+	q := Plan{Seed: 8, PutErrorRate: 0.4}
+	same := true
+	for n := int64(0); n < 64; n++ {
+		if p.decide("puterr", n, 0.4) != q.decide("puterr", n, 0.4) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 produced identical 64-op schedules")
+	}
+}
+
+// TestFaultStoreInjectsAndCounts drives a wrapped memory store through
+// a fixed op sequence twice and checks the two passes inject
+// identically, every injected error is ErrInjected, and lost acks
+// really landed in the inner store.
+func TestFaultStoreInjectsAndCounts(t *testing.T) {
+	plan := Plan{Seed: 3, PutErrorRate: 0.5, LostAckRate: 0.3, GetMissRate: 0.5}
+	run := func() (Counts, int, int) {
+		inner := store.NewMemory(0)
+		s := Wrap(inner, plan)
+		putErrs, landed := 0, 0
+		for i := byte(0); i < 50; i++ {
+			if err := s.Put(key(i), store.Outcome{Problem: "p"}); err != nil {
+				if !errors.Is(err, ErrInjected) {
+					t.Fatalf("unexpected error type: %v", err)
+				}
+				putErrs++
+			}
+			if _, ok := inner.Get(key(i)); ok {
+				landed++
+			}
+			s.Get(key(i))
+		}
+		return s.Counts(), putErrs, landed
+	}
+	c1, errs1, landed1 := run()
+	c2, errs2, landed2 := run()
+	if c1 != c2 || errs1 != errs2 || landed1 != landed2 {
+		t.Fatalf("two identical passes diverged: %+v/%d/%d vs %+v/%d/%d", c1, errs1, landed1, c2, errs2, landed2)
+	}
+	if c1.PutErrors == 0 || c1.LostAcks == 0 || c1.GetMisses == 0 {
+		t.Fatalf("schedule injected nothing: %+v", c1)
+	}
+	// Lost acks are written then denied: the inner store must hold
+	// strictly more than the acked puts.
+	if landed1 != 50-int(c1.PutErrors)-int(c1.DeadOps) {
+		t.Errorf("landed = %d, want %d (all but clean put errors)", landed1, 50-int(c1.PutErrors))
+	}
+}
+
+// TestFaultStoreDiesAtOpN: from FailAfterOps on, every Put errors and
+// every Get misses; before it, the store behaves.
+func TestFaultStoreDiesAtOpN(t *testing.T) {
+	inner := store.NewMemory(0)
+	s := Wrap(inner, Plan{Seed: 1, FailAfterOps: 4})
+	for i := byte(0); i < 4; i++ {
+		if err := s.Put(key(i), store.Outcome{Problem: "p"}); err != nil {
+			t.Fatalf("op %d failed before the death point: %v", i, err)
+		}
+	}
+	if err := s.Put(key(9), store.Outcome{Problem: "p"}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("put after death = %v, want ErrInjected", err)
+	}
+	if _, ok := s.Get(key(0)); ok {
+		t.Fatal("get after death returned a hit")
+	}
+	if c := s.Counts(); c.DeadOps != 2 {
+		t.Errorf("dead ops = %d, want 2", c.DeadOps)
+	}
+}
+
+// TestFaultInjectorCellDelays: the per-cell delay schedule is keyed by
+// canonical index, so the same cells are delayed on every run.
+func TestFaultInjectorCellDelays(t *testing.T) {
+	plan := Plan{Seed: 5, CellDelayRate: 0.5, MaxCellDelay: time.Microsecond}
+	schedule := make([]bool, 64)
+	want := 0
+	for i := range schedule {
+		schedule[i] = plan.delay("cell", int64(i), plan.CellDelayRate, plan.MaxCellDelay) > 0
+		if schedule[i] {
+			want++
+		}
+	}
+	if want == 0 || want == len(schedule) {
+		t.Fatalf("degenerate schedule: %d/%d delayed", want, len(schedule))
+	}
+	inj := New(plan)
+	for i := range schedule {
+		inj.CellStart(i)
+	}
+	if got := int(inj.Delays()); got != want {
+		t.Fatalf("injector delayed %d cells, schedule says %d", got, want)
+	}
+}
+
+// TestFaultTearShards tears a synthetic shard directory and checks
+// the schedule is deterministic, respects the header, and actually
+// shortens the torn files.
+func TestFaultTearShards(t *testing.T) {
+	build := func(t *testing.T) string {
+		dir := t.TempDir()
+		for i, name := range []string{"a.shard", "b.shard", "c.shard", "d.shard"} {
+			data := make([]byte, 100+10*i)
+			for j := range data {
+				data[j] = byte(j)
+			}
+			if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Non-shard files must be left alone.
+		if err := os.WriteFile(filepath.Join(dir, "index.json"), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	sizes := func(t *testing.T, dir string) map[string]int64 {
+		out := map[string]int64{}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			info, err := e.Info()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[e.Name()] = info.Size()
+		}
+		return out
+	}
+
+	d1, d2 := build(t), build(t)
+	n1, err := TearShards(d1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := TearShards(d2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := sizes(t, d1), sizes(t, d2)
+	if n1 != n2 {
+		t.Fatalf("torn counts differ: %d vs %d", n1, n2)
+	}
+	for name, sz := range s1 {
+		if s2[name] != sz {
+			t.Errorf("%s: sizes diverged %d vs %d under the same seed", name, sz, s2[name])
+		}
+	}
+	if n1 == 0 {
+		t.Fatal("seed 4 tore nothing; pick a seed that exercises the tear path")
+	}
+	if s1["index.json"] != 1 {
+		t.Error("non-shard file was modified")
+	}
+	torn := 0
+	for name, sz := range s1 {
+		if name == "index.json" {
+			continue
+		}
+		if sz < 8 {
+			t.Errorf("%s torn into the header: %d bytes", name, sz)
+		}
+		orig := int64(100 + 10*int(name[0]-'a'))
+		if sz < orig {
+			torn++
+			if orig-sz > 40 {
+				t.Errorf("%s lost %d bytes, cap is 40", name, orig-sz)
+			}
+		}
+	}
+	if torn != n1 {
+		t.Errorf("reported %d torn files, observed %d", n1, torn)
+	}
+}

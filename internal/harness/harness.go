@@ -111,7 +111,24 @@ type Config struct {
 	// makes an interrupted experiment resumable: resubmitting an
 	// identical config replays the finished cells and simulates only
 	// the remainder. The store may be shared by concurrent runs.
+	//
+	// The store is allowed to misbehave: every access goes through a
+	// per-run guard (see guard.go) that retries failed write-backs
+	// with capped, jittered backoff, drops them after a bounded budget,
+	// and opens a circuit breaker — degrading the rest of the run to
+	// cache-bypass, NoStore-equivalent mode — when the store looks
+	// dead. A store fault can therefore never fail, block, or change
+	// the byte stream of a run; the accounting lands in Results.Store.
 	Store store.Store
+
+	// CellHook, when non-nil, runs in the worker goroutine immediately
+	// before a cell is simulated (store-replayed cells never reach it),
+	// receiving the canonical cell index. It exists for chaos testing
+	// (internal/faults.Injector.CellStart): injected latency reshuffles
+	// completion order, which the ordered emitter must absorb without
+	// any observable difference. The hook must be safe for concurrent
+	// calls and must not call back into the harness.
+	CellHook func(index int)
 }
 
 // CellEvent describes one finished experiment cell, as delivered to
@@ -171,6 +188,12 @@ type Results struct {
 	// configured). A fully warm rerun has StoreMisses == 0.
 	StoreHits   int
 	StoreMisses int
+
+	// Store is the run's full result-store accounting, including the
+	// fault-tolerance counters (write-back retries, drops, breaker
+	// state) the plain hit/miss split cannot express. Zero when no
+	// store was configured.
+	Store StoreUsage
 }
 
 // CellStream derives the private random stream of one experiment
@@ -338,6 +361,21 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 
 	emit := newOrderedEmitter(cfg)
 
+	// Every store access goes through the per-run guard: bounded
+	// write-back retries, drop accounting, and the circuit breaker
+	// that degrades a run with a dead store to cache-bypass mode.
+	var guard *storeGuard
+	if cfg.Store != nil {
+		guard = newStoreGuard(cfg.Store, cfg.Seed)
+	}
+	finish := func() *Results {
+		if guard != nil {
+			res.Store = guard.snapshot()
+			res.Store.Hits, res.Store.Misses = res.StoreHits, res.StoreMisses
+		}
+		return res
+	}
+
 	// Store lookup phase: resolve every cell against the store before
 	// any scheduling. Hits are written straight into their result slots
 	// and released through the ordered emitter — the same canonical
@@ -352,9 +390,9 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 			for pi, p := range cfg.Problems {
 				c := cell{idx: idx, mi: mi, ri: ri, pi: pi}
 				idx++
-				if cfg.Store != nil {
+				if guard != nil {
 					c.key = CellKey(&cfg, m, ri, p)
-					if so, ok := cfg.Store.Get(c.key); ok {
+					if so, ok := guard.get(c.key); ok {
 						if o, ok := fromStoreOutcome(so, p); ok {
 							res.Outcomes[m][ri][pi] = o
 							res.StoreHits++
@@ -373,7 +411,7 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	}
 	if len(pending) == 0 {
 		// Fully warm: every cell replayed, nothing to simulate.
-		return res, nil
+		return finish(), nil
 	}
 
 	workers := cfg.Workers
@@ -400,6 +438,9 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 				}
 				method, p := cfg.Methods[c.mi], cfg.Problems[c.pi]
 				r := CellStream(cfg.Seed, method, c.ri, p.Name).Rand()
+				if cfg.CellHook != nil {
+					cfg.CellHook(c.idx)
+				}
 				start := time.Now()
 				o, err := runTask(ctx, method, p, cfg, eval, r)
 				if err != nil {
@@ -407,13 +448,15 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 					continue
 				}
 				res.Outcomes[method][c.ri][c.pi] = o
-				if cfg.Store != nil {
+				if guard != nil {
 					// Persist before release, so any observer that has
 					// seen the cell's event can already rely on it being
-					// resumable. Put errors are deliberately non-fatal
-					// (the store counts them): a full disk degrades the
-					// run to uncached, it does not fail it.
-					_ = cfg.Store.Put(c.key, toStoreOutcome(o))
+					// resumable. Write-backs are retried with backoff and
+					// then deliberately dropped, never fatal (the guard
+					// counts retries, drops, and breaker trips): a full
+					// disk degrades the run to uncached, it does not
+					// fail it.
+					guard.put(ctx, c.key, toStoreOutcome(o))
 				}
 				emit.cellDone(CellEvent{
 					Index: c.idx, Method: method, Rep: c.ri, Problem: p.Name,
@@ -444,7 +487,7 @@ feed:
 	if err := errs.first(); err != nil {
 		return nil, err
 	}
-	return res, nil
+	return finish(), nil
 }
 
 // errorCollector keeps the error of the canonically earliest failing

@@ -48,6 +48,9 @@ type Job struct {
 	storeEnabled bool
 	storeHits    int
 	storeMisses  int
+	// storeUsage is the harness's final store accounting (retries,
+	// drops, degraded mode), available once the run finished.
+	storeUsage StoreUsage
 }
 
 // ID returns the job's client-assigned identifier.
@@ -173,6 +176,9 @@ func (j *Job) Snapshot() Snapshot {
 	}
 	s.StoreHits = j.storeHits
 	s.StoreMisses = j.storeMisses
+	s.StorePutRetries = j.storeUsage.PutRetries
+	s.StorePutDrops = j.storeUsage.PutDrops
+	s.StoreDegraded = j.storeUsage.Degraded
 	return s
 }
 
@@ -192,6 +198,14 @@ type Snapshot struct {
 	// omitted) when the job ran without a store.
 	StoreHits   int `json:"store_hits,omitempty"`
 	StoreMisses int `json:"store_misses,omitempty"`
+	// Store fault-tolerance accounting, populated when the run has
+	// finished: write-backs retried, write-backs dropped after the
+	// retry budget, and whether the run degraded to cache-bypass mode
+	// because the store was unhealthy. A degraded job still succeeds
+	// with the same results — these fields are how that shows up.
+	StorePutRetries int  `json:"store_put_retries,omitempty"`
+	StorePutDrops   int  `json:"store_put_drops,omitempty"`
+	StoreDegraded   bool `json:"store_degraded,omitempty"`
 }
 
 // publish appends an event to the history and wakes subscribers.
@@ -250,18 +264,20 @@ func (j *Job) run(ctx context.Context, hcfg harness.Config) {
 		j.exp = &Experiment{Results: res}
 		j.tables["table1"] = j.exp.Table1()
 		j.tables["table3"] = j.exp.Table3()
+		j.storeUsage = res.Store
 	}
 	j.err = err
 	exp := j.exp
 	t1, t3 := j.tables["table1"], j.tables["table3"]
 	hits, misses := j.storeHits, j.storeMisses
+	usage := j.storeUsage
 	j.mu.Unlock()
 
 	if err == nil {
 		j.publish(TableReady{Name: "table1", Text: t1})
 		j.publish(TableReady{Name: "table3", Text: t3})
 	}
-	j.publish(JobDone{Results: exp, Err: err, StoreHits: hits, StoreMisses: misses})
+	j.publish(JobDone{Results: exp, Err: err, StoreHits: hits, StoreMisses: misses, Store: usage})
 
 	j.mu.Lock()
 	j.closed = true

@@ -1,0 +1,243 @@
+package correctbench
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Limits is the service's admission-control policy: how much work one
+// correctbenchd instance accepts before it starts answering 429 with a
+// Retry-After hint instead of queueing unboundedly. The zero value of
+// every rate/quota field means "unlimited", so DefaultLimits (used by
+// NewServer when no WithLimits option is given) keeps the embedded
+// handler as permissive as before this layer existed — hardened
+// defaults are set by the correctbenchd flags, where an operator can
+// see and override them.
+type Limits struct {
+	// MaxActiveJobs caps experiments running concurrently across all
+	// clients; 0 means unlimited. A submit over the cap is refused with
+	// 429 — the queue is the client's to manage, not the server's to
+	// buffer.
+	MaxActiveJobs int
+	// MaxJobsPerClient caps concurrently running experiments per
+	// client (see clientKey); 0 means unlimited.
+	MaxJobsPerClient int
+	// RatePerSec and Burst form a per-client token bucket over the
+	// mutating endpoints (submit, grade). RatePerSec 0 disables rate
+	// limiting; Burst defaults to max(1, ceil(RatePerSec)).
+	RatePerSec float64
+	Burst      int
+	// RequestTimeout bounds synchronous request work (grade); 0 means
+	// no timeout. Streaming endpoints are bounded by their own
+	// lifecycle, not this.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps submit/grade request bodies; overflow is 413.
+	// 0 means use the default (8 MiB).
+	MaxBodyBytes int64
+	// RetryAfter is the hint returned with 429 responses; 0 means the
+	// default (1s).
+	RetryAfter time.Duration
+}
+
+// DefaultLimits returns the backward-compatible policy: everything
+// unlimited except a sane body cap.
+func DefaultLimits() Limits {
+	return Limits{MaxBodyBytes: defaultMaxBodyBytes, RetryAfter: time.Second}
+}
+
+const (
+	defaultMaxBodyBytes = 8 << 20
+	// maxTrackedClients bounds the admission table; past it, idle
+	// client entries are evicted before admitting new ones, so a
+	// stampede of one-shot clients cannot grow server state without
+	// bound.
+	maxTrackedClients = 1024
+)
+
+// ServerOption configures NewServer.
+type ServerOption func(*server)
+
+// WithLimits sets the server's admission-control policy.
+func WithLimits(l Limits) ServerOption {
+	return func(s *server) { s.limits = l }
+}
+
+// admission enforces Limits. One instance per server; all methods are
+// safe for concurrent use.
+type admission struct {
+	lim Limits
+
+	mu      sync.Mutex
+	active  int
+	clients map[string]*clientState
+}
+
+type clientState struct {
+	tokens float64
+	last   time.Time
+	active int
+}
+
+func newAdmission(lim Limits) *admission {
+	if lim.MaxBodyBytes <= 0 {
+		lim.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	if lim.RetryAfter <= 0 {
+		lim.RetryAfter = time.Second
+	}
+	if lim.RatePerSec > 0 && lim.Burst <= 0 {
+		lim.Burst = int(math.Max(1, math.Ceil(lim.RatePerSec)))
+	}
+	return &admission{lim: lim, clients: make(map[string]*clientState)}
+}
+
+// clientKey identifies the caller for quotas and rate limits: the
+// X-Client-ID header when present (multi-tenant deployments set it at
+// the edge), else the remote host.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return "id:" + id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	return "addr:" + host
+}
+
+// state returns (creating if needed) the client's entry, evicting idle
+// entries first when the table is full.
+func (a *admission) state(key string, now time.Time) *clientState {
+	cs := a.clients[key]
+	if cs == nil {
+		if len(a.clients) >= maxTrackedClients {
+			for k, c := range a.clients {
+				if c.active == 0 && now.Sub(c.last) > time.Minute {
+					delete(a.clients, k)
+				}
+			}
+		}
+		cs = &clientState{tokens: float64(a.lim.Burst), last: now}
+		a.clients[key] = cs
+	}
+	return cs
+}
+
+// allowRate takes one token from the client's bucket, reporting
+// whether the request is admitted.
+func (a *admission) allowRate(key string, now time.Time) bool {
+	if a.lim.RatePerSec <= 0 {
+		return true
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cs := a.state(key, now)
+	cs.tokens = math.Min(float64(a.lim.Burst), cs.tokens+now.Sub(cs.last).Seconds()*a.lim.RatePerSec)
+	cs.last = now
+	if cs.tokens < 1 {
+		return false
+	}
+	cs.tokens--
+	return true
+}
+
+// reserveJob claims a concurrent-job slot for the client under both
+// the global and per-client caps. On success it returns a release
+// func (idempotent) that must be called when the job finishes; on
+// refusal it returns the reason.
+func (a *admission) reserveJob(key string, now time.Time) (release func(), err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.lim.MaxActiveJobs > 0 && a.active >= a.lim.MaxActiveJobs {
+		return nil, fmt.Errorf("server at capacity (%d active experiments)", a.active)
+	}
+	cs := a.state(key, now)
+	if a.lim.MaxJobsPerClient > 0 && cs.active >= a.lim.MaxJobsPerClient {
+		return nil, fmt.Errorf("client at capacity (%d active experiments)", cs.active)
+	}
+	a.active++
+	cs.active++
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			a.active--
+			cs.active--
+			cs.last = time.Now()
+			a.mu.Unlock()
+		})
+	}, nil
+}
+
+// tooMany answers 429 with the policy's Retry-After hint.
+func (a *admission) tooMany(w http.ResponseWriter, err error) {
+	secs := int(math.Ceil(a.lim.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusTooManyRequests, err)
+}
+
+// isBodyTooLarge reports whether a decode failure came from the
+// MaxBytesReader cap (413) rather than malformed JSON (400).
+func isBodyTooLarge(err error) bool {
+	var mbe *http.MaxBytesError
+	return errors.As(err, &mbe)
+}
+
+// statusRecorder tracks whether a handler has committed a response,
+// so the panic middleware knows if a 500 can still be written.
+type statusRecorder struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.wrote = true
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	sr.wrote = true
+	return sr.ResponseWriter.Write(b)
+}
+
+// Flush keeps streaming endpoints working through the recorder.
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// recoverPanics is the outermost middleware: a panicking handler
+// answers 500 (when the response is still uncommitted) instead of
+// killing the daemon's connection-serving goroutine state. Handlers
+// that hold a job guard against the panic themselves and cancel the
+// job before re-panicking into this recovery (see server.submit).
+// http.ErrAbortHandler is re-raised: it is the stdlib's sanctioned
+// way to abort a response and is already handled by net/http.
+func recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sr := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			if !sr.wrote {
+				writeError(sr, http.StatusInternalServerError, fmt.Errorf("internal error: %v", v))
+			}
+		}()
+		next.ServeHTTP(sr, r)
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"correctbench/internal/dataset"
 	"correctbench/internal/testbench"
@@ -41,8 +42,21 @@ import (
 // The handler is stdlib-only and safe for concurrent use. Job
 // retention is bounded by the client (see maxRetainedJobs): snapshots
 // and event streams of long-evicted finished jobs return 404.
-func NewServer(c *Client) http.Handler {
-	s := &server{client: c}
+//
+// Admission control is configured with WithLimits: bounded concurrent
+// jobs (globally and per client), per-client token-bucket rate limits
+// on the mutating endpoints, per-request timeouts on grading, and
+// request body caps. Refused work is answered with 429 + Retry-After
+// (quota/rate) or 413 (body size); the defaults (DefaultLimits) keep
+// everything unlimited except the body cap. The returned handler also
+// carries panic recovery: a panicking request answers 500 — after
+// cancelling its job, if it owned one — without killing the daemon.
+func NewServer(c *Client, opts ...ServerOption) http.Handler {
+	s := &server{client: c, limits: DefaultLimits()}
+	for _, o := range opts {
+		o(s)
+	}
+	s.adm = newAdmission(s.limits)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/experiments", s.submit)
 	mux.HandleFunc("GET /v1/experiments/{id}", s.snapshot)
@@ -53,11 +67,13 @@ func NewServer(c *Client) http.Handler {
 	mux.HandleFunc("GET /v1/criteria", s.criteria)
 	mux.HandleFunc("POST /v1/grade", s.grade)
 	mux.HandleFunc("GET /v1/store/stats", s.storeStats)
-	return mux
+	return recoverPanics(mux)
 }
 
 type server struct {
 	client *Client
+	limits Limits
+	adm    *admission
 }
 
 type httpError struct {
@@ -93,9 +109,27 @@ type submitResponse struct {
 }
 
 func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	key := clientKey(r)
+	if !s.adm.allowRate(key, time.Now()) {
+		s.adm.tooMany(w, errors.New("rate limit exceeded"))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.adm.lim.MaxBodyBytes)
 	var req submitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if isBodyTooLarge(err) {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body over %d bytes", s.adm.lim.MaxBodyBytes))
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	// Claim a concurrent-job slot before spending any work on the
+	// spec; the slot is held until the job finishes (however it
+	// finishes), not just until this request returns.
+	release, admErr := s.adm.reserveJob(key, time.Now())
+	if admErr != nil {
+		s.adm.tooMany(w, admErr)
 		return
 	}
 	// Detached jobs outlive the submitting request; streamed jobs are
@@ -106,13 +140,27 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.client.Submit(ctx, req.ExperimentSpec)
 	if err != nil {
+		release()
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	go func() {
+		<-job.done
+		release()
+	}()
 	if !req.Stream {
 		writeJSON(w, http.StatusAccepted, submitResponse{ID: job.ID(), TotalCells: job.Snapshot().TotalCells})
 		return
 	}
+	// A panic while streaming must not leave the job running headless:
+	// cancel it, then re-panic into the recovery middleware for the
+	// 500 (or connection abort, if bytes already went out).
+	defer func() {
+		if v := recover(); v != nil {
+			job.Cancel()
+			panic(v)
+		}
+	}()
 	s.streamEvents(w, r, job)
 }
 
@@ -237,8 +285,17 @@ type gradeResponse struct {
 }
 
 func (s *server) grade(w http.ResponseWriter, r *http.Request) {
+	if !s.adm.allowRate(clientKey(r), time.Now()) {
+		s.adm.tooMany(w, errors.New("rate limit exceeded"))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.adm.lim.MaxBodyBytes)
 	var req gradeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if isBodyTooLarge(err) {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body over %d bytes", s.adm.lim.MaxBodyBytes))
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
@@ -253,14 +310,22 @@ func (s *server) grade(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Grading is synchronous request work, so it gets the per-request
+	// timeout; a deadline hit surfaces as 504 via statusFor.
+	ctx := r.Context()
+	if s.adm.lim.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.adm.lim.RequestTimeout)
+		defer cancel()
+	}
 	resp := gradeResponse{Problem: req.Problem}
 	var tb *Testbench
 	if req.Testbench != nil {
 		tb = wireToTestbench(p, req.Testbench)
 	} else {
-		res, err := s.client.GenerateTestbench(r.Context(), req.Problem, req.TaskSpec)
+		res, err := s.client.GenerateTestbench(ctx, req.Problem, req.TaskSpec)
 		if err != nil {
-			writeError(w, statusFor(err), err)
+			writeError(w, statusFor(ctx, err), err)
 			return
 		}
 		tb = res.Testbench
@@ -271,9 +336,9 @@ func (s *server) grade(w http.ResponseWriter, r *http.Request) {
 		resp.TokensIn = res.TokensIn
 		resp.TokensOut = res.TokensOut
 	}
-	grade, err := s.client.Grade(r.Context(), tb, req.Seed)
+	grade, err := s.client.Grade(ctx, tb, req.Seed)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeError(w, statusFor(ctx, err), err)
 		return
 	}
 	resp.Grade = grade.String()
@@ -281,13 +346,28 @@ func (s *server) grade(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// statusFor maps run-time failures: request-context cancellation to
-// 499-style client closed (408 in stdlib vocabulary), everything
-// else to 500 — spec validation has already returned 400 by the time
-// this is consulted, so remaining errors are server-side faults.
-func statusFor(err error) int {
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		return http.StatusRequestTimeout
+// statusClientClosedRequest is nginx's 499: the client went away
+// before the response. Go's stdlib has no name for it, but it is the
+// accurate status for a request-context cancel — the old mapping of
+// both context errors to 408 blamed the client for server-side
+// deadlines and vice versa.
+const statusClientClosedRequest = 499
+
+// statusFor maps run-time failures to HTTP statuses: a client
+// disconnect (the request context itself was cancelled) to 499, a
+// server-imposed deadline to 504, any other context cancellation —
+// e.g. the daemon draining — to 503, and everything else to 500. Spec
+// validation has already returned 400 by the time this is consulted,
+// so remaining errors are server-side faults.
+func statusFor(ctx context.Context, err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		if ctx != nil && ctx.Err() != nil {
+			return statusClientClosedRequest
+		}
+		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError
 }

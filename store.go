@@ -1,6 +1,7 @@
 package correctbench
 
 import (
+	"correctbench/internal/harness"
 	"correctbench/internal/store"
 )
 
@@ -20,6 +21,14 @@ type Store = store.Store
 // StoreStats is a store's live counter snapshot (see Client.StoreStats
 // and GET /v1/store/stats).
 type StoreStats = store.Stats
+
+// StoreUsage is one job's result-store accounting, including the
+// fault-tolerance counters: write-back retries and drops, operations
+// bypassed with the circuit breaker open, and whether the run
+// degraded to cache-bypass mode. Surfaced on JobDone and (summarized)
+// in Snapshot; a misbehaving store changes these counters, never a
+// job's results or event bytes.
+type StoreUsage = harness.StoreUsage
 
 // NewMemoryStore returns an in-process LRU result store holding at
 // most maxEntries cells (0: unbounded). It is the right choice for
