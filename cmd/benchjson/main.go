@@ -36,6 +36,7 @@ import (
 	"correctbench/internal/store"
 	"correctbench/internal/testbench"
 	"correctbench/internal/verilog"
+	"correctbench/internal/vstatic"
 )
 
 type measurement struct {
@@ -156,6 +157,23 @@ type robustnessReport struct {
 	TablesIdentical bool                    `json:"tables_identical_across_schedules"`
 }
 
+// staticReport tracks the static-analysis front from PR to PR: how
+// much of the full golden dataset the levelized fast path covers
+// (this gates batch-engine throughput), whether any golden RTL has
+// picked up a lint diagnostic, and what the mutant pre-screen sees on
+// a fixed-seed candidate sweep. Always measured over all problems,
+// not the benchmark mix — coverage is a dataset property.
+type staticReport struct {
+	Bench             string             `json:"bench"`
+	Problems          int                `json:"problems"`
+	LevelizedProblems int                `json:"levelized_problems"`
+	LevelizedPct      float64            `json:"levelized_pct"`
+	CombProcs         int                `json:"comb_procs"`
+	StaticCombProcs   int                `json:"static_comb_procs"`
+	Diagnostics       int                `json:"golden_diagnostics"`
+	Screen            mutate.ScreenStats `json:"mutant_prescreen"`
+}
+
 type report struct {
 	Bench      string            `json:"bench"`
 	GoMaxProcs int               `json:"gomaxprocs"`
@@ -170,6 +188,7 @@ type report struct {
 	Events     *eventsReport     `json:"events,omitempty"`
 	Store      *storeReport      `json:"store,omitempty"`
 	Robustness *robustnessReport `json:"robustness,omitempty"`
+	Static     *staticReport     `json:"static,omitempty"`
 }
 
 func main() {
@@ -255,6 +274,10 @@ func main() {
 	roRep, err := robustnessBench(probs, *reps, *seed)
 	exitOn(err)
 	rep.Robustness = roRep
+
+	saRep, err := staticBench()
+	exitOn(err)
+	rep.Static = saRep
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	exitOn(err)
@@ -744,6 +767,52 @@ func robustnessBench(probs []*dataset.Problem, reps int, seed int64) (*robustnes
 	if !rep.TablesIdentical {
 		fmt.Fprintln(os.Stderr, "benchjson: WARNING: faulted runs produced a different Table I — fault-tolerance regression")
 	}
+	return rep, nil
+}
+
+// staticBench sweeps the module-level analysis over every golden RTL
+// and screens a fixed-seed batch of mutation candidates per problem,
+// mirroring what AutoEval's generator sees.
+func staticBench() (*staticReport, error) {
+	all := dataset.All()
+	rep := &staticReport{
+		Bench:    "vstatic.golden_sweep",
+		Problems: len(all),
+	}
+	for _, p := range all {
+		rs, err := vstatic.AnalyzeSource(p.Source, p.Top)
+		if err != nil {
+			return nil, fmt.Errorf("static bench: %s: %w", p.Name, err)
+		}
+		r := rs[0]
+		if r.Levelizable {
+			rep.LevelizedProblems++
+		}
+		rep.CombProcs += r.CombProcs
+		rep.StaticCombProcs += r.StaticCombProcs
+		rep.Diagnostics += len(r.Diags)
+
+		mod, err := p.Module()
+		if err != nil {
+			return nil, fmt.Errorf("static bench: module %s: %w", p.Name, err)
+		}
+		screen := mutate.NewScreen(mod)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 20; i++ {
+			mut, applied := mutate.Mutate(mod, rng, 1)
+			if len(applied) == 0 {
+				break
+			}
+			screen.Reject(mut)
+		}
+		rep.Screen.Add(screen.Stats)
+	}
+	if rep.Problems > 0 {
+		rep.LevelizedPct = round3(float64(rep.LevelizedProblems) / float64(rep.Problems) * 100)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: static levelized=%d/%d (%.1f%%) diags=%d prescreen candidates=%d identical=%d flagged=%d\n",
+		rep.LevelizedProblems, rep.Problems, rep.LevelizedPct, rep.Diagnostics,
+		rep.Screen.Candidates, rep.Screen.Identical, rep.Screen.Flagged)
 	return rep, nil
 }
 

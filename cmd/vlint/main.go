@@ -1,0 +1,138 @@
+// Command vlint runs the static design analysis (internal/vstatic)
+// over Verilog files or dataset problems and reports diagnostics:
+// multiple drivers, combinational loops, latch inference, width
+// truncation, unreachable case arms, undeclared names.
+//
+// Usage:
+//
+//	vlint file.v [file2.v ...]     # lint files (all modules)
+//	vlint -problems mux2,gray_dec4 # lint dataset golden RTL by name
+//	vlint -all                     # lint every dataset golden
+//	vlint -json file.v             # machine-readable output
+//	vlint -info -all               # include info-severity findings
+//
+// Exit status: 0 when nothing at or above the gate severity was
+// found, 1 when diagnostics were reported, 2 on usage or I/O errors.
+// The default gate is warning; -info lowers it so extension notes
+// also count.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"correctbench/internal/dataset"
+	"correctbench/internal/vstatic"
+)
+
+type fileReport struct {
+	Name    string            `json:"name"`
+	Results []*vstatic.Result `json:"results"`
+}
+
+func main() {
+	problems := flag.String("problems", "", "comma-separated dataset problem names to lint")
+	all := flag.Bool("all", false, "lint every dataset problem's golden RTL")
+	asJSON := flag.Bool("json", false, "emit JSON instead of text")
+	info := flag.Bool("info", false, "count info-severity findings toward the exit status")
+	flag.Parse()
+
+	gate := vstatic.SevWarning
+	if *info {
+		gate = vstatic.SevInfo
+	}
+
+	var reports []fileReport
+	fail := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "vlint: "+format+"\n", args...)
+		os.Exit(2)
+	}
+
+	switch {
+	case *all:
+		for _, p := range dataset.All() {
+			rs, err := vstatic.AnalyzeSource(p.Source, p.Top)
+			if err != nil {
+				fail("%s: %v", p.Name, err)
+			}
+			reports = append(reports, fileReport{Name: p.Name, Results: rs})
+		}
+	case *problems != "":
+		for _, name := range strings.Split(*problems, ",") {
+			name = strings.TrimSpace(name)
+			p := dataset.ByName(name)
+			if p == nil {
+				fail("unknown problem %q", name)
+			}
+			rs, err := vstatic.AnalyzeSource(p.Source, p.Top)
+			if err != nil {
+				fail("%s: %v", name, err)
+			}
+			reports = append(reports, fileReport{Name: name, Results: rs})
+		}
+	default:
+		if flag.NArg() == 0 {
+			fail("no input: pass Verilog files, -problems, or -all")
+		}
+		for _, path := range flag.Args() {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				fail("%v", err)
+			}
+			rs, err := vstatic.AnalyzeSource(string(src), "")
+			if err != nil {
+				fail("%s: %v", path, err)
+			}
+			reports = append(reports, fileReport{Name: path, Results: rs})
+		}
+	}
+	sort.SliceStable(reports, func(i, j int) bool { return reports[i].Name < reports[j].Name })
+
+	flagged := 0
+	for _, rep := range reports {
+		for _, r := range rep.Results {
+			flagged += r.Count(gate)
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fail("%v", err)
+		}
+	} else {
+		clean := 0
+		for _, rep := range reports {
+			for _, r := range rep.Results {
+				shown := 0
+				for _, d := range r.Diags {
+					if d.Severity >= gate {
+						fmt.Printf("%s: %s: %s\n", rep.Name, r.Module, d)
+						shown++
+					}
+				}
+				if shown == 0 {
+					clean++
+				}
+			}
+		}
+		fmt.Printf("vlint: %d module(s) analyzed, %d clean, %d diagnostic(s)\n",
+			countModules(reports), clean, flagged)
+	}
+	if flagged > 0 {
+		os.Exit(1)
+	}
+}
+
+func countModules(reports []fileReport) int {
+	n := 0
+	for _, rep := range reports {
+		n += len(rep.Results)
+	}
+	return n
+}

@@ -85,6 +85,19 @@ type Evaluator struct {
 	// once per Evaluator.
 	designMu sync.Mutex
 	designs  map[string]*sim.Design
+
+	// screenMu guards screenStats, the aggregate of the static mutant
+	// pre-screens run during fixture construction.
+	screenMu    sync.Mutex
+	screenStats mutate.ScreenStats
+}
+
+// ScreenStats returns the aggregate static pre-screen counters over
+// every fixture this evaluator has built.
+func (e *Evaluator) ScreenStats() mutate.ScreenStats {
+	e.screenMu.Lock()
+	defer e.screenMu.Unlock()
+	return e.screenStats
 }
 
 // elaborateCached elaborates Verilog source, memoizing per distinct
@@ -252,19 +265,26 @@ func (e *Evaluator) buildFixture(p *dataset.Problem) (*fixture, error) {
 		Problem: p, Scenarios: probeScs,
 		CheckerSource: p.Source, CheckerTop: p.Top, CheckerSticky: -1,
 	}
+	// Candidates are statically pre-screened: identity mutants never
+	// reach a simulation lane (the screen is draw-preserving, so the
+	// selected mutants are the same with or without it).
+	screen := mutate.NewScreen(golden)
 	var candidates []*verilog.Module
 	if batched {
-		candidates = mutate.DistinctMutantsBatch(golden, rng, e.Mutants*3, 1, batchDiffers)
+		candidates = mutate.DistinctMutantsBatchScreened(golden, rng, e.Mutants*3, 1, batchDiffers, screen)
 		if len(candidates) < e.Mutants {
 			// Problems with few mutation sites: widen to 2-fault mutants.
-			candidates = append(candidates, mutate.DistinctMutantsBatch(golden, rng, e.Mutants*2, 2, batchDiffers)...)
+			candidates = append(candidates, mutate.DistinctMutantsBatchScreened(golden, rng, e.Mutants*2, 2, batchDiffers, screen)...)
 		}
 	} else {
-		candidates = mutate.DistinctMutants(golden, rng, e.Mutants*3, 1, differs)
+		candidates = mutate.DistinctMutantsScreened(golden, rng, e.Mutants*3, 1, differs, screen)
 		if len(candidates) < e.Mutants {
-			candidates = append(candidates, mutate.DistinctMutants(golden, rng, e.Mutants*2, 2, differs)...)
+			candidates = append(candidates, mutate.DistinctMutantsScreened(golden, rng, e.Mutants*2, 2, differs, screen)...)
 		}
 	}
+	e.screenMu.Lock()
+	e.screenStats.Add(screen.Stats)
+	e.screenMu.Unlock()
 	var subtle, gross []*verilog.Module
 	if batched {
 		for i, o := range batchRun(probe, candidates) {

@@ -441,7 +441,7 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 				if cfg.CellHook != nil {
 					cfg.CellHook(c.idx)
 				}
-				start := time.Now()
+				start := time.Now() //detlint:allow CellEvent.Duration is documented wall-clock metadata, excluded from the deterministic surface
 				o, err := runTask(ctx, method, p, cfg, eval, r)
 				if err != nil {
 					errs.record(c.idx, fmt.Errorf("%s/%s rep %d: %w", method, p.Name, c.ri, err))

@@ -42,7 +42,8 @@ func groupLabel(name string, n int) string {
 }
 
 func (r *Results) groupSize(g Group) int {
-	for _, reps := range r.Outcomes {
+	for _, m := range r.Config.Methods {
+		reps := r.Outcomes[m]
 		if len(reps) == 0 {
 			continue
 		}

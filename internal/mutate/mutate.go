@@ -414,20 +414,7 @@ type DifferenceChecker func(mutant *verilog.Module) (bool, error)
 // Mutants that fail elaboration are discarded too (differs should
 // report an error for those).
 func DistinctMutants(m *verilog.Module, rng *rand.Rand, n int, mutationsEach int, differs DifferenceChecker) []*verilog.Module {
-	var out []*verilog.Module
-	maxAttempts := n*20 + 20
-	for attempt := 0; attempt < maxAttempts && len(out) < n; attempt++ {
-		mut, applied := Mutate(m, rng, mutationsEach)
-		if len(applied) == 0 {
-			break
-		}
-		ok, err := differs(mut)
-		if err != nil || !ok {
-			continue
-		}
-		out = append(out, mut)
-	}
-	return out
+	return DistinctMutantsScreened(m, rng, n, mutationsEach, differs, nil)
 }
 
 // DifferenceResult is one candidate's verdict from a
@@ -453,38 +440,7 @@ type BatchDifferenceChecker func(mutants []*verilog.Module) []DifferenceResult
 // mutants and the post-call rng state are identical to
 // DistinctMutants; only the number of checker invocations changes.
 func DistinctMutantsBatch(m *verilog.Module, rng *rand.Rand, n int, mutationsEach int, differs BatchDifferenceChecker) []*verilog.Module {
-	var out []*verilog.Module
-	maxAttempts := n*20 + 20
-	attempt := 0
-	for attempt < maxAttempts && len(out) < n {
-		want := n - len(out)
-		if rem := maxAttempts - attempt; want > rem {
-			want = rem
-		}
-		wave := make([]*verilog.Module, 0, want)
-		exhausted := false
-		for len(wave) < want {
-			mut, applied := Mutate(m, rng, mutationsEach)
-			attempt++
-			if len(applied) == 0 {
-				exhausted = true
-				break
-			}
-			wave = append(wave, mut)
-		}
-		if len(wave) > 0 {
-			verdicts := differs(wave)
-			for i, mut := range wave {
-				if i < len(verdicts) && verdicts[i].Err == nil && verdicts[i].Differs {
-					out = append(out, mut)
-				}
-			}
-		}
-		if exhausted {
-			break
-		}
-	}
-	return out
+	return DistinctMutantsBatchScreened(m, rng, n, mutationsEach, differs, nil)
 }
 
 // ---- syntax corruption ----

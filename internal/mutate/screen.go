@@ -1,0 +1,146 @@
+package mutate
+
+import (
+	"math/rand"
+
+	"correctbench/internal/verilog"
+	"correctbench/internal/vstatic"
+)
+
+// Screen statically pre-screens candidate mutants before any
+// simulation. Two kinds of findings:
+//
+//   - identity candidates — mutants whose printed source equals the
+//     golden's — are rejected outright: byte-identical RTL elaborates
+//     to identical behavior, so no engine can ever kill them and the
+//     difference check would waste a simulation lane;
+//   - candidates that introduce a new error-severity static finding
+//     (multiple drivers, unreachable arms from a perturbed constant)
+//     are counted as flagged. They stay in the pool — a statically
+//     suspicious mutant may still be killable, and rejecting it would
+//     change which mutants surveys select — but the count feeds the
+//     benchmark report.
+//
+// Screening never alters the candidate stream: every draw happens
+// whether or not it is screened out, so the mutants returned by the
+// screened generators (and the post-call rng state) are identical to
+// the unscreened ones.
+type Screen struct {
+	golden       string
+	baselineErrs int
+	Stats        ScreenStats
+}
+
+// ScreenStats aggregates what a Screen saw.
+type ScreenStats struct {
+	// Candidates counts every candidate inspected.
+	Candidates int `json:"candidates"`
+	// Identical counts candidates rejected as print-identical to the
+	// golden (provably unkillable).
+	Identical int `json:"identical"`
+	// Flagged counts candidates carrying more error-severity static
+	// diagnostics than the golden.
+	Flagged int `json:"flagged"`
+}
+
+// Add accumulates other into s.
+func (s *ScreenStats) Add(other ScreenStats) {
+	s.Candidates += other.Candidates
+	s.Identical += other.Identical
+	s.Flagged += other.Flagged
+}
+
+// NewScreen builds a screen against golden. The golden's own
+// error-severity diagnostic count is the baseline, so screening a
+// mutant of an already-dirty module flags only what the mutation
+// introduced.
+func NewScreen(golden *verilog.Module) *Screen {
+	return &Screen{
+		golden:       verilog.PrintModule(golden),
+		baselineErrs: vstatic.AnalyzeModule(golden).Count(vstatic.SevError),
+	}
+}
+
+// Reject inspects one candidate and reports whether it is provably
+// unkillable (identity). Non-rejected candidates may still bump the
+// flagged count.
+func (s *Screen) Reject(mut *verilog.Module) bool {
+	s.Stats.Candidates++
+	if verilog.PrintModule(mut) == s.golden {
+		s.Stats.Identical++
+		return true
+	}
+	if vstatic.AnalyzeModule(mut).Count(vstatic.SevError) > s.baselineErrs {
+		s.Stats.Flagged++
+	}
+	return false
+}
+
+// DistinctMutantsScreened is DistinctMutants with a static pre-screen
+// in front of the difference check. A nil screen disables screening.
+// Rejected candidates consume attempts exactly as a non-differing
+// candidate would, so the rng draw sequence — and therefore the
+// returned mutants — match the unscreened call.
+func DistinctMutantsScreened(m *verilog.Module, rng *rand.Rand, n int, mutationsEach int, differs DifferenceChecker, screen *Screen) []*verilog.Module {
+	var out []*verilog.Module
+	maxAttempts := n*20 + 20
+	for attempt := 0; attempt < maxAttempts && len(out) < n; attempt++ {
+		mut, applied := Mutate(m, rng, mutationsEach)
+		if len(applied) == 0 {
+			break
+		}
+		if screen != nil && screen.Reject(mut) {
+			continue
+		}
+		ok, err := differs(mut)
+		if err != nil || !ok {
+			continue
+		}
+		out = append(out, mut)
+	}
+	return out
+}
+
+// DistinctMutantsBatchScreened is DistinctMutantsBatch with a static
+// pre-screen applied to each wave before the batched difference
+// check. A nil screen disables screening. Screened-out candidates are
+// drawn and counted exactly like candidates the checker rejects, so
+// draws, returned mutants and rng state match the unscreened call;
+// only the waves handed to differs shrink.
+func DistinctMutantsBatchScreened(m *verilog.Module, rng *rand.Rand, n int, mutationsEach int, differs BatchDifferenceChecker, screen *Screen) []*verilog.Module {
+	var out []*verilog.Module
+	maxAttempts := n*20 + 20
+	attempt := 0
+	for attempt < maxAttempts && len(out) < n {
+		want := n - len(out)
+		if rem := maxAttempts - attempt; want > rem {
+			want = rem
+		}
+		wave := make([]*verilog.Module, 0, want)
+		exhausted := false
+		for len(wave) < want && attempt < maxAttempts {
+			mut, applied := Mutate(m, rng, mutationsEach)
+			attempt++
+			if len(applied) == 0 {
+				exhausted = true
+				break
+			}
+			if screen != nil && screen.Reject(mut) {
+				continue
+			}
+			wave = append(wave, mut)
+		}
+		if len(wave) > 0 {
+			verdicts := differs(wave)
+			for i, mut := range wave {
+				if i < len(verdicts) && verdicts[i].Err == nil && verdicts[i].Differs {
+					out = append(out, mut)
+				}
+			}
+		}
+		if exhausted {
+			break
+		}
+	}
+	return out
+}

@@ -11,91 +11,97 @@ package sim
 // single topologically ordered pass computes the identical fixpoint,
 // with each process running at most once per settle.
 //
-// analyzeStatic proves those conditions per design; levelize builds
-// the schedule over the union graph of the whole batch (base plus
-// every accepted variant), so one order is valid for all lanes. Any
-// failure simply drops the batch to its per-lane event-driven mode,
-// which replicates the scalar scheduler exactly — levelization is an
-// optimization, never a semantic requirement.
+// The proof obligations live in internal/vstatic (AnalyzeProc and
+// Region), shared with the module-level lint so the two fronts cannot
+// drift: analyzeStatic adapts a design's comb processes into a
+// vstatic.Region and converts its findings into errNotStatic errors;
+// levelize builds the schedule over the union edge set of the whole
+// batch (base plus every accepted variant), so one order is valid for
+// all lanes. Any failure simply drops the batch to its per-lane
+// event-driven mode, which replicates the scalar scheduler exactly —
+// levelization is an optimization, never a semantic requirement.
 
 import (
 	"errors"
 	"fmt"
 
-	"correctbench/internal/verilog"
+	"correctbench/internal/vstatic"
 )
 
 // combStatic is the per-design result of a successful static
-// analysis: which comb process ordinal blocking-writes each slot, and
-// each ordinal's sensitivity slots.
+// analysis: the writer→reader dependency edges (by comb process
+// ordinal) of the design's combinational region.
 type combStatic struct {
-	writer map[int32]int32
-	deps   [][]int32
+	edges [][2]int
 }
 
 var errNotStatic = errors.New("not static")
 
-// analyzeStatic proves the design's combinational region static.
-// A process passes when it is a pure function of its sensitivity list:
-// every read of a signal the process blocking-writes is preceded by a
-// definite whole-signal assignment (no state carried across runs),
-// nonblocking targets are whole identifiers, and every other signal it
-// reads appears in its sensitivity list. Globally, each slot has at
-// most one combinational blocking writer and one combinational NBA
-// writer.
-func analyzeStatic(d *Design) (*combStatic, error) {
-	st := &combStatic{writer: map[int32]int32{}, deps: make([][]int32, len(d.combProcs))}
-	nbaWriter := map[int32]int32{}
+// designRegion runs the shared purity analysis over every
+// combinational process of d, with write/NBA facts filtered to
+// declared slots (names that resolve to nothing cannot conflict,
+// mirroring the engine's slot lookups).
+func designRegion(d *Design) vstatic.Region {
+	env := vstatic.Env{Width: func(name string) (int, bool) {
+		slot, ok := d.slotOf[name]
+		if !ok {
+			return 0, false
+		}
+		return d.slotWidths[slot], true
+	}}
+	region := vstatic.Region{
+		Facts: make([]vstatic.ProcFacts, len(d.combProcs)),
+		Sens:  make([]func(string) bool, len(d.combProcs)),
+	}
 	for ord, p := range d.combProcs {
-		an := &pureAnalyzer{bt: map[string]bool{}}
-		collectBlockingTargets(p.Body, an.bt)
-		final, err := an.walk(p.Body, assignSet{})
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.Name, err)
-		}
-		// Every blocking target must be definitely assigned on every
-		// path: a target left unassigned on some path (a latch) keeps
-		// its previous value, which a run-once schedule cannot honor.
-		for name := range an.bt {
-			if !final[name] {
-				return nil, fmt.Errorf("%s: %w: %q is not assigned on every path (latch)", p.Name, errNotStatic, name)
-			}
-		}
-		for _, name := range an.nbaTargets {
-			slot, ok := d.slotOf[name]
-			if !ok {
-				continue
-			}
-			if w, dup := nbaWriter[int32(slot)]; dup && w != int32(ord) {
-				return nil, fmt.Errorf("%s: %w: signal %q has multiple combinational nonblocking writers", p.Name, errNotStatic, name)
-			}
-			nbaWriter[int32(slot)] = int32(ord)
-		}
 		sens := map[string]bool{}
 		for _, se := range p.Sens {
 			sens[se.Sig] = true
 		}
-		for _, se := range readSetExcludingTargets(p.Body) {
-			if _, ok := d.slotOf[se.Sig]; !ok {
-				continue
-			}
-			if !sens[se.Sig] {
-				return nil, fmt.Errorf("%s: %w: reads %q outside its sensitivity list", p.Name, errNotStatic, se.Sig)
+		sensFn := func(name string) bool { return sens[name] }
+		facts := vstatic.AnalyzeProc(p.Body, sensFn, env)
+		for name := range facts.Writes {
+			if _, ok := d.slotOf[name]; !ok {
+				delete(facts.Writes, name)
 			}
 		}
-		for name := range an.bt {
-			slot, ok := d.slotOf[name]
-			if !ok {
-				continue
+		known := facts.NBA[:0]
+		for _, name := range facts.NBA {
+			if _, ok := d.slotOf[name]; ok {
+				known = append(known, name)
 			}
-			if w, dup := st.writer[int32(slot)]; dup && w != int32(ord) {
-				return nil, fmt.Errorf("%s: %w: signal %q has multiple combinational writers", p.Name, errNotStatic, name)
-			}
-			st.writer[int32(slot)] = int32(ord)
 		}
-		st.deps[ord] = sensSlots(d, p)
+		facts.NBA = known
+		region.Facts[ord] = facts
+		region.Sens[ord] = sensFn
 	}
-	return st, nil
+	return region
+}
+
+// analyzeStatic proves the design's combinational region static.
+// A process passes when it is a pure function of its sensitivity
+// list: every read of a signal bit the process blocking-writes is
+// preceded by a definite assignment of that bit (no state carried
+// across runs), nonblocking targets are whole identifiers, and every
+// input bit it reads appears in its sensitivity list. Globally, every
+// slot bit has at most one combinational blocking writer and every
+// slot one combinational NBA writer.
+func analyzeStatic(d *Design) (*combStatic, error) {
+	region := designRegion(d)
+	for ord, f := range region.Facts {
+		if f.Err != nil {
+			return nil, fmt.Errorf("%s: %w: %v", d.combProcs[ord].Name, errNotStatic, f.Err)
+		}
+	}
+	if cs := region.Conflicts(); len(cs) != 0 {
+		c := cs[0]
+		name := d.combProcs[c.B].Name
+		if c.NBA {
+			return nil, fmt.Errorf("%s: %w: signal %q has multiple combinational nonblocking writers", name, errNotStatic, c.Signal)
+		}
+		return nil, fmt.Errorf("%s: %w: signal %q has multiple combinational writers", name, errNotStatic, c.Signal)
+	}
+	return &combStatic{edges: region.Edges()}, nil
 }
 
 // sensSlots resolves a process's sensitivity list to design slots,
@@ -110,236 +116,9 @@ func sensSlots(d *Design, p *Process) []int32 {
 	return out
 }
 
-// collectBlockingTargets gathers every signal name the body assigns
-// with a blocking assignment (whole, indexed, part-selected, or inside
-// a concat target).
-func collectBlockingTargets(body verilog.Stmt, into map[string]bool) {
-	verilog.WalkStmts(body, func(s verilog.Stmt) {
-		if a, ok := s.(*verilog.Assign); ok && !a.NonBlocking {
-			for _, n := range verilog.LHSTargets(a.LHS) {
-				into[n] = true
-			}
-		}
-	})
-}
-
-// assignSet tracks signals definitely whole-assigned so far on every
-// execution path through a process body.
-type assignSet map[string]bool
-
-func (a assignSet) clone() assignSet {
-	out := make(assignSet, len(a))
-	for k := range a {
-		out[k] = true
-	}
-	return out
-}
-
-func intersectAssign(a, b assignSet) assignSet {
-	out := assignSet{}
-	for k := range a {
-		if b[k] {
-			out[k] = true
-		}
-	}
-	return out
-}
-
-// pureAnalyzer runs a definitely-assigned analysis over one process
-// body: a read of a blocking-target signal before its definite whole
-// assignment means the process observes its own previous run (latch
-// behavior), which the single-pass levelized schedule cannot honor.
-type pureAnalyzer struct {
-	bt         map[string]bool // blocking-write targets of this process
-	nbaTargets []string
-}
-
-// checkReads rejects reads of not-yet-assigned blocking targets.
-func (an *pureAnalyzer) checkReads(e verilog.Expr, a assignSet) error {
-	var bad string
-	verilog.WalkExprs(e, func(x verilog.Expr) {
-		if id, ok := x.(*verilog.Ident); ok && an.bt[id.Name] && !a[id.Name] && bad == "" {
-			bad = id.Name
-		}
-	})
-	if bad != "" {
-		return fmt.Errorf("%w: reads %q before assigning it", errNotStatic, bad)
-	}
-	return nil
-}
-
-// assignLHS processes a blocking-assignment target: whole idents
-// become definitely assigned; partial writes require the target to be
-// definitely assigned already (otherwise unwritten bits carry state).
-func (an *pureAnalyzer) assignLHS(lhs verilog.Expr, a assignSet) error {
-	switch x := lhs.(type) {
-	case *verilog.Ident:
-		a[x.Name] = true
-		return nil
-	case *verilog.Index:
-		if err := an.checkReads(x.Index, a); err != nil {
-			return err
-		}
-		id, ok := x.X.(*verilog.Ident)
-		if !ok {
-			return fmt.Errorf("%w: unsupported assignment target", errNotStatic)
-		}
-		if !a[id.Name] {
-			return fmt.Errorf("%w: partial write to %q before whole assignment", errNotStatic, id.Name)
-		}
-		return nil
-	case *verilog.PartSelect:
-		if err := an.checkReads(x.MSB, a); err != nil {
-			return err
-		}
-		if err := an.checkReads(x.LSB, a); err != nil {
-			return err
-		}
-		id, ok := x.X.(*verilog.Ident)
-		if !ok {
-			return fmt.Errorf("%w: unsupported assignment target", errNotStatic)
-		}
-		if !a[id.Name] {
-			return fmt.Errorf("%w: partial write to %q before whole assignment", errNotStatic, id.Name)
-		}
-		return nil
-	case *verilog.Concat:
-		for _, p := range x.Parts {
-			if err := an.assignLHS(p, a); err != nil {
-				return err
-			}
-		}
-		return nil
-	default:
-		return fmt.Errorf("%w: unsupported assignment target", errNotStatic)
-	}
-}
-
-// walk analyzes s starting from assigned-set a, returning the set of
-// signals definitely assigned after s on every path.
-func (an *pureAnalyzer) walk(s verilog.Stmt, a assignSet) (assignSet, error) {
-	switch x := s.(type) {
-	case nil, *verilog.Null:
-		return a, nil
-
-	case *verilog.Block:
-		var err error
-		for _, sub := range x.Stmts {
-			if a, err = an.walk(sub, a); err != nil {
-				return nil, err
-			}
-		}
-		return a, nil
-
-	case *verilog.Assign:
-		if err := an.checkReads(x.RHS, a); err != nil {
-			return nil, err
-		}
-		if x.NonBlocking {
-			id, ok := x.LHS.(*verilog.Ident)
-			if !ok {
-				return nil, fmt.Errorf("%w: nonblocking write to a partial target", errNotStatic)
-			}
-			an.nbaTargets = append(an.nbaTargets, id.Name)
-			return a, nil
-		}
-		if err := an.assignLHS(x.LHS, a); err != nil {
-			return nil, err
-		}
-		return a, nil
-
-	case *verilog.If:
-		if err := an.checkReads(x.Cond, a); err != nil {
-			return nil, err
-		}
-		th, err := an.walk(x.Then, a.clone())
-		if err != nil {
-			return nil, err
-		}
-		el := a
-		if x.Else != nil {
-			if el, err = an.walk(x.Else, a.clone()); err != nil {
-				return nil, err
-			}
-		}
-		return intersectAssign(th, el), nil
-
-	case *verilog.Case:
-		if err := an.checkReads(x.Expr, a); err != nil {
-			return nil, err
-		}
-		hasDefault := false
-		var result assignSet
-		for _, item := range x.Items {
-			for _, e := range item.Exprs {
-				if err := an.checkReads(e, a); err != nil {
-					return nil, err
-				}
-			}
-			if item.Exprs == nil {
-				hasDefault = true
-			}
-			arm, err := an.walk(item.Body, a.clone())
-			if err != nil {
-				return nil, err
-			}
-			if result == nil {
-				result = arm
-			} else {
-				result = intersectAssign(result, arm)
-			}
-		}
-		if result == nil {
-			return a, nil
-		}
-		if !hasDefault {
-			// No arm may match: only what was assigned before survives.
-			result = intersectAssign(result, a)
-		}
-		return result, nil
-
-	case *verilog.For:
-		a, err := an.walk(x.Init, a)
-		if err != nil {
-			return nil, err
-		}
-		if err := an.checkReads(x.Cond, a); err != nil {
-			return nil, err
-		}
-		// The body may run zero times; anything assigned inside does
-		// not survive, but reads inside must still be clean against the
-		// post-init state.
-		ab, err := an.walk(x.Body, a.clone())
-		if err != nil {
-			return nil, err
-		}
-		if _, err := an.walk(x.Step, ab); err != nil {
-			return nil, err
-		}
-		return a, nil
-
-	case *verilog.Repeat:
-		if err := an.checkReads(x.Count, a); err != nil {
-			return nil, err
-		}
-		if _, err := an.walk(x.Body, a.clone()); err != nil {
-			return nil, err
-		}
-		return a, nil
-
-	case *verilog.SysCall:
-		// Only the argument-ignoring no-op calls survive batch
-		// compilation, so nothing is read here.
-		return a, nil
-
-	default:
-		return nil, fmt.Errorf("%w: unsupported statement", errNotStatic)
-	}
-}
-
 // levelize builds one topological schedule over the union dependency
 // graph of every design in the batch: an edge W→R whenever W
-// blocking-writes a slot in R's sensitivity list in any design.
+// blocking-writes bits R reads sensitively in any design.
 // Nonblocking writes do not create edges (they land in the NBA region
 // after settling, like sequential outputs). Returns the comb ordinals
 // sorted by (level, ordinal) and whether the union graph is acyclic.
@@ -348,22 +127,18 @@ func levelize(nProcs int, statics []*combStatic) ([]int32, bool) {
 	indeg := make([]int, nProcs)
 	seen := make(map[int64]bool)
 	for _, st := range statics {
-		for k := 0; k < nProcs; k++ {
-			for _, s := range st.deps[k] {
-				w, ok := st.writer[s]
-				if !ok || w == int32(k) {
-					// Self-edges are fine: a pure process re-reading its
-					// own output computes the same value.
-					continue
-				}
-				key := int64(w)<<32 | int64(k)
-				if seen[key] {
-					continue
-				}
-				seen[key] = true
-				adj[w] = append(adj[w], int32(k))
-				indeg[k]++
+		for _, e := range st.edges {
+			w, k := e[0], e[1]
+			if w < 0 || k < 0 || w >= nProcs || k >= nProcs {
+				continue
 			}
+			key := int64(w)<<32 | int64(k)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			adj[w] = append(adj[w], int32(k))
+			indeg[k]++
 		}
 	}
 

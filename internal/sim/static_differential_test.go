@@ -1,0 +1,172 @@
+package sim_test
+
+// Differential tests tying the three static-classification fronts
+// together: the module-level lint (vstatic.AnalyzeModule over raw
+// source), the design-level facts (Design.StaticFacts over the
+// elaborated form), and the engine itself (CompileBatch's levelized
+// flag). The run-once levelized schedule is only sound if these
+// agree, so any widening of one front must be proven on the other
+// two — across every dataset problem and a seeded mutant sweep.
+
+import (
+	"math/rand"
+	"testing"
+
+	"correctbench/internal/dataset"
+	"correctbench/internal/mutate"
+	"correctbench/internal/sim"
+	"correctbench/internal/verilog"
+	"correctbench/internal/vstatic"
+)
+
+// classifyModule runs the module-level analysis on src/top.
+func classifyModule(t *testing.T, src, top string) *vstatic.Result {
+	t.Helper()
+	rs, err := vstatic.AnalyzeSource(src, top)
+	if err != nil {
+		t.Fatalf("AnalyzeSource: %v", err)
+	}
+	return rs[0]
+}
+
+func TestStaticClassificationAgreesOnAllGoldens(t *testing.T) {
+	lev := 0
+	for _, p := range dataset.All() {
+		mr := classifyModule(t, p.Source, p.Top)
+		d, err := p.Elaborate()
+		if err != nil {
+			t.Fatalf("%s: elaborate: %v", p.Name, err)
+		}
+		facts := d.StaticFacts()
+		if mr.Levelizable != facts.Levelizable {
+			t.Errorf("%s: module lint says levelizable=%v, design facts say %v (%s)",
+				p.Name, mr.Levelizable, facts.Levelizable, facts.Reason)
+		}
+		if mr.CombProcs != facts.CombProcs || mr.StaticCombProcs != facts.StaticCombProcs {
+			t.Errorf("%s: proc counts differ: module %d/%d vs design %d/%d",
+				p.Name, mr.StaticCombProcs, mr.CombProcs, facts.StaticCombProcs, facts.CombProcs)
+		}
+		prog, err := sim.CompileBatch(d, nil)
+		if err != nil {
+			t.Fatalf("%s: CompileBatch: %v", p.Name, err)
+		}
+		if prog.Levelized() != facts.Levelizable {
+			t.Errorf("%s: engine levelized=%v, static facts say %v",
+				p.Name, prog.Levelized(), facts.Levelizable)
+		}
+		if facts.Levelizable {
+			lev++
+		}
+	}
+	// The bit-granular definite-assignment analysis covers the whole
+	// dataset; a regression here silently slows the batch engine.
+	if total := len(dataset.All()); lev != total {
+		t.Errorf("levelized coverage %d/%d, want full coverage", lev, total)
+	}
+}
+
+func TestStaticClassificationAgreesOnMutants(t *testing.T) {
+	rng := rand.New(rand.NewSource(20250807))
+	checked := 0
+	for _, p := range dataset.All() {
+		f, err := verilog.Parse(p.Source)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", p.Name, err)
+		}
+		golden := f.Module(p.Top)
+		for i := 0; i < 3; i++ {
+			mut, applied := mutate.Mutate(golden, rng, 1)
+			if len(applied) == 0 {
+				break
+			}
+			src := verilog.PrintModule(mut)
+			d, err := sim.ElaborateSource(src, p.Top)
+			if err != nil {
+				// Mutants the engine rejects are outside the contract.
+				continue
+			}
+			mr := classifyModule(t, src, p.Top)
+			facts := d.StaticFacts()
+			if mr.Levelizable != facts.Levelizable {
+				t.Errorf("%s mutant %d: module lint levelizable=%v, design facts %v (%s)\n%s",
+					p.Name, i, mr.Levelizable, facts.Levelizable, facts.Reason, src)
+				continue
+			}
+			prog, err := sim.CompileBatch(d, nil)
+			if err != nil {
+				t.Fatalf("%s mutant %d: CompileBatch: %v", p.Name, i, err)
+			}
+			if prog.Levelized() != facts.Levelizable {
+				t.Errorf("%s mutant %d: engine levelized=%v, static facts %v\n%s",
+					p.Name, i, prog.Levelized(), facts.Levelizable, src)
+			}
+			checked++
+		}
+	}
+	if checked < 300 {
+		t.Fatalf("mutant sweep too thin: only %d mutants checked", checked)
+	}
+}
+
+// TestPreScreenRejectsOnlyUnkillableMutants drives the screened and
+// unscreened generators from identical rng streams over the whole
+// dataset and proves (a) they return byte-identical mutant lists —
+// screening never changes selection — and (b) every rejected
+// candidate is print-identical to the golden, i.e. elaborates to the
+// very same design no engine could distinguish.
+func TestPreScreenRejectsOnlyUnkillableMutants(t *testing.T) {
+	differs := func(mutants []*verilog.Module) []mutate.DifferenceResult {
+		// A deterministic stand-in checker: judged purely on printed
+		// source, so screened and unscreened runs judge identically.
+		out := make([]mutate.DifferenceResult, len(mutants))
+		for i, m := range mutants {
+			out[i] = mutate.DifferenceResult{Differs: len(verilog.PrintModule(m))%2 == 0}
+		}
+		return out
+	}
+	rejected := 0
+	for _, p := range dataset.All() {
+		f, err := verilog.Parse(p.Source)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", p.Name, err)
+		}
+		golden := f.Module(p.Top)
+		goldenSrc := verilog.PrintModule(golden)
+
+		screen := mutate.NewScreen(golden)
+		plain := mutate.DistinctMutantsBatch(golden, rand.New(rand.NewSource(7)), 6, 1, differs)
+		screened := mutate.DistinctMutantsBatchScreened(golden, rand.New(rand.NewSource(7)), 6, 1, differs, screen)
+
+		if len(plain) != len(screened) {
+			t.Fatalf("%s: screened run returned %d mutants, unscreened %d", p.Name, len(screened), len(plain))
+		}
+		for i := range plain {
+			if verilog.PrintModule(plain[i]) != verilog.PrintModule(screened[i]) {
+				t.Fatalf("%s: mutant %d differs between screened and unscreened runs", p.Name, i)
+			}
+		}
+		if screen.Stats.Identical > 0 {
+			rejected += screen.Stats.Identical
+			// Re-derive the rejected candidates and verify each one
+			// elaborates from source byte-identical to the golden's.
+			reRng := rand.New(rand.NewSource(7))
+			seen := 0
+			for attempt := 0; attempt < 6*20+20 && seen < screen.Stats.Candidates; attempt++ {
+				mut, applied := mutate.Mutate(golden, reRng, 1)
+				if len(applied) == 0 {
+					break
+				}
+				seen++
+				if verilog.PrintModule(mut) == goldenSrc {
+					// The screen's whole rejection criterion: identical
+					// print ⇒ identical elaboration input ⇒ identical
+					// behavior under every engine.
+					if _, err := sim.ElaborateSource(goldenSrc, p.Top); err != nil {
+						t.Fatalf("%s: golden source stopped elaborating: %v", p.Name, err)
+					}
+				}
+			}
+		}
+	}
+	t.Logf("pre-screen rejected %d identity candidates across the dataset", rejected)
+}

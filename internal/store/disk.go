@@ -311,7 +311,15 @@ func (d *Disk) Close() error {
 	}
 	d.closed = true
 	var first error
-	for _, f := range d.files {
+	// Sorted iteration, so which error surfaces as "first" on a
+	// multi-shard failure does not depend on map order.
+	names := make([]string, 0, len(d.files))
+	for name := range d.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := d.files[name]
 		if d.sync {
 			if err := f.Sync(); err != nil && first == nil {
 				first = err
@@ -457,12 +465,12 @@ func shardHeader() []byte {
 }
 
 func shardNames(dir string) ([]string, error) {
-	entries, err := os.ReadDir(dir)
+	dirents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	var names []string
-	for _, e := range entries {
+	for _, e := range dirents {
 		if !e.IsDir() && strings.HasSuffix(e.Name(), shardSuffix) {
 			names = append(names, e.Name())
 		}
@@ -574,11 +582,11 @@ func Compact(dir string) (CompactResult, error) {
 	// behind when it was killed before its rename
 	// ("<name>.shard.tmpNNN"). Both live outside the *.shard pattern,
 	// so loads never see them.
-	entries, err := os.ReadDir(dir)
+	dirents, err := os.ReadDir(dir)
 	if err != nil {
 		return res, fmt.Errorf("store: %w", err)
 	}
-	for _, e := range entries {
+	for _, e := range dirents {
 		name := e.Name()
 		if e.IsDir() ||
 			!(strings.Contains(name, shardSuffix+".stale") || strings.Contains(name, shardSuffix+".tmp")) {

@@ -49,7 +49,8 @@ func (k TokenKind) String() string {
 
 // Pos is a position in the source text.
 type Pos struct {
-	Line, Col int
+	Line int `json:"line"`
+	Col  int `json:"col"`
 }
 
 func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }

@@ -1,0 +1,293 @@
+package vstatic
+
+import (
+	"correctbench/internal/logic"
+	"correctbench/internal/verilog"
+)
+
+// ConstEnv resolves names to compile-time constants (parameters and
+// localparams). A nil map resolves nothing.
+type ConstEnv map[string]logic.Vector
+
+// constEval evaluates e when it is a constant expression under env,
+// following the simulator's context-width discipline: operands of
+// arithmetic and bitwise operators are evaluated at the wider of the
+// context and self-determined widths. The bool result reports whether
+// the expression was constant; non-constant subexpressions (signal
+// reads, unsupported forms) make the whole evaluation fail, which
+// callers must treat as "unknown", never as an error.
+func constEval(e verilog.Expr, env ConstEnv, widths func(string) (int, bool), ctx int) (logic.Vector, bool) {
+	want := selfWidth(e, env, widths)
+	if ctx > want {
+		want = ctx
+	}
+	switch x := e.(type) {
+	case *verilog.Number:
+		return x.Val.Resize(want), true
+
+	case *verilog.Ident:
+		if v, ok := env[x.Name]; ok {
+			return v.Resize(want), true
+		}
+		return logic.Vector{}, false
+
+	case *verilog.Unary:
+		switch x.Op {
+		case "+":
+			return constEval(x.X, env, widths, want)
+		case "-":
+			v, ok := constEval(x.X, env, widths, want)
+			if !ok {
+				return logic.Vector{}, false
+			}
+			return logic.Neg(v), true
+		case "~":
+			v, ok := constEval(x.X, env, widths, want)
+			if !ok {
+				return logic.Vector{}, false
+			}
+			return logic.NotV(v).Resize(want), true
+		case "!":
+			v, ok := constEval(x.X, env, widths, 0)
+			if !ok {
+				return logic.Vector{}, false
+			}
+			return logic.Not(v).Resize(want), true
+		case "&", "|", "^", "~&", "~|", "~^", "^~":
+			v, ok := constEval(x.X, env, widths, 0)
+			if !ok {
+				return logic.Vector{}, false
+			}
+			var r logic.Vector
+			switch x.Op {
+			case "&":
+				r = logic.RedAnd(v)
+			case "|":
+				r = logic.RedOr(v)
+			case "^":
+				r = logic.RedXor(v)
+			case "~&":
+				r = logic.RedNand(v)
+			case "~|":
+				r = logic.RedNor(v)
+			default:
+				r = logic.RedXnor(v)
+			}
+			return r.Resize(want), true
+		}
+		return logic.Vector{}, false
+
+	case *verilog.Binary:
+		return constBinary(x, env, widths, want)
+
+	case *verilog.Concat:
+		parts := make([]logic.Vector, len(x.Parts))
+		for i, p := range x.Parts {
+			v, ok := constEval(p, env, widths, 0)
+			if !ok {
+				return logic.Vector{}, false
+			}
+			parts[i] = v
+		}
+		return logic.Concat(parts...).Resize(want), true
+
+	case *verilog.Repl:
+		n, ok := constEval(x.Count, env, widths, 0)
+		if !ok {
+			return logic.Vector{}, false
+		}
+		c, defined := n.Uint64()
+		if !defined || c == 0 || c > 4096 {
+			return logic.Vector{}, false
+		}
+		v, ok := constEval(x.Value, env, widths, 0)
+		if !ok {
+			return logic.Vector{}, false
+		}
+		return logic.Replicate(int(c), v).Resize(want), true
+	}
+	return logic.Vector{}, false
+}
+
+func constBinary(x *verilog.Binary, env ConstEnv, widths func(string) (int, bool), want int) (logic.Vector, bool) {
+	evalAt := func(e verilog.Expr, w int) (logic.Vector, bool) {
+		return constEval(e, env, widths, w)
+	}
+	switch x.Op {
+	case "+", "-", "*", "/", "%", "&", "|", "^", "~^", "^~":
+		l, ok1 := evalAt(x.X, want)
+		r, ok2 := evalAt(x.Y, want)
+		if !ok1 || !ok2 {
+			return logic.Vector{}, false
+		}
+		switch x.Op {
+		case "+":
+			return logic.Add(l, r), true
+		case "-":
+			return logic.Sub(l, r), true
+		case "*":
+			return logic.Mul(l, r), true
+		case "/":
+			return logic.Div(l, r), true
+		case "%":
+			return logic.Mod(l, r), true
+		case "&":
+			return logic.And(l, r), true
+		case "|":
+			return logic.Or(l, r), true
+		case "^":
+			return logic.Xor(l, r), true
+		default:
+			return logic.Xnor(l, r), true
+		}
+	case "<<", ">>", ">>>":
+		l, ok1 := evalAt(x.X, want)
+		r, ok2 := evalAt(x.Y, 0)
+		if !ok1 || !ok2 {
+			return logic.Vector{}, false
+		}
+		switch x.Op {
+		case "<<":
+			return logic.Shl(l, r), true
+		case ">>":
+			return logic.Shr(l, r), true
+		default:
+			return logic.Sshr(l, r), true
+		}
+	case "==", "!=", "<", "<=", ">", ">=", "===", "!==":
+		lw := selfWidth(x.X, env, widths)
+		rw := selfWidth(x.Y, env, widths)
+		if rw > lw {
+			lw = rw
+		}
+		l, ok1 := evalAt(x.X, lw)
+		r, ok2 := evalAt(x.Y, lw)
+		if !ok1 || !ok2 {
+			return logic.Vector{}, false
+		}
+		var v logic.Vector
+		switch x.Op {
+		case "==":
+			v = logic.Eq(l, r)
+		case "!=":
+			v = logic.Neq(l, r)
+		case "<":
+			v = logic.Lt(l, r)
+		case "<=":
+			v = logic.Lte(l, r)
+		case ">":
+			v = logic.Gt(l, r)
+		case ">=":
+			v = logic.Gte(l, r)
+		case "===":
+			v = logic.CaseEq(l, r)
+		default:
+			v = logic.CaseNeq(l, r)
+		}
+		return v.Resize(want), true
+	case "&&", "||":
+		l, ok1 := evalAt(x.X, 0)
+		r, ok2 := evalAt(x.Y, 0)
+		if !ok1 || !ok2 {
+			return logic.Vector{}, false
+		}
+		if x.Op == "&&" {
+			return logic.LAnd(l, r).Resize(want), true
+		}
+		return logic.LOr(l, r).Resize(want), true
+	}
+	return logic.Vector{}, false
+}
+
+// constIndex evaluates an index or bound expression to a small
+// non-negative integer; false when non-constant or not fully defined.
+func constIndex(e verilog.Expr, env ConstEnv, widths func(string) (int, bool)) (int, bool) {
+	v, ok := constEval(e, env, widths, 0)
+	if !ok {
+		return 0, false
+	}
+	u, defined := v.Uint64()
+	if !defined || u > 1<<20 {
+		return 0, false
+	}
+	return int(u), true
+}
+
+// selfWidth computes the self-determined width of an expression per
+// IEEE 1364 table 5-22, mirroring the simulator's rules so that lint
+// verdicts and engine behavior agree. Unknown identifiers report
+// width 1 (a separate pass flags them).
+func selfWidth(e verilog.Expr, env ConstEnv, widths func(string) (int, bool)) int {
+	switch x := e.(type) {
+	case *verilog.Number:
+		if x.Width == 0 {
+			return 32
+		}
+		return x.Width
+	case *verilog.StringLit:
+		return 8 * len(x.Value)
+	case *verilog.Ident:
+		if v, ok := env[x.Name]; ok {
+			return v.Width()
+		}
+		if w, ok := widths(x.Name); ok {
+			return w
+		}
+		return 1
+	case *verilog.Unary:
+		switch x.Op {
+		case "~", "-", "+":
+			return selfWidth(x.X, env, widths)
+		default:
+			return 1
+		}
+	case *verilog.Binary:
+		switch x.Op {
+		case "+", "-", "*", "/", "%", "&", "|", "^", "~^", "^~":
+			l, r := selfWidth(x.X, env, widths), selfWidth(x.Y, env, widths)
+			if r > l {
+				return r
+			}
+			return l
+		case "<<", ">>", ">>>", "<<<", "**":
+			return selfWidth(x.X, env, widths)
+		default:
+			return 1
+		}
+	case *verilog.Ternary:
+		l, r := selfWidth(x.Then, env, widths), selfWidth(x.Else, env, widths)
+		if r > l {
+			return r
+		}
+		return l
+	case *verilog.Concat:
+		total := 0
+		for _, p := range x.Parts {
+			total += selfWidth(p, env, widths)
+		}
+		if total == 0 {
+			return 1
+		}
+		return total
+	case *verilog.Repl:
+		n, ok := constIndex(x.Count, env, widths)
+		if !ok || n < 1 {
+			n = 1
+		}
+		return n * selfWidth(x.Value, env, widths)
+	case *verilog.Index:
+		return 1
+	case *verilog.PartSelect:
+		hi, ok1 := constIndex(x.MSB, env, widths)
+		lo, ok2 := constIndex(x.LSB, env, widths)
+		if !ok1 || !ok2 {
+			return 1
+		}
+		if hi < lo {
+			hi, lo = lo, hi
+		}
+		return hi - lo + 1
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,71 @@
+package vstatic_test
+
+import (
+	"testing"
+
+	"correctbench/internal/dataset"
+	"correctbench/internal/vstatic"
+)
+
+// FuzzAnalyze feeds arbitrary source through the parser into the
+// analyzer. Inputs the parser rejects are uninteresting; anything it
+// accepts must analyze without panicking, and two runs over the same
+// input must produce identical diagnostics (the analyzer is consulted
+// by the batch scheduler, so nondeterminism here would leak into
+// schedules).
+func FuzzAnalyze(f *testing.F) {
+	f.Add(`module m(input a, output y);
+assign y = a;
+endmodule`)
+	f.Add(`module m(input en, input d, output reg q);
+always @(*) if (en) q = d;
+endmodule`)
+	f.Add(`module m(input [3:0] g, output reg [3:0] b);
+parameter W = 4;
+always @(*) case (g)
+  4'd0: b = 4'd1;
+  default: b = {g[1:0], 2'b01};
+endcase
+endmodule`)
+	f.Add(`module m(input clk, input d, output reg q);
+always @(posedge clk) q <= d;
+endmodule`)
+	f.Add(`module m(input a, output x, output y);
+assign x = y & a;
+assign y = x | a;
+endmodule`)
+	for i, p := range dataset.All() {
+		if i%13 == 0 { // a spread of real designs without bloating the corpus
+			f.Add(p.Source)
+		}
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return
+		}
+		first, err := vstatic.AnalyzeSource(src, "")
+		if err != nil {
+			return
+		}
+		again, err := vstatic.AnalyzeSource(src, "")
+		if err != nil {
+			t.Fatalf("second analysis errored where first succeeded: %v", err)
+		}
+		if len(first) != len(again) {
+			t.Fatalf("module count varies: %d vs %d", len(first), len(again))
+		}
+		for i := range first {
+			a, b := first[i], again[i]
+			if a.Module != b.Module || a.Levelizable != b.Levelizable ||
+				a.CombProcs != b.CombProcs || a.StaticCombProcs != b.StaticCombProcs ||
+				len(a.Diags) != len(b.Diags) {
+				t.Fatalf("module %q analysis is nondeterministic", a.Module)
+			}
+			for j := range a.Diags {
+				if a.Diags[j] != b.Diags[j] {
+					t.Fatalf("module %q diag %d varies: %v vs %v", a.Module, j, a.Diags[j], b.Diags[j])
+				}
+			}
+		}
+	})
+}

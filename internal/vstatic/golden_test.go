@@ -1,0 +1,44 @@
+package vstatic_test
+
+import (
+	"testing"
+
+	"correctbench/internal/dataset"
+	"correctbench/internal/vstatic"
+)
+
+// Coverage floors for the golden dataset, established when the
+// bit-granular definite-assignment analysis landed. These are exact
+// equalities on purpose: a new diagnostic firing on a golden RTL, or
+// a design falling out of the levelized fast path, is a regression
+// that must be looked at, not absorbed.
+const (
+	goldenCombProcs = 137
+)
+
+func TestGoldensAreDiagnosticClean(t *testing.T) {
+	lev, comb, static := 0, 0, 0
+	for _, p := range dataset.All() {
+		rs, err := vstatic.AnalyzeSource(p.Source, p.Top)
+		if err != nil {
+			t.Fatalf("%s: AnalyzeSource: %v", p.Name, err)
+		}
+		r := rs[0]
+		for _, d := range r.Diags {
+			t.Errorf("%s: unexpected diagnostic: %s", p.Name, d)
+		}
+		if r.Levelizable {
+			lev++
+		} else {
+			t.Errorf("%s: not levelizable", p.Name)
+		}
+		comb += r.CombProcs
+		static += r.StaticCombProcs
+	}
+	if total := len(dataset.All()); lev != total {
+		t.Errorf("levelized coverage %d/%d, want full", lev, total)
+	}
+	if comb != goldenCombProcs || static != goldenCombProcs {
+		t.Errorf("static comb procs %d/%d, want %d/%d", static, comb, goldenCombProcs, goldenCombProcs)
+	}
+}

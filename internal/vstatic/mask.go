@@ -1,0 +1,153 @@
+package vstatic
+
+// Mask is a fixed-width bit set over a signal's index space, used by
+// the definite-assignment and driver analyses to reason about partial
+// (bit- and part-select) writes at bit granularity. The zero Mask is
+// an empty mask of width 0.
+type Mask struct {
+	w    int
+	bits []uint64
+}
+
+// NewMask returns an empty mask of the given width (clamped to >= 1).
+func NewMask(w int) *Mask {
+	if w < 1 {
+		w = 1
+	}
+	return &Mask{w: w, bits: make([]uint64, (w+63)/64)}
+}
+
+// Width returns the mask's index-space width.
+func (m *Mask) Width() int { return m.w }
+
+// SetAll marks every bit.
+func (m *Mask) SetAll() {
+	for i := range m.bits {
+		m.bits[i] = ^uint64(0)
+	}
+	m.trim()
+}
+
+// SetBit marks bit i; out-of-range indexes are ignored.
+func (m *Mask) SetBit(i int) {
+	if i < 0 || i >= m.w {
+		return
+	}
+	m.bits[i/64] |= 1 << (uint(i) % 64)
+}
+
+// SetRange marks bits lo..hi inclusive, clipped to the mask width.
+func (m *Mask) SetRange(lo, hi int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= m.w {
+		hi = m.w - 1
+	}
+	for i := lo; i <= hi; i++ {
+		m.SetBit(i)
+	}
+}
+
+// trim clears bits above the width in the top word.
+func (m *Mask) trim() {
+	if rem := m.w % 64; rem != 0 {
+		m.bits[len(m.bits)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// Full reports whether every bit is marked.
+func (m *Mask) Full() bool {
+	for i, b := range m.bits {
+		want := ^uint64(0)
+		if i == len(m.bits)-1 {
+			if rem := m.w % 64; rem != 0 {
+				want = (1 << uint(rem)) - 1
+			}
+		}
+		if b != want {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether no bit is marked.
+func (m *Mask) Empty() bool {
+	for _, b := range m.bits {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Bit reports whether bit i is marked (false out of range).
+func (m *Mask) Bit(i int) bool {
+	if i < 0 || i >= m.w {
+		return false
+	}
+	return m.bits[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+// Clone returns an independent copy.
+func (m *Mask) Clone() *Mask {
+	out := &Mask{w: m.w, bits: make([]uint64, len(m.bits))}
+	copy(out.bits, m.bits)
+	return out
+}
+
+// Or marks every bit marked in o (widths must match; o may be nil).
+func (m *Mask) Or(o *Mask) {
+	if o == nil {
+		return
+	}
+	for i := range m.bits {
+		if i < len(o.bits) {
+			m.bits[i] |= o.bits[i]
+		}
+	}
+	m.trim()
+}
+
+// And keeps only bits marked in both (o may be nil, yielding empty).
+func (m *Mask) And(o *Mask) {
+	for i := range m.bits {
+		if o == nil || i >= len(o.bits) {
+			m.bits[i] = 0
+		} else {
+			m.bits[i] &= o.bits[i]
+		}
+	}
+}
+
+// Intersects reports whether m and o share a marked bit.
+func (m *Mask) Intersects(o *Mask) bool {
+	if o == nil {
+		return false
+	}
+	for i := range m.bits {
+		if i < len(o.bits) && m.bits[i]&o.bits[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Covers reports whether every bit marked in o is marked in m
+// (a nil o is trivially covered).
+func (m *Mask) Covers(o *Mask) bool {
+	if o == nil {
+		return true
+	}
+	for i, b := range o.bits {
+		var mine uint64
+		if i < len(m.bits) {
+			mine = m.bits[i]
+		}
+		if b&^mine != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -10,6 +10,7 @@ import (
 
 	"correctbench/internal/dataset"
 	"correctbench/internal/testbench"
+	"correctbench/internal/vstatic"
 )
 
 // NewServer returns the correctbenchd HTTP handler over a client:
@@ -282,6 +283,27 @@ type gradeResponse struct {
 	TokensIn    int    `json:"tokens_in,omitempty"`
 	TokensOut   int    `json:"tokens_out,omitempty"`
 	Scenarios   int    `json:"scenarios"`
+	// Lint carries static-analysis diagnostics for the testbench's
+	// checker module (advisory; grading never depends on them).
+	Lint []vstatic.Diagnostic `json:"lint,omitempty"`
+}
+
+// lintChecker statically analyzes a testbench's checker module for
+// the grade response. Analysis failures (e.g. an unparsable checker)
+// yield no diagnostics here — grading itself surfaces them as grades.
+func lintChecker(tb *Testbench) []vstatic.Diagnostic {
+	if tb == nil || tb.CheckerSource == "" {
+		return nil
+	}
+	results, err := vstatic.AnalyzeSource(tb.CheckerSource, tb.CheckerTop)
+	if err != nil {
+		return nil
+	}
+	var out []vstatic.Diagnostic
+	for _, r := range results {
+		out = append(out, r.Diags...)
+	}
+	return out
 }
 
 func (s *server) grade(w http.ResponseWriter, r *http.Request) {
@@ -343,6 +365,7 @@ func (s *server) grade(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.Grade = grade.String()
 	resp.Scenarios = tb.ScenarioCount()
+	resp.Lint = lintChecker(tb)
 	writeJSON(w, http.StatusOK, resp)
 }
 
