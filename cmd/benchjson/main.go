@@ -21,10 +21,12 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"correctbench"
@@ -157,6 +159,33 @@ type robustnessReport struct {
 	TablesIdentical bool                    `json:"tables_identical_across_schedules"`
 }
 
+// fleetMeasurement is one executor configuration's run of the Table-I
+// workload through the Client: the in-process pool, or an in-process
+// remote fleet of N worker nodes (real coordinator, real frame
+// protocol, pipe transport instead of sockets).
+type fleetMeasurement struct {
+	Executor    string  `json:"executor"` // "local" | "remote_1_node" | ...
+	Nodes       int     `json:"nodes,omitempty"`
+	Seconds     float64 `json:"seconds"`
+	CellsPerSec float64 `json:"cells_per_sec,omitempty"`
+	Stolen      uint64  `json:"stolen_cells"`
+	Requeued    uint64  `json:"requeued_cells"`
+}
+
+// fleetReport tracks distributed execution from PR to PR: what the
+// coordinator/worker path costs against the in-process pool on the
+// same workload, and how much work stealing rebalanced the static
+// consistent-hash assignment (nonzero steals on a healthy multi-node
+// run are load balancing, not failures: a drained node takes queued
+// cells off its most loaded peer). The tables must match byte for
+// byte across every executor.
+type fleetReport struct {
+	Bench           string             `json:"bench"`
+	Cells           int                `json:"cells"`
+	Runs            []fleetMeasurement `json:"runs"`
+	TablesIdentical bool               `json:"tables_identical_across_executors"`
+}
+
 // staticReport tracks the static-analysis front from PR to PR: how
 // much of the full golden dataset the levelized fast path covers
 // (this gates batch-engine throughput), whether any golden RTL has
@@ -188,6 +217,7 @@ type report struct {
 	Events     *eventsReport     `json:"events,omitempty"`
 	Store      *storeReport      `json:"store,omitempty"`
 	Robustness *robustnessReport `json:"robustness,omitempty"`
+	Fleet      *fleetReport      `json:"fleet,omitempty"`
 	Static     *staticReport     `json:"static,omitempty"`
 }
 
@@ -274,6 +304,10 @@ func main() {
 	roRep, err := robustnessBench(probs, *reps, *seed)
 	exitOn(err)
 	rep.Robustness = roRep
+
+	flRep, err := fleetBench(probs, *reps, *seed)
+	exitOn(err)
+	rep.Fleet = flRep
 
 	saRep, err := staticBench()
 	exitOn(err)
@@ -766,6 +800,147 @@ func robustnessBench(probs []*dataset.Problem, reps int, seed int64) (*robustnes
 	}
 	if !rep.TablesIdentical {
 		fmt.Fprintln(os.Stderr, "benchjson: WARNING: faulted runs produced a different Table I — fault-tolerance regression")
+	}
+	return rep, nil
+}
+
+// benchPipeListener hands net.Pipe server ends to a worker's accept
+// loop, so the fleet benchmark exercises the real coordinator and
+// frame protocol without opening sockets.
+type benchPipeListener struct {
+	ch     chan net.Conn
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newBenchPipeListener() *benchPipeListener {
+	return &benchPipeListener{ch: make(chan net.Conn, 16), closed: make(chan struct{})}
+}
+
+func (l *benchPipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *benchPipeListener) Close() error {
+	l.once.Do(func() { close(l.closed) })
+	return nil
+}
+
+type benchPipeAddr string
+
+func (a benchPipeAddr) Network() string     { return "pipe" }
+func (a benchPipeAddr) String() string      { return string(a) }
+func (l *benchPipeListener) Addr() net.Addr { return benchPipeAddr("bench") }
+
+// fleetBench runs the Table-I workload through each executor: the
+// in-process pool, then in-process remote fleets of 1 and 4 worker
+// nodes. Table I must come out byte-identical everywhere; the numbers
+// record what the distribution machinery costs on a single machine
+// (an upper bound on protocol overhead — real fleets add network
+// latency but also add cores).
+func fleetBench(probs []*dataset.Problem, reps int, seed int64) (*fleetReport, error) {
+	names := make([]string, len(probs))
+	for i, p := range probs {
+		names[i] = p.Name
+	}
+	spec := correctbench.ExperimentSpec{Seed: seed, Reps: reps, Workers: 4, Problems: names}
+	cells := len(harness.AllMethods()) * max(reps, 1) * len(probs)
+	rep := &fleetReport{Bench: "client.Submit/table1_fleet", Cells: cells, TablesIdentical: true}
+
+	var refTable string
+	for _, nodes := range []int{0, 1, 4} {
+		var opts []correctbench.ClientOption
+		var rex *correctbench.RemoteExecutor
+		var lns []*benchPipeListener
+		if nodes > 0 {
+			addrs := make([]string, nodes)
+			byAddr := map[string]*benchPipeListener{}
+			for i := range addrs {
+				addrs[i] = fmt.Sprintf("bench-node-%d:1", i)
+				ln := newBenchPipeListener()
+				byAddr[addrs[i]] = ln
+				lns = append(lns, ln)
+				go correctbench.NewFleetWorker(nil, 4).Serve(ln)
+			}
+			var err error
+			rex, err = correctbench.NewRemoteExecutor(addrs, correctbench.RemoteOptions{
+				// Every node shares this process's cores (CI pins
+				// GOMAXPROCS=1), so cell latency balloons with node
+				// count. The production straggler/health thresholds
+				// would misfire and measure speculative duplication
+				// instead of dispatch overhead — slacken them.
+				Straggler:  2 * time.Minute,
+				ProbeEvery: time.Second,
+				MaxMissed:  120,
+				Dial: func(ctx context.Context, addr string) (net.Conn, error) {
+					ln := byAddr[addr]
+					if ln == nil {
+						return nil, fmt.Errorf("unknown bench node %s", addr)
+					}
+					c1, c2 := net.Pipe()
+					select {
+					case ln.ch <- c2:
+						return c1, nil
+					case <-ln.closed:
+						c1.Close()
+						c2.Close()
+						return nil, net.ErrClosed
+					}
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			opts = append(opts, correctbench.WithExecutor(rex))
+		}
+
+		// A fresh client per executor: shared fixture caches would
+		// make later runs measure cache hits, not dispatch overhead.
+		client := correctbench.NewClient(opts...)
+		start := time.Now()
+		job, err := client.Submit(context.Background(), spec)
+		if err != nil {
+			return nil, err
+		}
+		exp, err := job.Wait(context.Background())
+		if err != nil {
+			return nil, err
+		}
+		secs := time.Since(start).Seconds()
+
+		mode := "local"
+		if nodes > 0 {
+			mode = fmt.Sprintf("remote_%d_node", nodes)
+		}
+		m := fleetMeasurement{Executor: mode, Nodes: nodes, Seconds: round3(secs)}
+		if secs > 0 {
+			m.CellsPerSec = round3(float64(cells) / secs)
+		}
+		if rex != nil {
+			for _, ns := range rex.Stats() {
+				m.Stolen += ns.Stolen
+				m.Requeued += ns.Requeued
+			}
+		}
+		for _, ln := range lns {
+			ln.Close()
+		}
+		if table := exp.Table1(); refTable == "" {
+			refTable = table
+		} else if table != refTable {
+			rep.TablesIdentical = false
+		}
+		rep.Runs = append(rep.Runs, m)
+		fmt.Fprintf(os.Stderr, "benchjson: fleet executor=%s %.2fs (%.1f cells/s, stolen=%d requeued=%d)\n",
+			mode, secs, m.CellsPerSec, m.Stolen, m.Requeued)
+	}
+	if !rep.TablesIdentical {
+		fmt.Fprintln(os.Stderr, "benchjson: WARNING: remote fleets produced a different Table I — distribution regression")
 	}
 	return rep, nil
 }

@@ -1,0 +1,65 @@
+package correctbench
+
+import (
+	"correctbench/internal/exec"
+	"correctbench/internal/harness"
+)
+
+// CellExecutor re-exports the cell-execution strategy a Client can be
+// built over (WithExecutor). An executor owes every cell of a job
+// exactly one completion — in any order, on any node, possibly more
+// than once internally — and the harness's ordered emitter turns those
+// completions back into the canonical event stream. That split is why
+// a fleet-executed job streams bytes identical to a single-process
+// one: determinism lives in the cells and the emitter, never in the
+// transport. The default (no WithExecutor) is the in-process worker
+// pool.
+type CellExecutor = exec.CellExecutor
+
+// RemoteOptions tunes a fleet coordinator (NewRemoteExecutor): per-node
+// in-flight windows, the straggler re-dispatch threshold, and the
+// health-probe cadence. The zero value is a sensible default.
+type RemoteOptions = exec.RemoteOptions
+
+// NodeStats is the cumulative per-node accounting of a fleet
+// coordinator: cells assigned by the hash ring, completed, stolen from
+// struggling peers, and requeued off dead or draining nodes. Surfaced
+// per node on GET /metrics.
+type NodeStats = exec.NodeStats
+
+// RemoteExecutor is a fleet coordinator: it consistent-hashes each
+// cell's content address across worker nodes (correctbenchd -worker),
+// bounds per-node in-flight work, probes node health, steals work from
+// stragglers, and reassigns the cells of dead or draining nodes — so a
+// job survives the loss of any worker mid-run with byte-identical
+// output. Construct with NewRemoteExecutor and attach via WithExecutor.
+type RemoteExecutor = exec.Remote
+
+// NewRemoteExecutor returns a coordinator over the given worker
+// addresses (host:port, each a correctbenchd -worker). Connections are
+// per-job; the value itself only carries options and counters, so one
+// executor serves any number of concurrent jobs.
+func NewRemoteExecutor(peers []string, opt RemoteOptions) (*RemoteExecutor, error) {
+	return exec.NewRemote(peers, opt)
+}
+
+// FleetWorker is one worker node: it serves cells to coordinators over
+// the fleet protocol, executing each through the full simulation
+// pipeline. Run one per machine with correctbenchd -worker, or embed
+// via NewFleetWorker + Serve.
+type FleetWorker = exec.Worker
+
+// FleetWorkerStats is a worker node's live counters (see
+// FleetWorker.Stats).
+type FleetWorkerStats = exec.WorkerStats
+
+// NewFleetWorker returns a worker node executing at most workers cells
+// concurrently (min 1). st, when non-nil, is the node's local result
+// store: already-finished cells replay without simulation and fresh
+// outcomes are written back best-effort (the coordinator's own store
+// stays authoritative for resume-by-spec). Note OpenDiskStore
+// directories are single-writer — give each worker process its own
+// directory, or no store at all.
+func NewFleetWorker(st Store, workers int) *FleetWorker {
+	return exec.NewWorker(harness.NewCellRunner(st), workers)
+}

@@ -1,0 +1,237 @@
+package correctbench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"correctbench/internal/faults"
+)
+
+// fleetListener hands net.Pipe server ends to a worker's accept loop.
+type fleetListener struct {
+	ch     chan net.Conn
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newFleetListener() *fleetListener {
+	return &fleetListener{ch: make(chan net.Conn, 16), closed: make(chan struct{})}
+}
+
+func (l *fleetListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *fleetListener) Close() error {
+	l.once.Do(func() { close(l.closed) })
+	return nil
+}
+
+type fleetAddr string
+
+func (a fleetAddr) Network() string { return "pipe" }
+func (a fleetAddr) String() string  { return string(a) }
+
+func (l *fleetListener) Addr() net.Addr { return fleetAddr("fleet") }
+
+// testFleet is an in-process worker fleet built entirely from the
+// public API: each node is a NewFleetWorker serving a pipe listener,
+// optionally behind a node-level fault injector.
+type testFleet struct {
+	addrs     []string
+	lns       map[string]*fleetListener
+	injectors map[string]*faults.Node
+	workers   map[string]*FleetWorker
+}
+
+// startFleet launches n worker nodes named fleet-0:1 … fleet-{n-1}:1.
+// plans attaches a fault schedule to the named nodes.
+func startFleet(t *testing.T, n int, plans map[string]faults.NodePlan) *testFleet {
+	t.Helper()
+	f := &testFleet{
+		lns:       map[string]*fleetListener{},
+		injectors: map[string]*faults.Node{},
+		workers:   map[string]*FleetWorker{},
+	}
+	for i := 0; i < n; i++ {
+		addr := fmt.Sprintf("fleet-%d:1", i)
+		f.addrs = append(f.addrs, addr)
+		ln := newFleetListener()
+		f.lns[addr] = ln
+		var served net.Listener = ln
+		if plan, ok := plans[addr]; ok {
+			inj := faults.NewNode(plan)
+			f.injectors[addr] = inj
+			served = inj.WrapListener(ln)
+		}
+		w := NewFleetWorker(nil, 4)
+		f.workers[addr] = w
+		go w.Serve(served)
+		t.Cleanup(func() { ln.Close() })
+	}
+	return f
+}
+
+// executor returns a coordinator over the fleet, dialing through the
+// in-process pipes.
+func (f *testFleet) executor(t *testing.T) *RemoteExecutor {
+	t.Helper()
+	rex, err := NewRemoteExecutor(f.addrs, RemoteOptions{
+		Window:     2,
+		Straggler:  300 * time.Millisecond,
+		ProbeEvery: 20 * time.Millisecond,
+		MaxMissed:  5,
+		Dial: func(ctx context.Context, addr string) (net.Conn, error) {
+			ln := f.lns[addr]
+			if ln == nil {
+				return nil, fmt.Errorf("test fleet: unknown node %s", addr)
+			}
+			if inj := f.injectors[addr]; inj != nil && inj.Killed() {
+				return nil, net.ErrClosed
+			}
+			c1, c2 := net.Pipe()
+			select {
+			case ln.ch <- c2:
+				return c1, nil
+			case <-ln.closed:
+				c1.Close()
+				c2.Close()
+				return nil, net.ErrClosed
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rex
+}
+
+// fleetSpec is the differential grid: 4 problems x 3 methods, small
+// enough to run the whole executor matrix in one test.
+func fleetSpec(workers int) ExperimentSpec {
+	return ExperimentSpec{
+		Seed: 47, Reps: 1, Workers: workers,
+		Problems: []string{"mux2_w4", "cnt4", "halfadd", "dff"},
+	}
+}
+
+// TestFleetDifferentialEventStreams is the tentpole acceptance
+// criterion: the local pool, a 1-node remote fleet, a 4-node remote
+// fleet, and a 4-node fleet under a lossy, laggy fault schedule must
+// all stream byte-identical events (once the two documented wall-clock
+// fields are normalized) and render byte-identical Table I and
+// Table III, at Workers 1 and 8 alike. Execution placement and fault
+// recovery are invisible to the experiment.
+func TestFleetDifferentialEventStreams(t *testing.T) {
+	_, baseEvents, baseExp := drainJob(t, NewClient(), fleetSpec(1))
+	baseline := marshalNormalized(t, baseEvents)
+	t1, t3 := baseExp.Table1(), baseExp.Table3()
+
+	faultPlans := map[string]faults.NodePlan{
+		"fleet-0:1": {Seed: 5, DropResultRate: 0.25},
+		"fleet-2:1": {
+			Seed: 9, DelayResultRate: 0.5, MaxResultDelay: 25 * time.Millisecond,
+			FrameLatencyRate: 0.25, MaxFrameLatency: 10 * time.Millisecond,
+		},
+	}
+	cases := []struct {
+		name  string
+		build func(t *testing.T) ClientOption
+	}{
+		{"local-pool", func(t *testing.T) ClientOption { return func(*Client) {} }},
+		{"remote-1-node", func(t *testing.T) ClientOption {
+			return WithExecutor(startFleet(t, 1, nil).executor(t))
+		}},
+		{"remote-4-node", func(t *testing.T) ClientOption {
+			return WithExecutor(startFleet(t, 4, nil).executor(t))
+		}},
+		{"remote-4-node-faulted", func(t *testing.T) ClientOption {
+			return WithExecutor(startFleet(t, 4, faultPlans).executor(t))
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// One fleet per case: its workers' fixture caches stay warm
+			// across the two Workers settings, which only changes how
+			// many cells the coordinator keeps outstanding.
+			opt := tc.build(t)
+			for _, workers := range []int{1, 8} {
+				t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+					_, events, exp := drainJob(t, NewClient(opt), fleetSpec(workers))
+					if got := marshalNormalized(t, events); !bytes.Equal(got, baseline) {
+						t.Errorf("event stream differs from local Workers=1 baseline:\n--- got ---\n%s--- want ---\n%s", got, baseline)
+					}
+					if got := exp.Table1(); got != t1 {
+						t.Errorf("Table I differs:\n%s\n--- want ---\n%s", got, t1)
+					}
+					if got := exp.Table3(); got != t3 {
+						t.Errorf("Table III differs:\n%s\n--- want ---\n%s", got, t3)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestFleetWorkerDeathMidRun kills one node of a 4-node fleet the
+// moment it tries to deliver its second result — the result dies with
+// it — and requires the run to finish with byte-identical output
+// anyway: the coordinator must detect the death, requeue the node's
+// cells (including the one whose result was lost), and let the
+// survivors steal the work.
+func TestFleetWorkerDeathMidRun(t *testing.T) {
+	_, baseEvents, baseExp := drainJob(t, NewClient(), fleetSpec(1))
+	baseline := marshalNormalized(t, baseEvents)
+
+	const victim = "fleet-1:1"
+	fleet := startFleet(t, 4, map[string]faults.NodePlan{
+		victim: {Seed: 3, KillAtResult: 2},
+	})
+	rex := fleet.executor(t)
+	_, events, exp := drainJob(t, NewClient(WithExecutor(rex)), fleetSpec(8))
+
+	if got := marshalNormalized(t, events); !bytes.Equal(got, baseline) {
+		t.Errorf("event stream differs after worker death:\n--- got ---\n%s--- want ---\n%s", got, baseline)
+	}
+	if got, want := exp.Table1(), baseExp.Table1(); got != want {
+		t.Errorf("Table I differs after worker death:\n%s\n--- want ---\n%s", got, want)
+	}
+
+	if !fleet.injectors[victim].Killed() {
+		t.Fatal("kill schedule never fired: the victim executed fewer than 2 cells")
+	}
+	var victimStats *NodeStats
+	var stolen uint64
+	stats, ok := NewClient(WithExecutor(rex)).FleetStats()
+	if !ok {
+		t.Fatal("FleetStats unavailable")
+	}
+	for i := range stats {
+		stolen += stats[i].Stolen
+		if stats[i].Addr == victim {
+			victimStats = &stats[i]
+		}
+	}
+	if victimStats == nil {
+		t.Fatalf("victim %s missing from fleet stats", victim)
+	}
+	if victimStats.Healthy {
+		t.Error("victim still marked healthy after its death")
+	}
+	if victimStats.Requeued == 0 {
+		t.Error("no cells requeued off the dead node")
+	}
+	if stolen == 0 {
+		t.Error("no cells recorded as stolen during recovery")
+	}
+}

@@ -1,0 +1,215 @@
+// Package exec is the cell-execution layer of the harness: the
+// machinery that takes the canonical list of experiment cells a run
+// still has to simulate and gets each one executed exactly once, on
+// this process or on a fleet of worker nodes.
+//
+// A cell is a pure function of its Spec — the harness derives every
+// random draw from (seed, method, rep, problem) and the dataset is
+// content-fingerprinted into the cell's store key — so a cell can be
+// executed anywhere, in any order, any number of times, and the
+// outcome bytes cannot differ. That is the contract every executor
+// builds on: the ordered event emitter upstream re-sequences
+// completions, so an executor only owes *completion*, never order.
+//
+// Two executors implement the one CellExecutor interface:
+//
+//   - Local (the default): the in-process bounded worker pool the
+//     harness always had, feeding cells in canonical order and
+//     reporting the canonically-earliest failure like a sequential
+//     run would.
+//   - Remote: a coordinator that consistent-hashes cell keys across
+//     worker nodes speaking the length-prefixed JSON protocol of
+//     proto.go (see Worker for the serving side), with per-node
+//     bounded in-flight windows, health probing, work-stealing of
+//     straggler and dead-node cells, and a local fallback when the
+//     whole fleet is gone — the loss of any worker mid-run costs
+//     duplicated pure work, never a lost or changed cell.
+package exec
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"correctbench/internal/store"
+)
+
+// Spec is the wire-form identity of one experiment cell: every input
+// its outcome is a function of, by name. A worker node rebuilds the
+// full cell configuration from it (see harness.NewCellRunner), so the
+// fields mirror the service's ExperimentSpec plus the cell's own grid
+// coordinates. Budget pointers keep the nil-means-paper-default
+// semantics of the public spec.
+type Spec struct {
+	Seed           int64  `json:"seed"`
+	LLM            string `json:"llm,omitempty"`
+	Criterion      string `json:"criterion,omitempty"`
+	MaxCorrections *int   `json:"max_corrections,omitempty"`
+	MaxReboots     *int   `json:"max_reboots,omitempty"`
+	NR             *int   `json:"rtl_group_size,omitempty"`
+	Method         string `json:"method"`
+	Rep            int    `json:"rep"`
+	Problem        string `json:"problem"`
+}
+
+// Cell is one unit of executor work: the canonical index (the slot
+// the result lands in and the order events release in), the content
+// address (what the remote executor consistent-hashes, and what a
+// worker verifies against its own key derivation to catch version
+// skew), and the wire spec.
+type Cell struct {
+	Index int
+	Key   store.Key
+	Spec  Spec
+}
+
+// Result is one finished cell. Outcome is the stored wire form —
+// pure, byte-stable; Duration, Node and Stolen are operational
+// metadata (wall clock, placement) outside the reproducibility
+// contract.
+type Result struct {
+	Index   int
+	Outcome store.Outcome
+	// Duration is the cell's wall-clock execution time as observed by
+	// the executor (for remote cells: the full round trip).
+	Duration time.Duration
+	// Node names the worker that executed the cell ("" for the local
+	// pool and the remote executor's local fallback).
+	Node string
+	// Stolen reports the cell completed on a node other than the one
+	// its key originally hashed to (work-stealing or reassignment).
+	Stolen bool
+}
+
+// Runner simulates one cell in-process. The local pool runs every
+// cell through it; the remote executor uses it only as the
+// no-healthy-nodes fallback. It must be safe for concurrent calls.
+type Runner func(ctx context.Context, c Cell) (store.Outcome, error)
+
+// Job is one executor invocation: the cells a run still needs (in
+// canonical index order), the requested parallelism, the local
+// simulation function, and the completion sink. Done is called
+// exactly once per successfully executed cell, possibly concurrently
+// and in any order — the caller re-sequences (the harness's ordered
+// emitter buffers out-of-order completions).
+type Job struct {
+	Cells   []Cell
+	Workers int
+	Run     Runner
+	Done    func(Result)
+}
+
+// CellExecutor executes every cell of a job exactly once. Execute
+// returns nil when all cells completed, ctx.Err() on cancellation,
+// and otherwise the error of the canonically earliest failing cell —
+// the same error a sequential run would hit first. Implementations
+// must be safe for concurrent Execute calls (a client runs many jobs
+// over one executor).
+type CellExecutor interface {
+	Execute(ctx context.Context, job Job) error
+}
+
+// errorCollector keeps the error of the canonically earliest failing
+// cell, so parallel and distributed runs report the same error a
+// sequential run would.
+type errorCollector struct {
+	mu     sync.Mutex
+	minIdx int
+	err    error
+}
+
+func newErrorCollector() *errorCollector { return &errorCollector{minIdx: -1} }
+
+func (e *errorCollector) record(idx int, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err == nil || idx < e.minIdx {
+		e.minIdx, e.err = idx, err
+	}
+}
+
+func (e *errorCollector) failed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err != nil
+}
+
+func (e *errorCollector) first() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// minIndex returns the canonical index of the earliest recorded
+// failure; only meaningful after failed() reports true.
+func (e *errorCollector) minIndex() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.minIdx
+}
+
+// Local returns the default executor: the in-process bounded worker
+// pool. Behavior is identical to the pool the harness ran inline
+// before the executor boundary existed — cells feed in canonical
+// order, scheduling stops at the first failure or cancellation,
+// already-queued cells still run, and the earliest cell error wins.
+func Local() CellExecutor { return localPool{} }
+
+type localPool struct{}
+
+func (localPool) Execute(ctx context.Context, job Job) error {
+	if len(job.Cells) == 0 {
+		return ctx.Err()
+	}
+	workers := job.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(job.Cells) {
+		workers = len(job.Cells)
+	}
+
+	var (
+		errs = newErrorCollector()
+		jobs = make(chan Cell)
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				if err := ctx.Err(); err != nil {
+					errs.record(c.Index, err)
+					continue
+				}
+				start := time.Now() //detlint:allow Result.Duration is documented wall-clock metadata, excluded from the deterministic surface
+				o, err := job.Run(ctx, c)
+				if err != nil {
+					errs.record(c.Index, err)
+					continue
+				}
+				job.Done(Result{Index: c.Index, Outcome: o, Duration: time.Since(start)})
+			}
+		}()
+	}
+
+	// Feed in canonical order; stop scheduling once any cell has
+	// failed or the context was cancelled. Already-queued cells still
+	// run, so every cell ordered before a failure executes — which is
+	// what makes the min-index error below the sequential run's first
+	// error.
+	for _, c := range job.Cells {
+		if errs.failed() || ctx.Err() != nil {
+			break
+		}
+		jobs <- c
+	}
+	close(jobs)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return errs.first()
+}

@@ -1,0 +1,188 @@
+package faults
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NodePlan is a deterministic node-level fault schedule for one fleet
+// worker (internal/exec): the failure modes of distributed cell
+// execution — a worker dying mid-run, cell responses lost or delayed
+// in transit, and plain network latency. Like Plan, every decision is
+// a pure function of (Seed, operation kind, operation index): the
+// N-th result frame a worker emits always draws the same fate, so a
+// fault schedule replays identically and differential tests can prove
+// the coordinator's recovery (work stealing, reassignment, dedup)
+// keeps event streams byte-identical to a clean run.
+type NodePlan struct {
+	// Seed drives every fault decision via internal/rng.
+	Seed int64
+
+	// KillAtResult, when > 0, kills the node as it tries to send its
+	// N-th result frame (1-based): that frame is never delivered and
+	// every connection of the node is severed — the abrupt
+	// worker-death schedule. The coordinator must detect the death and
+	// reassign the node's cells, including the one whose result died
+	// with it.
+	KillAtResult int64
+
+	// DropResultRate silently swallows result frames (the cell
+	// executed, its response was lost): the coordinator's straggler
+	// reassignment must re-execute the cell elsewhere, and the dedup
+	// gate must absorb the duplicate if the original ever surfaces.
+	DropResultRate float64
+
+	// DelayResultRate holds a result frame for a uniform duration in
+	// (0, MaxResultDelay] before delivery (slow link, GC pause):
+	// reshuffles completion order and races speculative re-execution.
+	DelayResultRate float64
+	MaxResultDelay  time.Duration
+
+	// FrameLatencyRate injects a uniform delay in (0, MaxFrameLatency]
+	// into arbitrary frame writes (results, pongs, draining notices) —
+	// generic network latency, including delayed health-probe answers.
+	FrameLatencyRate float64
+	MaxFrameLatency  time.Duration
+}
+
+// decide and delay share Plan's derivation, so node-level and
+// store-level schedules draw from the same deterministic coin.
+func (p NodePlan) decide(kind string, n int64, rate float64) bool {
+	return Plan{Seed: p.Seed}.decide(kind, n, rate)
+}
+
+func (p NodePlan) delay(kind string, n int64, rate float64, max time.Duration) time.Duration {
+	return Plan{Seed: p.Seed}.delay(kind, n, rate, max)
+}
+
+// NodeCounts reports what a node injector has inflicted so far.
+type NodeCounts struct {
+	Results        int64 `json:"results"` // result frames seen (pre-fault)
+	Killed         bool  `json:"killed"`
+	DroppedResults int64 `json:"dropped_results"`
+	DelayedResults int64 `json:"delayed_results"`
+	DelayedFrames  int64 `json:"delayed_frames"`
+}
+
+// resultMarker identifies a result frame inside an encoded protocol
+// frame. The exec protocol writes exactly one frame per Write call,
+// so sniffing the payload is reliable, not heuristic.
+var resultMarker = []byte(`"op":"result"`)
+
+// Node injects a NodePlan into a worker's transport. Wrap the
+// worker's listener (WrapListener) so every accepted connection
+// counts toward one shared, deterministic result sequence — a node
+// dies as a whole, not one connection at a time.
+type Node struct {
+	plan    NodePlan
+	results atomic.Int64
+	killed  atomic.Bool
+
+	mu     sync.Mutex
+	conns  []net.Conn
+	counts NodeCounts
+}
+
+// NewNode returns an injector for one worker node.
+func NewNode(plan NodePlan) *Node { return &Node{plan: plan} }
+
+// Counts returns the injected-fault totals.
+func (n *Node) Counts() NodeCounts {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c := n.counts
+	c.Results = n.results.Load()
+	c.Killed = n.killed.Load()
+	return c
+}
+
+// Killed reports whether the kill schedule has fired.
+func (n *Node) Killed() bool { return n.killed.Load() }
+
+// Kill severs every connection of the node immediately (and all
+// future ones), regardless of schedule — the SIGKILL lever for tests
+// that decide the moment themselves.
+func (n *Node) Kill() {
+	if n.killed.Swap(true) {
+		return
+	}
+	n.mu.Lock()
+	conns := n.conns
+	n.conns = nil
+	n.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// WrapListener decorates a worker listener so every accepted
+// connection is fault-injected and tracked for the kill schedule.
+func (n *Node) WrapListener(ln net.Listener) net.Listener {
+	return &nodeListener{Listener: ln, node: n}
+}
+
+type nodeListener struct {
+	net.Listener
+	node *Node
+}
+
+func (l *nodeListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if l.node.killed.Load() {
+		conn.Close()
+		return nil, net.ErrClosed
+	}
+	l.node.mu.Lock()
+	l.node.conns = append(l.node.conns, conn)
+	l.node.mu.Unlock()
+	return &nodeConn{Conn: conn, node: l.node}, nil
+}
+
+type nodeConn struct {
+	net.Conn
+	node *Node
+}
+
+// Write applies the node's fault schedule to one outgoing frame (the
+// exec protocol writes one frame per call). Faults only ever touch
+// the transport: the cell itself executed normally, which is exactly
+// the lost-response failure mode.
+func (c *nodeConn) Write(b []byte) (int, error) {
+	n := c.node
+	if n.killed.Load() {
+		return 0, net.ErrClosed
+	}
+	if d := n.plan.delay("nodeframe", n.results.Load(), n.plan.FrameLatencyRate, n.plan.MaxFrameLatency); d > 0 {
+		n.mu.Lock()
+		n.counts.DelayedFrames++
+		n.mu.Unlock()
+		time.Sleep(d)
+	}
+	if !bytes.Contains(b, resultMarker) {
+		return c.Conn.Write(b)
+	}
+	seq := n.results.Add(1) // 1-based result index
+	if n.plan.KillAtResult > 0 && seq >= n.plan.KillAtResult {
+		n.Kill()
+		return 0, net.ErrClosed
+	}
+	if n.plan.decide("noderesultdrop", seq, n.plan.DropResultRate) {
+		n.mu.Lock()
+		n.counts.DroppedResults++
+		n.mu.Unlock()
+		return len(b), nil // swallowed: the coordinator never sees it
+	}
+	if d := n.plan.delay("noderesult", seq, n.plan.DelayResultRate, n.plan.MaxResultDelay); d > 0 {
+		n.mu.Lock()
+		n.counts.DelayedResults++
+		n.mu.Unlock()
+		time.Sleep(d)
+	}
+	return c.Conn.Write(b)
+}

@@ -1,0 +1,201 @@
+package faults
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// memListener hands pre-made server conns to Accept.
+type memListener struct {
+	ch     chan net.Conn
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newMemListener() *memListener {
+	return &memListener{ch: make(chan net.Conn, 8), closed: make(chan struct{})}
+}
+
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.once.Do(func() { close(l.closed) })
+	return nil
+}
+
+type memAddr struct{}
+
+func (memAddr) Network() string { return "mem" }
+func (memAddr) String() string  { return "mem" }
+
+func (l *memListener) Addr() net.Addr { return memAddr{} }
+
+// pipeThrough returns a fault-wrapped server conn and the raw client
+// end it writes to.
+func pipeThrough(t *testing.T, node *Node) (server net.Conn, client net.Conn) {
+	t.Helper()
+	c1, c2 := net.Pipe()
+	ln := newMemListener()
+	ln.ch <- c2
+	wrapped := node.WrapListener(ln)
+	s, err := wrapped.Accept()
+	if err != nil {
+		t.Fatalf("Accept: %v", err)
+	}
+	t.Cleanup(func() { c1.Close(); c2.Close() })
+	return s, c1
+}
+
+// drain reads n bytes from c into the void, concurrently.
+func drain(c net.Conn, stop <-chan struct{}) {
+	buf := make([]byte, 4096)
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		c.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		if _, err := c.Read(buf); err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+	}
+}
+
+var resultFrame = []byte(`....{"v":1,"op":"result","index":3,"ok":true}`)
+var pingFrame = []byte(`....{"v":1,"op":"pong"}`)
+
+func TestNodeKillAtResultSeversEverything(t *testing.T) {
+	node := NewNode(NodePlan{Seed: 7, KillAtResult: 3})
+	server, client := pipeThrough(t, node)
+	stop := make(chan struct{})
+	defer close(stop)
+	go drain(client, stop)
+
+	for i := 0; i < 2; i++ {
+		if _, err := server.Write(resultFrame); err != nil {
+			t.Fatalf("result %d: %v", i+1, err)
+		}
+	}
+	if node.Killed() {
+		t.Fatal("killed before the scheduled result")
+	}
+	if _, err := server.Write(resultFrame); err == nil {
+		t.Fatal("3rd result delivered; want the node dead")
+	}
+	if !node.Killed() {
+		t.Fatal("kill schedule did not fire")
+	}
+	// Dead is dead: non-result frames fail too.
+	if _, err := server.Write(pingFrame); err == nil {
+		t.Fatal("write after death succeeded")
+	}
+	c := node.Counts()
+	if !c.Killed || c.Results != 3 {
+		t.Fatalf("counts: %+v", c)
+	}
+}
+
+func TestNodeDropResultSwallowsDeterministically(t *testing.T) {
+	// Same plan twice: the set of dropped result indices must match.
+	run := func() []int64 {
+		node := NewNode(NodePlan{Seed: 11, DropResultRate: 0.4})
+		server, client := pipeThrough(t, node)
+		stop := make(chan struct{})
+		defer close(stop)
+
+		received := make(chan int, 64)
+		go func() {
+			buf := make([]byte, 4096)
+			for {
+				n, err := client.Read(buf)
+				if err != nil {
+					return
+				}
+				received <- n
+			}
+		}()
+		var dropped []int64
+		for i := int64(1); i <= 10; i++ {
+			if _, err := server.Write(resultFrame); err != nil {
+				t.Fatalf("write %d: %v", i, err)
+			}
+			select {
+			case <-received:
+			case <-time.After(200 * time.Millisecond):
+				dropped = append(dropped, i)
+			}
+		}
+		if got := node.Counts().DroppedResults; int(got) != len(dropped) {
+			t.Fatalf("counter says %d drops, observed %d", got, len(dropped))
+		}
+		return dropped
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("0.4 drop rate dropped nothing in 10 results")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("drop schedule not deterministic: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("drop schedule not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestNodeNonResultFramesUntouchedByResultFaults(t *testing.T) {
+	node := NewNode(NodePlan{Seed: 3, DropResultRate: 1.0})
+	server, client := pipeThrough(t, node)
+
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 4096)
+		n, err := client.Read(buf)
+		if err != nil {
+			return
+		}
+		got <- append([]byte(nil), buf[:n]...)
+	}()
+	if _, err := server.Write(pingFrame); err != nil {
+		t.Fatalf("pong write: %v", err)
+	}
+	select {
+	case b := <-got:
+		if string(b) != string(pingFrame) {
+			t.Fatalf("pong frame mangled: %q", b)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("pong frame swallowed by a result-only fault")
+	}
+}
+
+func TestNodeManualKill(t *testing.T) {
+	node := NewNode(NodePlan{Seed: 1})
+	server, _ := pipeThrough(t, node)
+	node.Kill()
+	if _, err := server.Write(resultFrame); err == nil {
+		t.Fatal("write after Kill succeeded")
+	}
+	// New connections are refused outright.
+	ln := newMemListener()
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	ln.ch <- c2
+	if _, err := node.WrapListener(ln).Accept(); err == nil {
+		t.Fatal("accept after Kill succeeded")
+	}
+}

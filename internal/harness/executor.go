@@ -1,0 +1,218 @@
+// Cell-executor integration: how the harness hands its pending cells
+// to an internal/exec executor (the in-process pool by default, a
+// worker fleet via Config.Executor) and how a worker node turns a
+// wire-form cell spec back into a simulation (NewCellRunner).
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"correctbench/internal/autoeval"
+	"correctbench/internal/dataset"
+	"correctbench/internal/exec"
+	"correctbench/internal/llm"
+	"correctbench/internal/store"
+	"correctbench/internal/validator"
+)
+
+// execCell converts one pending cell into executor wire form. The
+// spec names every outcome-relevant input (the same set CellKey
+// hashes), so any node can rebuild and verify the cell.
+func execCell(cfg *Config, c cell) exec.Cell {
+	m, p := cfg.Methods[c.mi], cfg.Problems[c.pi]
+	return exec.Cell{
+		Index: c.idx,
+		Key:   c.key,
+		Spec: exec.Spec{
+			Seed:           cfg.Seed,
+			LLM:            cfg.Profile.Name,
+			Criterion:      cfg.Criterion.Name,
+			MaxCorrections: cfg.MaxCorrections,
+			MaxReboots:     cfg.MaxReboots,
+			NR:             cfg.NR,
+			Method:         string(m),
+			Rep:            c.ri,
+			Problem:        p.Name,
+		},
+	}
+}
+
+// execJob assembles the executor invocation for a run's pending
+// cells: Run simulates a cell in this process (the local pool's whole
+// job, the remote executor's no-fleet fallback), Done lands a
+// finished cell — result slot, store write-back, ordered release —
+// regardless of where it executed. Done-side failures (a worker
+// returning an outcome for the wrong problem) land in derr.
+func execJob(ctx context.Context, cfg *Config, pending []cell, eval *autoeval.Evaluator,
+	guard *storeGuard, emit *orderedEmitter, res *Results, workers int, derr *errorCollector) exec.Job {
+
+	byIdx := make(map[int]cell, len(pending))
+	cells := make([]exec.Cell, len(pending))
+	for i, c := range pending {
+		byIdx[c.idx] = c
+		cells[i] = execCell(cfg, c)
+	}
+
+	run := func(ctx context.Context, ec exec.Cell) (store.Outcome, error) {
+		c, ok := byIdx[ec.Index]
+		if !ok {
+			return store.Outcome{}, fmt.Errorf("harness: unknown cell index %d", ec.Index)
+		}
+		method, p := cfg.Methods[c.mi], cfg.Problems[c.pi]
+		if cfg.CellHook != nil {
+			cfg.CellHook(c.idx)
+		}
+		r := CellStream(cfg.Seed, method, c.ri, p.Name).Rand()
+		o, err := runTask(ctx, method, p, *cfg, eval, r)
+		if err != nil {
+			return store.Outcome{}, fmt.Errorf("%s/%s rep %d: %w", method, p.Name, c.ri, err)
+		}
+		return toStoreOutcome(o), nil
+	}
+
+	done := func(r exec.Result) {
+		c, ok := byIdx[r.Index]
+		if !ok {
+			derr.record(r.Index, fmt.Errorf("harness: executor completed unknown cell index %d", r.Index))
+			return
+		}
+		method, p := cfg.Methods[c.mi], cfg.Problems[c.pi]
+		o, ok := fromStoreOutcome(r.Outcome, p)
+		if !ok {
+			derr.record(r.Index, fmt.Errorf("harness: cell %d (%s/%s rep %d) completed with outcome for problem %q",
+				r.Index, method, p.Name, c.ri, r.Outcome.Problem))
+			return
+		}
+		res.Outcomes[method][c.ri][c.pi] = o
+		if guard != nil {
+			// Persist before release, so any observer that has seen the
+			// cell's event can already rely on it being resumable.
+			// Write-backs are retried with backoff and then deliberately
+			// dropped, never fatal (the guard counts retries, drops, and
+			// breaker trips): a full disk degrades the run to uncached,
+			// it does not fail it.
+			guard.put(ctx, c.key, r.Outcome)
+		}
+		emit.cellDone(CellEvent{
+			Index: c.idx, Method: method, Rep: c.ri, Problem: p.Name,
+			Outcome: o, Duration: r.Duration, Node: r.Node,
+		})
+	}
+
+	return exec.Job{Cells: cells, Workers: workers, Run: run, Done: done}
+}
+
+// maxRunnerEvaluators bounds a cell runner's per-seed fixture caches
+// (mirrors the client's own evaluator retention).
+const maxRunnerEvaluators = 8
+
+// NewCellRunner builds the worker-node side of the fleet: an
+// exec.Runner that rebuilds each wire-form cell into a full
+// simulation — resolving the LLM profile, criterion and problem by
+// name, sharing per-seed evaluator fixtures across cells — and guards
+// the fleet's correctness contract by re-deriving the cell's content
+// address: if this node's derivation disagrees with the
+// coordinator's key, the node refuses the cell instead of silently
+// computing a skewed outcome (mixed simulator versions in one fleet).
+//
+// st, when non-nil, is the node's local view of the shared
+// content-addressed store: cells already present replay without
+// simulation, and finished cells are written back (best effort; a
+// store fault just leaves the cell uncached — the coordinator
+// persists results authoritatively on its own store). The runner is
+// safe for concurrent calls.
+func NewCellRunner(st store.Store) exec.Runner {
+	var (
+		mu    sync.Mutex
+		evals = map[int64]*autoeval.Evaluator{}
+		order []int64
+	)
+	evaluator := func(seed int64) *autoeval.Evaluator {
+		mu.Lock()
+		defer mu.Unlock()
+		e, ok := evals[seed]
+		if !ok {
+			e = autoeval.NewEvaluator(seed)
+			evals[seed] = e
+			order = append(order, seed)
+			if len(order) > maxRunnerEvaluators {
+				delete(evals, order[0])
+				order = order[1:]
+			}
+		}
+		return e
+	}
+
+	return func(ctx context.Context, ec exec.Cell) (store.Outcome, error) {
+		cfg, method, p, err := configFromSpec(ec.Spec)
+		if err != nil {
+			return store.Outcome{}, err
+		}
+		if key := CellKey(cfg, method, ec.Spec.Rep, p); key != ec.Key {
+			return store.Outcome{}, fmt.Errorf(
+				"harness: cell key mismatch for %s/%s rep %d: coordinator sent %s, this node derives %s (mixed fleet versions?)",
+				method, p.Name, ec.Spec.Rep, ec.Key, key)
+		}
+		if st != nil {
+			if so, ok := st.Get(ec.Key); ok {
+				if _, ok := fromStoreOutcome(so, p); ok {
+					return so, nil
+				}
+			}
+		}
+		r := CellStream(cfg.Seed, method, ec.Spec.Rep, p.Name).Rand()
+		o, err := runTask(ctx, method, p, *cfg, evaluator(EvaluatorSeed(cfg.Seed)), r)
+		if err != nil {
+			return store.Outcome{}, fmt.Errorf("%s/%s rep %d: %w", method, p.Name, ec.Spec.Rep, err)
+		}
+		so := toStoreOutcome(o)
+		if st != nil {
+			_ = st.Put(ec.Key, so) // best effort; coordinator store is authoritative
+		}
+		return so, nil
+	}
+}
+
+// configFromSpec resolves a wire-form cell spec into a normalized
+// harness config plus the cell's method and problem. All name
+// resolution errors surface here, before any simulation.
+func configFromSpec(s exec.Spec) (*Config, Method, *dataset.Problem, error) {
+	method := Method(s.Method)
+	known := false
+	for _, m := range AllMethods() {
+		if m == method {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, "", nil, fmt.Errorf("harness: unknown method %q", s.Method)
+	}
+	p := dataset.ByName(s.Problem)
+	if p == nil {
+		return nil, "", nil, fmt.Errorf("harness: unknown problem %q", s.Problem)
+	}
+	cfg := &Config{
+		Seed:           s.Seed,
+		MaxCorrections: s.MaxCorrections,
+		MaxReboots:     s.MaxReboots,
+		NR:             s.NR,
+	}
+	if s.LLM != "" {
+		cfg.Profile = llm.ByName(s.LLM)
+		if cfg.Profile == nil {
+			return nil, "", nil, fmt.Errorf("harness: unknown LLM profile %q", s.LLM)
+		}
+	}
+	if s.Criterion != "" {
+		c, err := validator.CriterionByName(s.Criterion)
+		if err != nil {
+			return nil, "", nil, fmt.Errorf("harness: %w", err)
+		}
+		cfg.Criterion = c
+	}
+	cfg.Normalize()
+	return cfg, method, p, nil
+}

@@ -20,6 +20,7 @@ import (
 	"correctbench/internal/autoeval"
 	"correctbench/internal/core"
 	"correctbench/internal/dataset"
+	"correctbench/internal/exec"
 	"correctbench/internal/llm"
 	"correctbench/internal/rng"
 	"correctbench/internal/store"
@@ -129,6 +130,16 @@ type Config struct {
 	// any observable difference. The hook must be safe for concurrent
 	// calls and must not call back into the harness.
 	CellHook func(index int)
+
+	// Executor, when non-nil, replaces the default in-process worker
+	// pool (exec.Local) with another cell executor — notably
+	// exec.NewRemote, which shards cells across a correctbenchd worker
+	// fleet. Cells are pure functions of their content-addressed spec,
+	// so any conforming executor produces identical Results and an
+	// identical event stream; only Workers/placement metadata
+	// (CellEvent.Node, Duration) reflect where cells actually ran.
+	// Store-replayed cells never reach the executor.
+	Executor exec.CellExecutor
 }
 
 // CellEvent describes one finished experiment cell, as delivered to
@@ -152,6 +163,10 @@ type CellEvent struct {
 	// format omits both), so warm and cold event streams stay
 	// byte-identical.
 	Cached bool
+	// Node names the fleet worker that executed the cell ("" for
+	// locally executed and store-replayed cells). Operational metadata
+	// like Cached: off the wire, outside the reproducibility contract.
+	Node string
 }
 
 // Normalize applies the documented defaults in place: gpt-4o profile,
@@ -422,69 +437,34 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 		workers = len(pending)
 	}
 
-	var (
-		errs = newErrorCollector()
-		jobs = make(chan cell)
-		wg   sync.WaitGroup
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for c := range jobs {
-				if err := ctx.Err(); err != nil {
-					errs.record(c.idx, err)
-					continue
-				}
-				method, p := cfg.Methods[c.mi], cfg.Problems[c.pi]
-				r := CellStream(cfg.Seed, method, c.ri, p.Name).Rand()
-				if cfg.CellHook != nil {
-					cfg.CellHook(c.idx)
-				}
-				start := time.Now() //detlint:allow CellEvent.Duration is documented wall-clock metadata, excluded from the deterministic surface
-				o, err := runTask(ctx, method, p, cfg, eval, r)
-				if err != nil {
-					errs.record(c.idx, fmt.Errorf("%s/%s rep %d: %w", method, p.Name, c.ri, err))
-					continue
-				}
-				res.Outcomes[method][c.ri][c.pi] = o
-				if guard != nil {
-					// Persist before release, so any observer that has
-					// seen the cell's event can already rely on it being
-					// resumable. Write-backs are retried with backoff and
-					// then deliberately dropped, never fatal (the guard
-					// counts retries, drops, and breaker trips): a full
-					// disk degrades the run to uncached, it does not
-					// fail it.
-					guard.put(ctx, c.key, toStoreOutcome(o))
-				}
-				emit.cellDone(CellEvent{
-					Index: c.idx, Method: method, Rep: c.ri, Problem: p.Name,
-					Outcome: o, Duration: time.Since(start),
-				})
-			}
-		}()
-	}
-
-	// Feed the missing cells in canonical order; stop scheduling once
-	// any worker has failed or the context was cancelled.
-	// Already-queued cells still run, so every cell ordered before a
-	// failure executes — which is what makes the min-index error below
-	// the sequential run's first error.
-feed:
-	for _, c := range pending {
-		if errs.failed() || ctx.Err() != nil {
-			break feed
+	// Hand the missing cells to the executor (the in-process pool by
+	// default, a worker fleet via Config.Executor). The executor owes
+	// completion, never order: Done lands each result slot, write-back
+	// and ordered release exactly as the inline pool did, and the
+	// emitter re-sequences completions, so the event stream is
+	// byte-identical whichever executor ran the cells.
+	executor := cfg.Executor
+	if executor == nil {
+		executor = exec.Local()
+	} else if guard == nil {
+		// Remote executors shard and verify cells by content address;
+		// derive keys even when no store is attached.
+		for i := range pending {
+			c := &pending[i]
+			c.key = CellKey(&cfg, cfg.Methods[c.mi], c.ri, cfg.Problems[c.pi])
 		}
-		jobs <- c
 	}
-	close(jobs)
-	wg.Wait()
+	derr := newErrorCollector()
+	job := execJob(ctx, &cfg, pending, eval, guard, emit, res, workers, derr)
+	execErr := executor.Execute(ctx, job)
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if err := errs.first(); err != nil {
+	if execErr != nil {
+		return nil, execErr
+	}
+	if err := derr.first(); err != nil {
 		return nil, err
 	}
 	return finish(), nil

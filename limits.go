@@ -75,6 +75,7 @@ type admission struct {
 
 	mu      sync.Mutex
 	active  int
+	refused uint64 // 429s answered (quota and rate), for /metrics
 	clients map[string]*clientState
 }
 
@@ -175,8 +176,18 @@ func (a *admission) reserveJob(key string, now time.Time) (release func(), err e
 	}, nil
 }
 
+// counters reports the admission gauges for /metrics.
+func (a *admission) counters() (active int, refused uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.active, a.refused
+}
+
 // tooMany answers 429 with the policy's Retry-After hint.
 func (a *admission) tooMany(w http.ResponseWriter, err error) {
+	a.mu.Lock()
+	a.refused++
+	a.mu.Unlock()
 	secs := int(math.Ceil(a.lim.RetryAfter.Seconds()))
 	if secs < 1 {
 		secs = 1

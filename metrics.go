@@ -1,0 +1,112 @@
+package correctbench
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// GET /metrics: the daemon's operational gauges in plain-text
+// "key value" lines (one metric per line, fleet gauges labeled by
+// node). Everything here is operational metadata — the same class of
+// data as CellFinished.Duration — and never feeds back into
+// scheduling or results; experiments stay byte-reproducible no matter
+// what these counters say.
+//
+//	uptime_seconds          seconds since the handler was built
+//	jobs_active             experiments running right now
+//	jobs_total              jobs retained (running + finished)
+//	jobs_degraded           retained jobs that ran in store-degraded mode
+//	queue_refusals          submits/grades answered 429 (quota or rate)
+//	cells_done              cells released across retained jobs
+//	cells_per_sec           cells_done / uptime_seconds
+//	store_hits              result-store lookups that found a cell
+//	store_misses            lookups that simulated instead
+//	store_hit_ratio         hits / (hits + misses), 0 when idle
+//	fleet_nodes             worker nodes known to the coordinator
+//	fleet_node_healthy{node="addr"}    1 healthy, 0 dead/draining
+//	fleet_node_assigned{node="addr"}   cells hashed to the node
+//	fleet_node_completed{node="addr"}  results accepted from it
+//	fleet_node_stolen{node="addr"}     cells it took from peers
+//	fleet_node_requeued{node="addr"}   cells moved off it after failure
+//
+// Store lines appear only on store-backed clients; fleet lines only
+// with a WithExecutor coordinator that keeps per-node accounting.
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	line := func(key string, v any) {
+		switch x := v.(type) {
+		case float64:
+			fmt.Fprintf(&b, "%s %.3f\n", key, x)
+		case bool:
+			n := 0
+			if x {
+				n = 1
+			}
+			fmt.Fprintf(&b, "%s %d\n", key, n)
+		default:
+			fmt.Fprintf(&b, "%s %v\n", key, x)
+		}
+	}
+
+	uptime := time.Since(s.start).Seconds()
+	line("uptime_seconds", uptime)
+
+	jobs := s.client.Jobs()
+	var cellsDone, degraded, running int
+	for _, j := range jobs {
+		snap := j.Snapshot()
+		cellsDone += snap.CellsDone
+		if snap.StoreDegraded {
+			degraded++
+		}
+		if snap.State == JobRunning {
+			running++
+		}
+	}
+	active, refused := s.adm.counters()
+	// adm.active counts reserved HTTP job slots; jobs submitted through
+	// the Go API (embedded servers) only show in the retention scan.
+	// Report whichever view is larger so neither path undercounts.
+	if running > active {
+		active = running
+	}
+	line("jobs_active", active)
+	line("jobs_total", len(jobs))
+	line("jobs_degraded", degraded)
+	line("queue_refusals", refused)
+	line("cells_done", cellsDone)
+	rate := 0.0
+	if uptime > 0 {
+		rate = float64(cellsDone) / uptime
+	}
+	line("cells_per_sec", rate)
+
+	if stats, ok := s.client.StoreStats(); ok {
+		line("store_hits", stats.Hits)
+		line("store_misses", stats.Misses)
+		ratio := 0.0
+		if total := stats.Hits + stats.Misses; total > 0 {
+			ratio = float64(stats.Hits) / float64(total)
+		}
+		line("store_hit_ratio", ratio)
+	}
+
+	if nodes, ok := s.client.FleetStats(); ok {
+		line("fleet_nodes", len(nodes))
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i].Addr < nodes[j].Addr })
+		for _, n := range nodes {
+			label := fmt.Sprintf(`{node=%q}`, n.Addr)
+			line("fleet_node_healthy"+label, n.Healthy)
+			line("fleet_node_assigned"+label, n.Assigned)
+			line("fleet_node_completed"+label, n.Completed)
+			line("fleet_node_stolen"+label, n.Stolen)
+			line("fleet_node_requeued"+label, n.Requeued)
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}

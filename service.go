@@ -32,6 +32,10 @@ import (
 //	                              generate-and-grade a task
 //	GET    /v1/store/stats        result-store counters (404 when the
 //	                              client has no store)
+//	GET    /metrics               operational gauges, plain-text
+//	                              "key value" lines (store hit ratio,
+//	                              cells/s, active jobs, refusals,
+//	                              per-node fleet counters)
 //
 // When the client carries a result store (correctbenchd -store-dir),
 // POST /v1/experiments has resume-by-spec semantics: resubmitting an
@@ -53,7 +57,7 @@ import (
 // carries panic recovery: a panicking request answers 500 — after
 // cancelling its job, if it owned one — without killing the daemon.
 func NewServer(c *Client, opts ...ServerOption) http.Handler {
-	s := &server{client: c, limits: DefaultLimits()}
+	s := &server{client: c, limits: DefaultLimits(), start: time.Now()}
 	for _, o := range opts {
 		o(s)
 	}
@@ -68,6 +72,7 @@ func NewServer(c *Client, opts ...ServerOption) http.Handler {
 	mux.HandleFunc("GET /v1/criteria", s.criteria)
 	mux.HandleFunc("POST /v1/grade", s.grade)
 	mux.HandleFunc("GET /v1/store/stats", s.storeStats)
+	mux.HandleFunc("GET /metrics", s.metrics)
 	return recoverPanics(mux)
 }
 
@@ -75,6 +80,7 @@ type server struct {
 	client *Client
 	limits Limits
 	adm    *admission
+	start  time.Time // handler construction, the uptime_seconds epoch
 }
 
 type httpError struct {
