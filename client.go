@@ -12,6 +12,7 @@ import (
 	"correctbench/internal/dataset"
 	"correctbench/internal/harness"
 	"correctbench/internal/llm"
+	"correctbench/internal/obs"
 	"correctbench/internal/validator"
 )
 
@@ -95,6 +96,14 @@ type ExperimentSpec struct {
 	// store. Results are identical either way — the store only changes
 	// whether a cell is simulated or replayed.
 	NoStore bool `json:"no_store,omitempty"`
+	// NoTrace opts this job out of phase tracing: no per-cell span
+	// tree is collected (Job.Trace returns nil, GET .../trace answers
+	// 404) and the job's cells contribute nothing to the /metrics
+	// latency histograms. Tracing is operational metadata exactly like
+	// CellFinished.Duration — on or off, the event stream, tables and
+	// results are byte-identical — so the only reason to set this is
+	// shaving the (small) collection overhead, e.g. for benchmarks.
+	NoTrace bool `json:"no_trace,omitempty"`
 }
 
 // resolve validates the spec and builds the harness configuration.
@@ -228,6 +237,10 @@ type Client struct {
 	store    Store        // nil: no result store
 	executor CellExecutor // nil: in-process worker pool
 
+	// obs aggregates phase latencies and the completion-rate window
+	// across every traced job this client runs; GET /metrics reads it.
+	obs *obs.Observer
+
 	mu        sync.Mutex
 	evals     map[int64]*autoeval.Evaluator
 	evalOrder []int64 // evaluator seeds in creation order
@@ -267,6 +280,7 @@ func NewClient(opts ...ClientOption) *Client {
 	c := &Client{
 		evals: map[int64]*autoeval.Evaluator{},
 		jobs:  map[string]*Job{},
+		obs:   obs.NewObserver(),
 	}
 	for _, o := range opts {
 		o(c)
@@ -413,6 +427,16 @@ func (c *Client) submit(ctx context.Context, spec ExperimentSpec, progress io.Wr
 		grades:       map[string]map[string]int{},
 		tables:       map[string]string{},
 		storeEnabled: hcfg.Store != nil,
+	}
+	if !spec.NoTrace {
+		// Tracing is on by default: the job collects a span tree per
+		// cell and feeds the client's shared latency aggregator. Both
+		// are off-wire operational metadata, so traced and untraced
+		// jobs publish byte-identical event streams.
+		j.trace = &obs.JobTrace{}
+		j.observer = c.obs
+		hcfg.Trace = j.trace
+		hcfg.Observer = c.obs
 	}
 	c.mu.Lock()
 	c.jobs[id] = j

@@ -53,7 +53,15 @@
 //	GET    /v1/llms, /v1/criteria   stable name lists
 //	POST   /v1/grade                grade a testbench (or generate+grade)
 //	GET    /v1/store/stats          result-store counters
-//	GET    /metrics                 plain-text operational gauges
+//	GET    /metrics                 Prometheus text exposition (gauges,
+//	                                counters, phase latency summaries)
+//	GET    /v1/experiments/{id}/trace  per-cell span trees as NDJSON
+//	                                   (render with cmd/traceview)
+//
+// With -pprof the standard net/http/pprof profiling handlers are
+// mounted under /debug/pprof/ on the same listener. Off by default:
+// profiles expose internals and cost CPU to capture, so the surface is
+// strictly opt-in.
 package main
 
 import (
@@ -65,6 +73,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -80,6 +89,7 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		storeDir  = flag.String("store-dir", "", "directory for the persistent result store (empty: no store; completed cells are then never reused across restarts)")
 		selfcheck = flag.Bool("selfcheck", false, "start an ephemeral server, run a 2-problem experiment over HTTP, compare with the in-process run, prove a warm resubmit replays every cell from the store, and exit")
+		withPprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the same listener (opt-in profiling surface)")
 
 		worker      = flag.Bool("worker", false, "serve experiment cells to fleet coordinators on -addr instead of HTTP; -store-dir then becomes the node's local replay cache (one directory per worker — disk stores are single-writer)")
 		peers       = flag.String("peers", "", "comma-separated fleet worker addresses; when set, every job's cells are sharded across these nodes instead of the in-process pool")
@@ -153,9 +163,23 @@ func main() {
 		MaxBodyBytes:     *maxBody,
 		RetryAfter:       *retryAfter,
 	}
+	handler := http.Handler(correctbench.NewServer(client, correctbench.WithLimits(limits)))
+	if *withPprof {
+		// Wrap rather than touch the service mux: the profiling surface
+		// stays an operator-side add-on, never part of the API contract.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		fmt.Fprintln(os.Stderr, "correctbenchd: pprof enabled on /debug/pprof/")
+	}
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: correctbench.NewServer(client, correctbench.WithLimits(limits)),
+		Handler: handler,
 		// Slow-loris defense: a client gets 10s to finish its headers.
 		// No blanket write timeout — NDJSON streams are long-lived by
 		// design and bounded by their own job lifecycle instead.

@@ -42,7 +42,7 @@ import (
 	"strings"
 )
 
-var defaultScope = []string{"internal/exec", "internal/harness", "internal/store", "events.go"}
+var defaultScope = []string{"internal/exec", "internal/harness", "internal/obs", "internal/store", "events.go"}
 
 type finding struct {
 	pos token.Position

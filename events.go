@@ -3,6 +3,7 @@ package correctbench
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"time"
 
 	"correctbench/internal/autoeval"
@@ -314,7 +315,13 @@ func UnmarshalEvent(line []byte) (Event, error) {
 		o.Problem = w.Problem
 		return CellFinished{
 			Index: w.Index, Method: w.Method, Rep: w.Rep, Problem: w.Problem,
-			Duration: time.Duration(w.DurationMS * float64(time.Millisecond)),
+			// Round-trip through integer microseconds: the encoder wrote
+			// duration_ms as microseconds/1000, so math.Round(ms*1000)
+			// recovers the exact integer even when the division was not
+			// representable in binary floating point. Multiplying the raw
+			// float by time.Millisecond instead truncates such values by
+			// a nanosecond (decode(encode(d)) != d.Truncate(µs)).
+			Duration: time.Duration(math.Round(w.DurationMS*1000)) * time.Microsecond,
 			Outcome:  o,
 		}, nil
 	case "method_rep_done":

@@ -1,0 +1,62 @@
+package correctbench
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// roundTripDuration pushes a duration through the CellFinished wire
+// form and returns what comes back.
+func roundTripDuration(t *testing.T, d time.Duration) time.Duration {
+	t.Helper()
+	ev := CellFinished{
+		Index: 1, Method: "AutoBench", Problem: "cnt8", Duration: d,
+		Outcome: TaskOutcome{Problem: "cnt8"},
+	}
+	line, err := MarshalEvent(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalEvent(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, ok := back.(CellFinished)
+	if !ok {
+		t.Fatalf("decoded %T, want CellFinished", back)
+	}
+	return cf.Duration
+}
+
+// TestDurationWireRoundTrip pins the duration_ms wire contract as a
+// property: for any duration, decode(encode(d)) equals d truncated to
+// the wire's microsecond resolution. The old decoder multiplied the
+// raw duration_ms float by time.Millisecond, which loses a nanosecond
+// whenever microseconds/1000 is not exactly representable in binary
+// floating point (e.g. 4476µs encodes as 4.476 and decoded as
+// 4.475999ms); rounding through integer microseconds recovers the
+// exact value the encoder started from.
+func TestDurationWireRoundTrip(t *testing.T) {
+	// Known historical casualty of the float multiply.
+	if got := roundTripDuration(t, 4476*time.Microsecond); got != 4476*time.Microsecond {
+		t.Fatalf("4476µs round-tripped to %v", got)
+	}
+	// Exhaustive over the first 5000 microsecond values.
+	for us := int64(0); us < 5000; us++ {
+		d := time.Duration(us) * time.Microsecond
+		if got := roundTripDuration(t, d); got != d {
+			t.Fatalf("%v round-tripped to %v", d, got)
+		}
+	}
+	// Randomized property over the realistic range (sub-microsecond
+	// tails truncate, everything else is exact).
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		d := time.Duration(rng.Int63n(int64(10 * time.Minute)))
+		want := d.Truncate(time.Microsecond)
+		if got := roundTripDuration(t, d); got != want {
+			t.Fatalf("%v round-tripped to %v, want %v", d, got, want)
+		}
+	}
+}

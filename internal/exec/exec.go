@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"correctbench/internal/obs"
 	"correctbench/internal/store"
 )
 
@@ -79,6 +80,15 @@ type Result struct {
 	// Stolen reports the cell completed on a node other than the one
 	// its key originally hashed to (work-stealing or reassignment).
 	Stolen bool
+	// Phases is the cell's phase-timing breakdown, populated only when
+	// Job.Trace is set: queue_wait and (for remote cells) dispatch and
+	// net_roundtrip recorded by the executor, plus whatever the cell's
+	// execution recorded through its context collector (simulate,
+	// grade, sim_* sub-spans). Sample offsets are relative to
+	// Job.Epoch; worker-recorded samples arrive already rebased under
+	// the coordinator's net_roundtrip span. Operational metadata like
+	// Duration — never part of the reproducibility contract.
+	Phases []obs.PhaseSample
 }
 
 // Runner simulates one cell in-process. The local pool runs every
@@ -97,6 +107,17 @@ type Job struct {
 	Workers int
 	Run     Runner
 	Done    func(Result)
+	// Trace asks the executor to time each cell's phases: a collector
+	// travels in the Run context (obs.WithCollector) and the samples
+	// come back in Result.Phases. Remote executors forward the flag in
+	// the run frame so fleet workers collect only when asked. Tracing
+	// is pure metadata collection — outcomes and completion order are
+	// unaffected.
+	Trace bool
+	// Epoch is the trace time origin all Phases offsets are relative
+	// to (the run's start). Zero with Trace set: the executor picks
+	// its own at Execute time.
+	Epoch time.Time
 }
 
 // CellExecutor executes every cell of a job exactly once. Execute
@@ -169,27 +190,50 @@ func (localPool) Execute(ctx context.Context, job Job) error {
 		workers = len(job.Cells)
 	}
 
+	epoch := job.Epoch
+	if job.Trace && epoch.IsZero() {
+		epoch = time.Now() //detlint:allow trace epoch is wall-clock metadata, excluded from the deterministic surface
+	}
+
+	type queued struct {
+		c  Cell
+		at time.Time // enqueue time, for the queue_wait sample (zero when not tracing)
+	}
 	var (
 		errs = newErrorCollector()
-		jobs = make(chan Cell)
+		jobs = make(chan queued)
 		wg   sync.WaitGroup
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for c := range jobs {
+			for q := range jobs {
+				c := q.c
 				if err := ctx.Err(); err != nil {
 					errs.record(c.Index, err)
 					continue
 				}
 				start := time.Now() //detlint:allow Result.Duration is documented wall-clock metadata, excluded from the deterministic surface
-				o, err := job.Run(ctx, c)
+				runCtx := ctx
+				var col *obs.Collector
+				if job.Trace {
+					// queue_wait: enqueue (canonical-order feed) to the
+					// moment a pool worker picked the cell up.
+					col = obs.NewCollector(epoch)
+					col.Add(obs.PhaseSample{
+						Phase: obs.PhaseQueueWait, Seq: 0, ParentSeq: -1,
+						StartUS: q.at.Sub(epoch).Microseconds(),
+						DurUS:   start.Sub(q.at).Microseconds(),
+					})
+					runCtx = obs.WithCollector(ctx, col)
+				}
+				o, err := job.Run(runCtx, c)
 				if err != nil {
 					errs.record(c.Index, err)
 					continue
 				}
-				job.Done(Result{Index: c.Index, Outcome: o, Duration: time.Since(start)})
+				job.Done(Result{Index: c.Index, Outcome: o, Duration: time.Since(start), Phases: col.Samples()})
 			}
 		}()
 	}
@@ -203,7 +247,11 @@ func (localPool) Execute(ctx context.Context, job Job) error {
 		if errs.failed() || ctx.Err() != nil {
 			break
 		}
-		jobs <- c
+		q := queued{c: c}
+		if job.Trace {
+			q.at = time.Now() //detlint:allow queue_wait is wall-clock metadata, excluded from the deterministic surface
+		}
+		jobs <- q
 	}
 	close(jobs)
 	wg.Wait()

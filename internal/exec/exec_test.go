@@ -220,7 +220,7 @@ func TestProtoRoundTrip(t *testing.T) {
 
 	cells := testCells(3)
 	go func() {
-		writeFrame(client, runFrame(cells[2]))
+		writeFrame(client, runFrame(cells[2], false))
 		writeFrame(client, frame{Op: opResult, Index: 2, OK: true, Outcome: &store.Outcome{Problem: "p002", Grade: 2}})
 	}()
 

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 
+	"correctbench/internal/obs"
 	"correctbench/internal/store"
 )
 
@@ -62,6 +63,16 @@ type frame struct {
 	OK      bool           `json:"ok,omitempty"`
 	Outcome *store.Outcome `json:"outcome,omitempty"`
 	Error   string         `json:"error,omitempty"`
+
+	// Trace (run) asks the worker to time the cell's phases; Phases
+	// (result) carries them back, with offsets relative to the
+	// worker's own execution start — the coordinator rebases them onto
+	// its timeline. Both fields are additive and omitempty, so mixed
+	// deployments within protoVersion 1 interoperate: an older worker
+	// ignores the unknown trace field and an older coordinator ignores
+	// the phases it never asked for.
+	Trace  bool              `json:"trace,omitempty"`
+	Phases []obs.PhaseSample `json:"phases,omitempty"`
 
 	// pong
 	Active int `json:"active,omitempty"`
@@ -121,8 +132,8 @@ func readFrame(r io.Reader) (frame, error) {
 }
 
 // runFrame builds the run request for a cell.
-func runFrame(c Cell) frame {
-	return frame{Op: opRun, Index: c.Index, Key: c.Key.String(), Spec: &c.Spec}
+func runFrame(c Cell, trace bool) frame {
+	return frame{Op: opRun, Index: c.Index, Key: c.Key.String(), Spec: &c.Spec, Trace: trace}
 }
 
 // cellFromFrame rebuilds the cell of a run request.

@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"correctbench/internal/obs"
 )
 
 // Remote is the fleet executor: a coordinator that shards a job's
@@ -210,6 +212,12 @@ type cellState struct {
 	stolen bool
 	timer  *time.Timer
 	start  time.Time // dispatch time, for Result.Duration metadata
+
+	// Trace bookkeeping (populated only when job.Trace): when the cell
+	// entered the coordinator's queues, and how long the last run-frame
+	// write took (the dispatch phase).
+	queuedAt   time.Time
+	dispatchUS int64
 }
 
 type remoteRun struct {
@@ -218,6 +226,7 @@ type remoteRun struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
+	epoch  time.Time // trace time origin (zero when job.Trace is off)
 
 	mu        sync.Mutex
 	nodes     []*node
@@ -258,9 +267,15 @@ func (r *Remote) Execute(ctx context.Context, job Job) error {
 		errs:      newErrorCollector(),
 		finish:    make(chan struct{}),
 	}
+	if job.Trace {
+		rn.epoch = job.Epoch
+		if rn.epoch.IsZero() {
+			rn.epoch = time.Now() //detlint:allow trace epoch is wall-clock metadata, excluded from the deterministic surface
+		}
+	}
 	for pos, c := range job.Cells {
 		rn.posOf[c.Index] = pos
-		rn.cells[pos] = cellState{owner: -1}
+		rn.cells[pos] = cellState{owner: -1, queuedAt: rn.epoch}
 	}
 	rn.nodes = make([]*node, len(r.peers))
 	for i, addr := range r.peers {
@@ -458,10 +473,22 @@ func (rn *remoteRun) sendCellLocked(n *node, pos int) {
 	st.timer = time.AfterFunc(rn.r.opt.Straggler, func() { rn.straggle(pos) })
 	n.inflight++
 	cell := rn.job.Cells[pos]
+	trace := rn.job.Trace
 	rn.wg.Add(1)
 	go func() {
 		defer rn.wg.Done()
-		if err := rn.write(n, runFrame(cell)); err != nil {
+		err := rn.write(n, runFrame(cell, trace))
+		if trace {
+			// The dispatch phase: how long the run frame took to leave.
+			// The result cannot arrive before the worker has read the
+			// frame, but the read goroutine may still observe a stale
+			// zero on an extreme race — metadata, not a contract.
+			wrote := time.Now() //detlint:allow dispatch timing is wall-clock metadata, excluded from the deterministic surface
+			rn.mu.Lock()
+			rn.cells[pos].dispatchUS = wrote.Sub(rn.cells[pos].start).Microseconds()
+			rn.mu.Unlock()
+		}
+		if err != nil {
 			rn.nodeDown(n)
 		}
 	}()
@@ -579,6 +606,9 @@ func (rn *remoteRun) handleResult(n *node, f frame) {
 			Node:     n.addr,
 			Stolen:   st.stolen || n.idx != rn.initialNode(pos),
 		}
+		if rn.job.Trace {
+			res.Phases = rn.tracePhasesLocked(st, n, f.Phases, res.Duration)
+		}
 		deliver = true
 		rn.r.bumpCompleted(n.idx)
 	} else {
@@ -594,6 +624,35 @@ func (rn *remoteRun) handleResult(n *node, f frame) {
 	if deliver {
 		rn.job.Done(res)
 	}
+}
+
+// tracePhasesLocked assembles a remote cell's phase samples on the
+// coordinator's timeline: queue_wait (assignment -> dispatch),
+// dispatch (run-frame write) and net_roundtrip (dispatch -> result
+// received) from coordinator bookkeeping, then the worker's own
+// samples — whose offsets are relative to its execution start —
+// rebased under the net_roundtrip span and labeled with the node
+// address. Caller holds rn.mu.
+func (rn *remoteRun) tracePhasesLocked(st *cellState, n *node, worker []obs.PhaseSample, roundtrip time.Duration) []obs.PhaseSample {
+	dispatchStart := st.start.Sub(rn.epoch).Microseconds()
+	phases := []obs.PhaseSample{
+		{
+			Phase: obs.PhaseQueueWait, Seq: 0, ParentSeq: -1,
+			StartUS: st.queuedAt.Sub(rn.epoch).Microseconds(),
+			DurUS:   st.start.Sub(st.queuedAt).Microseconds(),
+		},
+		{
+			Phase: obs.PhaseDispatch, Seq: 1, ParentSeq: -1,
+			StartUS: dispatchStart,
+			DurUS:   st.dispatchUS,
+		},
+		{
+			Phase: obs.PhaseRoundtrip, Seq: 2, ParentSeq: -1, Node: n.addr,
+			StartUS: dispatchStart,
+			DurUS:   roundtrip.Microseconds(),
+		},
+	}
+	return append(phases, obs.Rebase(worker, 3, 2, dispatchStart, n.addr)...)
 }
 
 // initialNode recomputes where the ring would place a cell with every
@@ -816,7 +875,25 @@ func (rn *remoteRun) runLocalCell(pos int) {
 
 	c := rn.job.Cells[pos]
 	start := time.Now() //detlint:allow Result.Duration is wall-clock metadata, not a scheduling input
-	o, err := rn.job.Run(rn.ctx, c)
+	ctx := rn.ctx
+	var col *obs.Collector
+	if rn.job.Trace {
+		// Local fallback executes on the coordinator itself: record a
+		// queue_wait from the cell's assignment to now, then collect the
+		// cell's own phases directly on the coordinator timeline (no
+		// rebase — same clock, same epoch).
+		rn.mu.Lock()
+		queuedAt := rn.cells[pos].queuedAt
+		rn.mu.Unlock()
+		col = obs.NewCollector(rn.epoch)
+		col.Add(obs.PhaseSample{
+			Phase: obs.PhaseQueueWait, Seq: 0, ParentSeq: -1,
+			StartUS: queuedAt.Sub(rn.epoch).Microseconds(),
+			DurUS:   start.Sub(queuedAt).Microseconds(),
+		})
+		ctx = obs.WithCollector(ctx, col)
+	}
+	o, err := rn.job.Run(ctx, c)
 
 	rn.mu.Lock()
 	rn.localBusy--
@@ -832,7 +909,7 @@ func (rn *remoteRun) runLocalCell(pos int) {
 	if err != nil {
 		rn.errs.record(c.Index, err)
 	} else {
-		res = Result{Index: c.Index, Outcome: o, Duration: time.Since(start), Stolen: true}
+		res = Result{Index: c.Index, Outcome: o, Duration: time.Since(start), Stolen: true, Phases: col.Samples()}
 		deliver = true
 	}
 	rn.checkDoneLocked()

@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
+
+	"correctbench/internal/obs"
 )
 
 // Worker serves cells to coordinators: it accepts connections on a
@@ -118,7 +121,7 @@ func (w *Worker) serveConn(conn net.Conn, st *connState) {
 			}
 			w.active++
 			w.mu.Unlock()
-			go w.runCell(conn, st, c)
+			go w.runCell(conn, st, c, f.Trace)
 		default:
 			// Unknown op: ignore. Forward compatibility within one
 			// protocol version is additive ops only.
@@ -126,9 +129,19 @@ func (w *Worker) serveConn(conn net.Conn, st *connState) {
 	}
 }
 
-func (w *Worker) runCell(conn net.Conn, st *connState, c Cell) {
+func (w *Worker) runCell(conn net.Conn, st *connState, c Cell, trace bool) {
 	w.slots <- struct{}{}
-	o, err := w.runner(context.Background(), c)
+	ctx := context.Background()
+	var col *obs.Collector
+	if trace {
+		// The coordinator asked for phase timings: collect with this
+		// worker's own execution start as the epoch — the coordinator
+		// rebases the samples under its net_roundtrip span on arrival,
+		// so no cross-node clock comparison ever happens.
+		col = obs.NewCollector(time.Now()) //detlint:allow phase timings are wall-clock metadata shipped off-wire of the result contract
+		ctx = obs.WithCollector(ctx, col)
+	}
+	o, err := w.runner(ctx, c)
 	<-w.slots
 
 	w.mu.Lock()
@@ -146,6 +159,7 @@ func (w *Worker) runCell(conn net.Conn, st *connState, c Cell) {
 	} else {
 		res.OK = true
 		res.Outcome = &o
+		res.Phases = col.Samples()
 	}
 	w.send(conn, st, res)
 }

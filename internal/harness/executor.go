@@ -8,11 +8,13 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"correctbench/internal/autoeval"
 	"correctbench/internal/dataset"
 	"correctbench/internal/exec"
 	"correctbench/internal/llm"
+	"correctbench/internal/obs"
 	"correctbench/internal/store"
 	"correctbench/internal/validator"
 )
@@ -46,7 +48,10 @@ func execCell(cfg *Config, c cell) exec.Cell {
 // regardless of where it executed. Done-side failures (a worker
 // returning an outcome for the wrong problem) land in derr.
 func execJob(ctx context.Context, cfg *Config, pending []cell, eval *autoeval.Evaluator,
-	guard *storeGuard, emit *orderedEmitter, res *Results, workers int, derr *errorCollector) exec.Job {
+	guard *storeGuard, emit *orderedEmitter, res *Results, workers int, derr *errorCollector,
+	epoch time.Time) exec.Job {
+
+	traceOn := cfg.Trace != nil || cfg.Observer != nil
 
 	byIdx := make(map[int]cell, len(pending))
 	cells := make([]exec.Cell, len(pending))
@@ -86,6 +91,24 @@ func execJob(ctx context.Context, cfg *Config, pending []cell, eval *autoeval.Ev
 			return
 		}
 		res.Outcomes[method][c.ri][c.pi] = o
+		// Assemble the cell's phase samples on a traced run: the
+		// store_lookup recorded during cell resolution leads (executor
+		// samples shift up one seq), the executor's own samples —
+		// queue_wait, dispatch/net_roundtrip, simulate/grade with their
+		// sim_* children — follow, and the store write-back below closes
+		// the tree.
+		var phases []obs.PhaseSample
+		if traceOn {
+			if guard != nil {
+				phases = append(phases, obs.PhaseSample{
+					Phase: obs.PhaseLookup, Seq: 0, ParentSeq: -1,
+					StartUS: c.lookStartUS, DurUS: c.lookDurUS,
+				})
+				phases = append(phases, obs.Rebase(r.Phases, 1, -1, 0, "")...)
+			} else {
+				phases = r.Phases
+			}
+		}
 		if guard != nil {
 			// Persist before release, so any observer that has seen the
 			// cell's event can already rely on it being resumable.
@@ -93,7 +116,21 @@ func execJob(ctx context.Context, cfg *Config, pending []cell, eval *autoeval.Ev
 			// dropped, never fatal (the guard counts retries, drops, and
 			// breaker trips): a full disk degrades the run to uncached,
 			// it does not fail it.
+			var wbStart time.Time
+			if traceOn {
+				wbStart = time.Now() //detlint:allow store_writeback phase duration, wall-clock metadata
+			}
 			guard.put(ctx, c.key, r.Outcome)
+			if traceOn {
+				phases = append(phases, obs.PhaseSample{
+					Phase: obs.PhaseWriteback, Seq: obs.NextSeq(phases), ParentSeq: -1,
+					StartUS: wbStart.Sub(epoch).Microseconds(),
+					DurUS:   time.Since(wbStart).Microseconds(),
+				})
+			}
+		}
+		if traceOn {
+			recordCellTrace(cfg, c, method, p.Name, false, r.Node, phases)
 		}
 		emit.cellDone(CellEvent{
 			Index: c.idx, Method: method, Rep: c.ri, Problem: p.Name,
@@ -101,7 +138,25 @@ func execJob(ctx context.Context, cfg *Config, pending []cell, eval *autoeval.Ev
 		})
 	}
 
-	return exec.Job{Cells: cells, Workers: workers, Run: run, Done: done}
+	return exec.Job{Cells: cells, Workers: workers, Run: run, Done: done, Trace: traceOn, Epoch: epoch}
+}
+
+// recordCellTrace lands one finished cell's phase samples in the
+// run's tracing sinks: the span tree (Config.Trace, with span IDs
+// derived deterministically from the cell's content address) and the
+// latency aggregator (Config.Observer).
+func recordCellTrace(cfg *Config, c cell, method Method, problem string, cached bool, node string, samples []obs.PhaseSample) {
+	if cfg.Observer != nil {
+		cfg.Observer.ObserveSamples(samples)
+	}
+	if cfg.Trace != nil {
+		traceID := c.key.String()
+		cfg.Trace.Add(obs.CellTrace{
+			Index: c.idx, Method: string(method), Rep: c.ri, Problem: problem,
+			Key: traceID, Cached: cached, Node: node,
+			Spans: obs.BuildSpans(traceID, samples),
+		})
+	}
 }
 
 // maxRunnerEvaluators bounds a cell runner's per-seed fixture caches

@@ -22,6 +22,7 @@ import (
 	"correctbench/internal/dataset"
 	"correctbench/internal/exec"
 	"correctbench/internal/llm"
+	"correctbench/internal/obs"
 	"correctbench/internal/rng"
 	"correctbench/internal/store"
 	"correctbench/internal/testbench"
@@ -140,6 +141,23 @@ type Config struct {
 	// (CellEvent.Node, Duration) reflect where cells actually ran.
 	// Store-replayed cells never reach the executor.
 	Executor exec.CellExecutor
+
+	// Trace, when non-nil, collects one span tree per cell — simulated
+	// or store-replayed — covering the full execution path: queue_wait,
+	// store_lookup, dispatch/net_roundtrip (fleet runs), simulate with
+	// its sim_elaborate/sim_compile/sim_run sub-spans, grade, and
+	// store_writeback. Span IDs are deterministic (derived from the
+	// cell's content address via obs.SpanID); the recorded durations
+	// are wall clock. Tracing is operational metadata exactly like
+	// CellEvent.Duration: it never reaches the event stream, Results,
+	// or the store, so traced and untraced runs stay byte-identical.
+	Trace *obs.JobTrace
+
+	// Observer, when non-nil, receives every traced cell's phase
+	// samples for latency aggregation (per-phase, per-node histograms).
+	// Setting Observer alone — without Trace — still turns phase
+	// timing on. Same off-wire contract as Trace.
+	Observer *obs.Observer
 }
 
 // CellEvent describes one finished experiment cell, as delivered to
@@ -230,7 +248,11 @@ func CellStream(seed int64, method Method, rep int, problem string) rng.Stream {
 type cell struct {
 	idx        int
 	mi, ri, pi int
-	key        store.Key // content address, derived only when Config.Store is set
+	key        store.Key // content address, derived when a store, remote executor or tracing needs it
+
+	// store_lookup timing (offsets relative to the run's trace epoch);
+	// populated only on traced runs with a store.
+	lookStartUS, lookDurUS int64
 }
 
 // EvaluatorSeed derives the AutoEval evaluator seed the harness uses
@@ -383,6 +405,16 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	if cfg.Store != nil {
 		guard = newStoreGuard(cfg.Store, cfg.Seed)
 	}
+
+	// Phase timing is on when either tracing sink is attached. The
+	// epoch is the run's trace time origin: every sample offset —
+	// including worker-side samples, after the coordinator rebases them
+	// — is microseconds since this instant.
+	traceOn := cfg.Trace != nil || cfg.Observer != nil
+	var epoch time.Time
+	if traceOn {
+		epoch = time.Now() //detlint:allow the trace epoch is wall-clock metadata like CellEvent.Duration, excluded from the deterministic surface
+	}
 	finish := func() *Results {
 		if guard != nil {
 			res.Store = guard.snapshot()
@@ -406,11 +438,28 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 				c := cell{idx: idx, mi: mi, ri: ri, pi: pi}
 				idx++
 				if guard != nil {
+					var lookStart time.Time
+					if traceOn {
+						lookStart = time.Now() //detlint:allow store_lookup phase duration, wall-clock metadata
+					}
 					c.key = CellKey(&cfg, m, ri, p)
-					if so, ok := guard.get(c.key); ok {
+					so, hit := guard.get(c.key)
+					if traceOn {
+						c.lookStartUS = lookStart.Sub(epoch).Microseconds()
+						c.lookDurUS = time.Since(lookStart).Microseconds()
+					}
+					if hit {
 						if o, ok := fromStoreOutcome(so, p); ok {
 							res.Outcomes[m][ri][pi] = o
 							res.StoreHits++
+							if traceOn {
+								// A replayed cell's whole execution is its
+								// store lookup: a one-span trace.
+								recordCellTrace(&cfg, c, m, p.Name, true, "", []obs.PhaseSample{{
+									Phase: obs.PhaseLookup, Seq: 0, ParentSeq: -1,
+									StartUS: c.lookStartUS, DurUS: c.lookDurUS,
+								}})
+							}
 							emit.cellDone(CellEvent{
 								Index: c.idx, Method: m, Rep: ri, Problem: p.Name,
 								Outcome: o, Cached: true,
@@ -446,8 +495,10 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	executor := cfg.Executor
 	if executor == nil {
 		executor = exec.Local()
-	} else if guard == nil {
-		// Remote executors shard and verify cells by content address;
+	}
+	if guard == nil && (cfg.Executor != nil || traceOn) {
+		// Remote executors shard and verify cells by content address,
+		// and traces derive their deterministic span IDs from it;
 		// derive keys even when no store is attached.
 		for i := range pending {
 			c := &pending[i]
@@ -455,7 +506,7 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 		}
 	}
 	derr := newErrorCollector()
-	job := execJob(ctx, &cfg, pending, eval, guard, emit, res, workers, derr)
+	job := execJob(ctx, &cfg, pending, eval, guard, emit, res, workers, derr, epoch)
 	execErr := executor.Execute(ctx, job)
 
 	if err := ctx.Err(); err != nil {
@@ -559,7 +610,27 @@ func (t *orderedEmitter) cellDone(ev CellEvent) {
 
 func runTask(ctx context.Context, method Method, p *dataset.Problem, cfg Config, eval *autoeval.Evaluator, rng *rand.Rand) (TaskOutcome, error) {
 	o := TaskOutcome{Problem: p.Name, Kind: p.Kind}
-	var tb *testbench.Testbench
+	tb, err := generateTask(ctx, method, p, cfg, rng, &o)
+	if err != nil {
+		return o, err
+	}
+	endGrade := obs.Time(ctx, obs.PhaseGrade)
+	grade, err := eval.EvaluateContext(ctx, tb)
+	endGrade()
+	if err != nil {
+		return o, err
+	}
+	o.Grade = grade
+	return o, nil
+}
+
+// generateTask runs the method's testbench generation (for
+// CorrectBench: Algorithm 1 end to end, including its validation
+// simulations), filling o's trace fields. The whole step is one
+// "simulate" phase span on a traced run; the sim_* sub-spans recorded
+// inside internal/sim nest under it.
+func generateTask(ctx context.Context, method Method, p *dataset.Problem, cfg Config, rng *rand.Rand, o *TaskOutcome) (*testbench.Testbench, error) {
+	defer obs.Time(ctx, obs.PhaseSimulate)()
 	switch method {
 	case MethodCorrectBench:
 		opt := core.DefaultOptions(cfg.Profile)
@@ -575,36 +646,31 @@ func runTask(ctx context.Context, method Method, p *dataset.Problem, cfg Config,
 		}
 		r, err := core.RunContext(ctx, p, opt, rng)
 		if err != nil {
-			return o, err
+			return nil, err
 		}
-		tb = r.Testbench
 		o.ValidatorIntervened = r.Trace.ValidatorIntervened
 		o.CorrectorShaped = r.Trace.CorrectorShaped
 		o.FinalValidated = r.Trace.FinalValidated
 		o.Corrections = r.Trace.Corrections
 		o.Reboots = r.Trace.Reboots
 		o.TokensIn, o.TokensOut = r.Trace.Tokens.In, r.Trace.Tokens.Out
+		return r.Testbench, nil
 	case MethodAutoBench, MethodBaseline:
 		gen, err := autobench.ForMethod(string(method), cfg.Profile)
 		if err != nil {
-			return o, err
+			return nil, err
 		}
 		trait := cfg.Profile.SampleTrait(p.Difficulty, p.Kind == dataset.SEQ, rng)
 		var acct llm.Accountant
-		tb, err = gen.Generate(p, trait, rng, &acct)
+		tb, err := gen.Generate(p, trait, rng, &acct)
 		if err != nil {
-			return o, err
+			return nil, err
 		}
 		o.TokensIn, o.TokensOut = acct.In, acct.Out
+		return tb, nil
 	default:
-		return o, fmt.Errorf("unknown method %q", method)
+		return nil, fmt.Errorf("unknown method %q", method)
 	}
-	grade, err := eval.EvaluateContext(ctx, tb)
-	if err != nil {
-		return o, err
-	}
-	o.Grade = grade
-	return o, nil
 }
 
 // ---- aggregation ----

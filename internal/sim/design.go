@@ -15,10 +15,12 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"correctbench/internal/logic"
+	"correctbench/internal/obs"
 	"correctbench/internal/verilog"
 )
 
@@ -140,8 +142,19 @@ func (d *Design) Port(name string) *Port {
 
 // Elaborate flattens the hierarchy rooted at module top.
 func Elaborate(file *verilog.SourceFile, top string) (*Design, error) {
+	return ElaborateContext(context.Background(), file, top)
+}
+
+// ElaborateContext is Elaborate with phase timing: when ctx carries an
+// obs collector (obs.WithCollector), the hierarchy flattening records
+// a sim_elaborate span and the compile step (scheduling structures,
+// levelization inputs) a sim_compile span. Without a collector the
+// timing hooks are no-ops and the function is exactly Elaborate.
+func ElaborateContext(ctx context.Context, file *verilog.SourceFile, top string) (*Design, error) {
+	endElab := obs.Time(ctx, obs.PhaseElaborate)
 	mod := file.Module(top)
 	if mod == nil {
+		endElab()
 		return nil, elabErrf(verilog.Pos{Line: 1, Col: 1}, "top module %q not found", top)
 	}
 	d := &Design{
@@ -151,20 +164,30 @@ func Elaborate(file *verilog.SourceFile, top string) (*Design, error) {
 	}
 	e := &elaborator{file: file, design: d, depth: 0}
 	if err := e.module(mod, "", nil, true); err != nil {
+		endElab()
 		return nil, err
 	}
 	sort.Strings(d.Order)
+	endElab()
+	endCompile := obs.Time(ctx, obs.PhaseCompile)
 	d.finalize()
+	endCompile()
 	return d, nil
 }
 
 // ElaborateSource parses and elaborates in one step.
 func ElaborateSource(src, top string) (*Design, error) {
+	return ElaborateSourceContext(context.Background(), src, top)
+}
+
+// ElaborateSourceContext is ElaborateSource with the phase timing of
+// ElaborateContext.
+func ElaborateSourceContext(ctx context.Context, src, top string) (*Design, error) {
 	f, err := verilog.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return Elaborate(f, top)
+	return ElaborateContext(ctx, f, top)
 }
 
 type elaborator struct {

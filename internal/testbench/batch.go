@@ -24,6 +24,7 @@ import (
 
 	"correctbench/internal/dataset"
 	"correctbench/internal/logic"
+	"correctbench/internal/obs"
 	"correctbench/internal/sim"
 )
 
@@ -252,6 +253,7 @@ func (tb *Testbench) RunBatchProgramsContext(ctx context.Context, progs []*sim.B
 // variants no program accepted, individual scalar fallbacks. The
 // returned error is non-nil only on context cancellation.
 func (tb *Testbench) runBatchPrograms(ctx context.Context, progs []*sim.BatchProgram, idxs [][]int, trace *checkerTrace, out []BatchOutcome, earlyExit bool) error {
+	defer obs.Time(ctx, obs.PhaseRun)()
 	// A variant rejected by one program may hold a lane in another
 	// (CompileBatchSplit routes non-static variants to the second,
 	// event-driven program); only variants no program accepted run

@@ -30,6 +30,7 @@ import (
 	"correctbench/internal/dataset"
 	"correctbench/internal/logic"
 	"correctbench/internal/mutate"
+	"correctbench/internal/obs"
 	"correctbench/internal/sim"
 	"correctbench/internal/verilog"
 )
@@ -180,10 +181,17 @@ func (tb *Testbench) ElaborateChecker() error {
 // CheckerSource changes (the validator simulates the same checker
 // against N_R RTLs).
 func (tb *Testbench) checkerDesign() (*sim.Design, error) {
+	return tb.checkerDesignContext(context.Background())
+}
+
+// checkerDesignContext is checkerDesign with phase timing: a cold
+// cache records sim_elaborate/sim_compile spans on the context's obs
+// collector; a warm cache records nothing.
+func (tb *Testbench) checkerDesignContext(ctx context.Context) (*sim.Design, error) {
 	if tb.cachedChecker != nil && tb.cachedCheckerSrc == tb.CheckerSource {
 		return tb.cachedChecker, nil
 	}
-	d, err := sim.ElaborateSource(tb.CheckerSource, tb.CheckerTop)
+	d, err := sim.ElaborateSourceContext(ctx, tb.CheckerSource, tb.CheckerTop)
 	if err != nil {
 		return nil, err
 	}
@@ -204,7 +212,7 @@ func (tb *Testbench) RunAgainstSource(dutSrc, dutTop string) (*RunResult, error)
 // ctx is cancelled the simulation stops within one step batch and the
 // context's error is returned (wrapped; test with errors.Is).
 func (tb *Testbench) RunAgainstSourceContext(ctx context.Context, dutSrc, dutTop string) (*RunResult, error) {
-	dutDesign, err := sim.ElaborateSource(dutSrc, dutTop)
+	dutDesign, err := sim.ElaborateSourceContext(ctx, dutSrc, dutTop)
 	if err != nil {
 		return nil, fmt.Errorf("dut: %w", err)
 	}
@@ -226,10 +234,11 @@ func (tb *Testbench) RunAgainstDesign(dutDesign *sim.Design) (*RunResult, error)
 // takes effect at the next propagation wave — within one simulation
 // step batch — rather than at scenario or run end.
 func (tb *Testbench) RunAgainstDesignContext(ctx context.Context, dutDesign *sim.Design) (*RunResult, error) {
-	checkerDesign, err := tb.checkerDesign()
+	checkerDesign, err := tb.checkerDesignContext(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("checker: %w", err)
 	}
+	defer obs.Time(ctx, obs.PhaseRun)()
 	res := &RunResult{ScenarioPass: make([]bool, len(tb.Scenarios))}
 	outs := outputPorts(dutDesign)
 	dut := sim.NewInstanceEngine(dutDesign, tb.Engine)

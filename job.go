@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 
 	"correctbench/internal/harness"
+	"correctbench/internal/obs"
 )
 
 // JobState is a job's lifecycle state as reported by Snapshot.
@@ -51,6 +53,14 @@ type Job struct {
 	// storeUsage is the harness's final store accounting (retries,
 	// drops, degraded mode), available once the run finished.
 	storeUsage StoreUsage
+
+	// trace collects the job's per-cell span trees (nil when the job
+	// was submitted with NoTrace); observer is the client's shared
+	// latency aggregator, bumped once per released cell for the
+	// /metrics completion-rate window. Both are written by the harness
+	// and internally synchronized.
+	trace    *obs.JobTrace
+	observer *obs.Observer
 }
 
 // ID returns the job's client-assigned identifier.
@@ -214,6 +224,7 @@ func (j *Job) publish(ev Event) {
 	j.events = append(j.events, ev)
 	if cf, ok := ev.(CellFinished); ok {
 		j.cellsDone++
+		j.observer.CellDone(time.Now()) // nil-safe; feeds the /metrics sliding-window rate
 		if j.storeEnabled {
 			if cf.Cached {
 				j.storeHits++

@@ -8,12 +8,13 @@ import (
 	"time"
 )
 
-// GET /metrics: the daemon's operational gauges in plain-text
-// "key value" lines (one metric per line, fleet gauges labeled by
-// node). Everything here is operational metadata — the same class of
-// data as CellFinished.Duration — and never feeds back into
-// scheduling or results; experiments stay byte-reproducible no matter
-// what these counters say.
+// GET /metrics: the daemon's operational gauges in Prometheus text
+// exposition format (each metric preceded by # HELP and # TYPE
+// lines, labeled series grouped under one header). Everything here is
+// operational metadata — the same class of data as
+// CellFinished.Duration — and never feeds back into scheduling or
+// results; experiments stay byte-reproducible no matter what these
+// counters say.
 //
 //	uptime_seconds          seconds since the handler was built
 //	jobs_active             experiments running right now
@@ -21,7 +22,10 @@ import (
 //	jobs_degraded           retained jobs that ran in store-degraded mode
 //	queue_refusals          submits/grades answered 429 (quota or rate)
 //	cells_done              cells released across retained jobs
-//	cells_per_sec           cells_done / uptime_seconds
+//	cells_per_sec           cells_done / uptime_seconds (lifetime average)
+//	cells_per_sec_1m        cells released per second over the last 60s
+//	                        (sliding window; decays to 0 when idle,
+//	                        which the lifetime average does not)
 //	store_hits              result-store lookups that found a cell
 //	store_misses            lookups that simulated instead
 //	store_hit_ratio         hits / (hits + misses), 0 when idle
@@ -31,28 +35,47 @@ import (
 //	fleet_node_completed{node="addr"}  results accepted from it
 //	fleet_node_stolen{node="addr"}     cells it took from peers
 //	fleet_node_requeued{node="addr"}   cells moved off it after failure
+//	phase_latency_us{phase,node,quantile}  p50/p90/p99 execution
+//	                        latency per phase (queue_wait, store_lookup,
+//	                        dispatch, net_roundtrip, simulate,
+//	                        sim_elaborate, sim_compile, sim_run, grade,
+//	                        store_writeback), per node for fleet-executed
+//	                        phases, plus _sum/_count series — a
+//	                        Prometheus summary fed by every traced cell
 //
 // Store lines appear only on store-backed clients; fleet lines only
-// with a WithExecutor coordinator that keeps per-node accounting.
+// with a WithExecutor coordinator that keeps per-node accounting;
+// phase_latency_us series only once a traced cell has completed.
 func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
-	line := func(key string, v any) {
+	// head emits the # HELP / # TYPE header for a metric name, exactly
+	// once per name no matter how many labeled series follow.
+	head := func(name, typ, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+	val := func(v any) string {
 		switch x := v.(type) {
 		case float64:
-			fmt.Fprintf(&b, "%s %.3f\n", key, x)
+			return fmt.Sprintf("%.3f", x)
 		case bool:
-			n := 0
 			if x {
-				n = 1
+				return "1"
 			}
-			fmt.Fprintf(&b, "%s %d\n", key, n)
+			return "0"
 		default:
-			fmt.Fprintf(&b, "%s %v\n", key, x)
+			return fmt.Sprintf("%v", x)
 		}
+	}
+	line := func(series string, v any) {
+		fmt.Fprintf(&b, "%s %s\n", series, val(v))
+	}
+	single := func(name, typ, help string, v any) {
+		head(name, typ, help)
+		line(name, v)
 	}
 
 	uptime := time.Since(s.start).Seconds()
-	line("uptime_seconds", uptime)
+	single("uptime_seconds", "gauge", "Seconds since the metrics handler was built.", uptime)
 
 	jobs := s.client.Jobs()
 	var cellsDone, degraded, running int
@@ -73,40 +96,71 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	if running > active {
 		active = running
 	}
-	line("jobs_active", active)
-	line("jobs_total", len(jobs))
-	line("jobs_degraded", degraded)
-	line("queue_refusals", refused)
-	line("cells_done", cellsDone)
+	single("jobs_active", "gauge", "Experiments running right now.", active)
+	single("jobs_total", "gauge", "Jobs retained by the client (running + finished).", len(jobs))
+	single("jobs_degraded", "gauge", "Retained jobs that ran in store-degraded mode.", degraded)
+	single("queue_refusals", "counter", "Submits and grades answered 429 (quota or rate).", refused)
+	single("cells_done", "counter", "Cells released across retained jobs.", cellsDone)
 	rate := 0.0
 	if uptime > 0 {
 		rate = float64(cellsDone) / uptime
 	}
-	line("cells_per_sec", rate)
+	single("cells_per_sec", "gauge", "Lifetime average cell completion rate (cells_done / uptime_seconds).", rate)
+	single("cells_per_sec_1m", "gauge", "Cells released per second over the last 60 seconds (sliding window).",
+		s.client.obs.Rate(time.Now()))
 
 	if stats, ok := s.client.StoreStats(); ok {
-		line("store_hits", stats.Hits)
-		line("store_misses", stats.Misses)
+		single("store_hits", "counter", "Result-store lookups that found a cell.", stats.Hits)
+		single("store_misses", "counter", "Result-store lookups that simulated instead.", stats.Misses)
 		ratio := 0.0
 		if total := stats.Hits + stats.Misses; total > 0 {
 			ratio = float64(stats.Hits) / float64(total)
 		}
-		line("store_hit_ratio", ratio)
+		single("store_hit_ratio", "gauge", "store_hits / (store_hits + store_misses), 0 when idle.", ratio)
 	}
 
 	if nodes, ok := s.client.FleetStats(); ok {
-		line("fleet_nodes", len(nodes))
+		single("fleet_nodes", "gauge", "Worker nodes known to the coordinator.", len(nodes))
 		sort.Slice(nodes, func(i, j int) bool { return nodes[i].Addr < nodes[j].Addr })
-		for _, n := range nodes {
-			label := fmt.Sprintf(`{node=%q}`, n.Addr)
-			line("fleet_node_healthy"+label, n.Healthy)
-			line("fleet_node_assigned"+label, n.Assigned)
-			line("fleet_node_completed"+label, n.Completed)
-			line("fleet_node_stolen"+label, n.Stolen)
-			line("fleet_node_requeued"+label, n.Requeued)
+		for _, m := range []struct {
+			name, typ, help string
+			get             func(NodeStats) any
+		}{
+			{"fleet_node_healthy", "gauge", "1 when the node answers probes, 0 dead or draining.", func(n NodeStats) any { return n.Healthy }},
+			{"fleet_node_assigned", "counter", "Cells consistent-hashed to the node.", func(n NodeStats) any { return n.Assigned }},
+			{"fleet_node_completed", "counter", "Results accepted from the node.", func(n NodeStats) any { return n.Completed }},
+			{"fleet_node_stolen", "counter", "Cells the node took from peers.", func(n NodeStats) any { return n.Stolen }},
+			{"fleet_node_requeued", "counter", "Cells moved off the node after failure.", func(n NodeStats) any { return n.Requeued }},
+		} {
+			head(m.name, m.typ, m.help)
+			for _, n := range nodes {
+				line(fmt.Sprintf("%s{node=%q}", m.name, n.Addr), m.get(n))
+			}
 		}
 	}
 
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if rows := s.client.PhaseLatencies(); len(rows) > 0 {
+		head("phase_latency_us", "summary",
+			"Execution latency per phase in microseconds, from traced cells (p50/p90/p99 interpolated from power-of-two buckets).")
+		series := func(row PhaseStats, extra string) string {
+			labels := fmt.Sprintf("phase=%q", row.Phase)
+			if row.Node != "" {
+				labels += fmt.Sprintf(",node=%q", row.Node)
+			}
+			if extra != "" {
+				labels += "," + extra
+			}
+			return "{" + labels + "}"
+		}
+		for _, row := range rows {
+			line("phase_latency_us"+series(row, `quantile="0.5"`), row.P50)
+			line("phase_latency_us"+series(row, `quantile="0.9"`), row.P90)
+			line("phase_latency_us"+series(row, `quantile="0.99"`), row.P99)
+			line("phase_latency_us_sum"+series(row, ""), row.SumUS)
+			line("phase_latency_us_count"+series(row, ""), row.Count)
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))
 }

@@ -10,7 +10,9 @@ import (
 	"testing"
 )
 
-// scrapeMetrics fetches /metrics and parses its "key value" lines.
+// scrapeMetrics fetches /metrics and parses its series lines into a
+// "series -> value" map, skipping the # HELP/# TYPE exposition
+// headers (validated separately by TestMetricsExposition).
 func scrapeMetrics(t *testing.T, base string) map[string]string {
 	t.Helper()
 	resp, err := http.Get(base + "/metrics")
@@ -30,9 +32,12 @@ func scrapeMetrics(t *testing.T, base string) map[string]string {
 	}
 	out := map[string]string{}
 	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
 		key, val, ok := strings.Cut(line, " ")
 		if !ok {
-			t.Fatalf("metrics line %q is not \"key value\"", line)
+			t.Fatalf("metrics line %q is not \"series value\"", line)
 		}
 		out[key] = val
 	}

@@ -24,6 +24,11 @@ import (
 //	GET    /v1/experiments/{id}/events   NDJSON event stream (replay +
 //	                              live; disconnecting stops only the
 //	                              stream, not the job)
+//	GET    /v1/experiments/{id}/trace    per-cell span trees as NDJSON
+//	                              (one CellTrace per line, canonical
+//	                              cell order; also at
+//	                              /v1/jobs/{id}/trace; 404 for NoTrace
+//	                              jobs). Feed it to cmd/traceview.
 //	DELETE /v1/experiments/{id}   cancel the job
 //	GET    /v1/problems           the 156-task dataset, stable order
 //	GET    /v1/llms               model profile names, stable order
@@ -32,10 +37,11 @@ import (
 //	                              generate-and-grade a task
 //	GET    /v1/store/stats        result-store counters (404 when the
 //	                              client has no store)
-//	GET    /metrics               operational gauges, plain-text
-//	                              "key value" lines (store hit ratio,
-//	                              cells/s, active jobs, refusals,
-//	                              per-node fleet counters)
+//	GET    /metrics               operational gauges in Prometheus
+//	                              text exposition format (store hit
+//	                              ratio, cells/s, active jobs,
+//	                              refusals, per-node fleet counters,
+//	                              per-phase latency summaries)
 //
 // When the client carries a result store (correctbenchd -store-dir),
 // POST /v1/experiments has resume-by-spec semantics: resubmitting an
@@ -66,6 +72,8 @@ func NewServer(c *Client, opts ...ServerOption) http.Handler {
 	mux.HandleFunc("POST /v1/experiments", s.submit)
 	mux.HandleFunc("GET /v1/experiments/{id}", s.snapshot)
 	mux.HandleFunc("GET /v1/experiments/{id}/events", s.events)
+	mux.HandleFunc("GET /v1/experiments/{id}/trace", s.trace)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.trace) // alias
 	mux.HandleFunc("DELETE /v1/experiments/{id}", s.cancel)
 	mux.HandleFunc("GET /v1/problems", s.problems)
 	mux.HandleFunc("GET /v1/llms", s.llms)
@@ -214,6 +222,31 @@ func (s *server) events(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.streamEvents(w, r, job)
+}
+
+// trace streams a job's per-cell span trees as NDJSON: one CellTrace
+// object per line, in canonical cell order, reflecting the cells
+// released so far (a finished job streams the full grid). Tracing is
+// on unless the job was submitted with no_trace, in which case this
+// answers 404.
+func (s *server) trace(w http.ResponseWriter, r *http.Request) {
+	job := s.jobFor(w, r)
+	if job == nil {
+		return
+	}
+	if !job.traced() {
+		writeError(w, http.StatusNotFound, fmt.Errorf("experiment %q was submitted with no_trace", job.ID()))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Correctbench-Job", job.ID())
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for _, ct := range job.Trace() {
+		if err := enc.Encode(ct); err != nil {
+			return
+		}
+	}
 }
 
 func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
